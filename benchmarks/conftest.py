@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper figure has one benchmark that regenerates it (scaled to a
+benchmark-friendly size via the experiments' ``fast`` mode) and asserts the
+figure's qualitative claim, so ``pytest benchmarks/ --benchmark-only`` both
+times and *validates* the reproduction. Expensive benches run one round /
+one iteration — they measure end-to-end experiment cost, not microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (for heavyweight experiments)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

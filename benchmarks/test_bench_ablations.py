@@ -1,0 +1,88 @@
+"""Benchmarks for the ablation and extension experiments.
+
+The fig8/9/10 experiments share one cached simulation per process, so the
+first of them to run pays the full cost; these ablations each run their own
+simulations and are the heaviest benches in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import run_experiment
+
+
+def test_bench_ablation_selection(once):
+    result = once(run_experiment, "ablation_selection", fast=True)
+    deltas = {row["criterion"]: row["delta"] for row in result.rows}
+    assert deltas["local_error"] <= deltas["random"]
+
+
+def test_bench_ablation_beta(once):
+    result = once(run_experiment, "ablation_beta", fast=True)
+    assert len(result.rows) == 4
+
+
+def test_bench_ablation_rs(once):
+    result = once(run_experiment, "ablation_rs", fast=True)
+    assert len(result.rows) == 3
+
+
+def test_bench_ext_trace_sampling(once):
+    result = once(run_experiment, "ext_trace_sampling", fast=True)
+    means = {row["mode"]: row["delta_mean"] for row in result.rows}
+    assert means["trace sampling (3/move)"] <= means["point sampling (paper)"] * 1.02
+
+
+def test_bench_ext_failures(once):
+    result = once(run_experiment, "ext_failures", fast=True)
+    rows = {row["scenario"]: row for row in result.rows}
+    assert rows["20% node deaths"]["alive_final"] < rows["baseline"]["alive_final"]
+
+
+def test_bench_ablation_exact(once):
+    result = once(run_experiment, "ablation_exact", fast=True)
+    assert all(row["ratio"] < 2.0 for row in result.rows)
+
+
+def test_bench_ablation_connectivity(once):
+    result = once(run_experiment, "ablation_connectivity", fast=True)
+    assert all(row["relay_nodes"] >= 0 for row in result.rows)
+
+
+def test_bench_ext_nonconvex(once):
+    result = once(run_experiment, "ext_nonconvex", fast=True)
+    deltas = {row["case"]: row["delta"] for row in result.rows}
+    fra = next(v for k, v in deltas.items() if k.startswith("FRA"))
+    rnd = next(v for k, v in deltas.items() if k.startswith("random"))
+    assert fra < 2.0 * rnd
+
+
+def test_bench_ext_centralized(once):
+    result = once(run_experiment, "ext_centralized", fast=True)
+    assert len(result.rows) == 3
+
+
+def test_bench_ablation_seeds(once):
+    result = once(run_experiment, "ablation_seeds", fast=True)
+    assert all(row["random_over_fra"] > 1.0 for row in result.rows)
+
+
+def test_bench_ablation_interpolation(once):
+    result = once(run_experiment, "ablation_interpolation", fast=True)
+    deltas = {row["method"]: row["delta"] for row in result.rows}
+    assert deltas["delaunay"] <= min(deltas["nearest"], deltas["idw"])
+
+
+def test_bench_ablation_localsearch(once):
+    result = once(run_experiment, "ablation_localsearch", fast=True)
+    assert len(result.rows) == 4
+
+
+def test_bench_ext_energy(once):
+    result = once(run_experiment, "ext_energy", fast=True)
+    rows = {row["budget_m"]: row for row in result.rows}
+    assert rows["unlimited"]["alive_final"] == 100
+
+
+def test_bench_ext_sensor_noise(once):
+    result = once(run_experiment, "ext_sensor_noise", fast=True)
+    assert result.rows[0]["noise_std_klux"] == 0.0

@@ -1,0 +1,74 @@
+"""One benchmark per paper figure: regenerate it and check its claim.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes the corresponding experiment in its scaled ``fast``
+configuration and asserts the same qualitative property EXPERIMENTS.md
+records for the full-size run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_experiment
+
+
+def test_bench_fig1_reference_surface(once):
+    result = once(run_experiment, "fig1", fast=True)
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    assert values["light max (KLux)"] > 0
+
+
+def test_bench_fig2_refinement_step(once):
+    result = once(run_experiment, "fig2", fast=True)
+    stages = {row["stage"]: row for row in result.rows}
+    assert stages["after"]["triangles"] == 4
+
+
+def test_bench_fig3_cwd_vs_uniform(once):
+    result = once(run_experiment, "fig3", fast=True)
+    deltas = {row["layout"]: row["delta"] for row in result.rows}
+    assert deltas["cwd (Fig. 3c)"] < deltas["uniform (Fig. 3b)"]
+
+
+def test_bench_fig4_lcm_scenario(once):
+    result = once(run_experiment, "fig4", fast=True)
+    actions = {row["node"]: row["action"] for row in result.rows}
+    assert "follow" in actions["n5"]
+
+
+def test_bench_fig5_fra_k30(once):
+    result = once(run_experiment, "fig5", fast=True)
+    assert result.rows[0]["connected"]
+
+
+def test_bench_fig6_fra_k100(once):
+    result = once(run_experiment, "fig6", fast=True)
+    assert result.rows[0]["connected"]
+
+
+def test_bench_fig7_delta_vs_k(once):
+    result = once(run_experiment, "fig7", fast=True)
+    fra = result.column_values("delta_fra")
+    rnd = result.column_values("delta_random")
+    assert sum(f < r for f, r in zip(fra, rnd)) >= len(fra) - 1
+
+
+def test_bench_fig8_initial_grid(once):
+    result = once(run_experiment, "fig8", fast=True)
+    assert result.rows[0]["components"] == 1
+
+
+def test_bench_fig9_converging_layout(once):
+    result = once(run_experiment, "fig9", fast=True)
+    assert result.rows[0]["components"] == 1
+
+
+def test_bench_fig10_delta_vs_time(once):
+    result = once(run_experiment, "fig10", fast=True)
+    cma = result.column_values("delta_cma")
+    assert min(cma) < cma[0]
+    assert all(result.column_values("connected"))

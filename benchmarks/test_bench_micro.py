@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the hot substrate operations.
+
+These are the inner loops every experiment stands on: Delaunay insertion,
+vectorised surface evaluation, the δ metric, relay planning, on-node
+curvature estimation, and one full CMA simulation round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cma import CMAParams
+from repro.core.fra import foresighted_refinement
+from repro.core.problem import OSTDProblem
+from repro.fields.base import sample_grid
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.interpolation import LinearSurfaceInterpolator
+from repro.graphs.relay import plan_relays
+from repro.sim.engine import MobileSimulation
+from repro.surfaces.metrics import volume_difference
+from repro.surfaces.quadric import fit_quadric
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+@pytest.fixture(scope="module")
+def reference():
+    field = GreenOrbsLightField(seed=7)
+    return sample_grid(field, field.region, 101, t=600.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).uniform(0, 100, size=(100, 2))
+
+
+def test_bench_delaunay_100_points(benchmark, points):
+    result = benchmark(lambda: DelaunayTriangulation(points))
+    assert result.n_points == 100
+
+
+def test_bench_interpolator_grid_eval(benchmark, points, reference):
+    values = np.sin(points[:, 0] / 9.0)
+    interp = LinearSurfaceInterpolator(points, values)
+    grid = benchmark(interp.evaluate_grid, reference.xs, reference.ys)
+    assert grid.shape == (101, 101)
+
+
+def test_bench_delta_metric(benchmark, reference, points):
+    recon = reconstruct_surface(
+        reference, points, values=np.zeros(len(points))
+    )
+    out = benchmark(volume_difference, reference, recon.surface)
+    assert out > 0
+
+
+def test_bench_relay_planning(benchmark):
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 100, size=(40, 2))
+    plan = benchmark(plan_relays, pts, 10.0)
+    assert plan.connected
+
+
+def test_bench_quadric_fit(benchmark):
+    rng = np.random.default_rng(2)
+    pts = rng.uniform(-5, 5, size=(78, 2))
+    z = 0.2 * pts[:, 0] ** 2 + 0.1 * pts[:, 1] ** 2 + rng.normal(0, 0.01, 78)
+    fit = benchmark(fit_quadric, pts, z)
+    assert fit.a > 0
+
+
+def test_bench_fra_k30(benchmark, reference):
+    result = benchmark.pedantic(
+        foresighted_refinement, args=(reference, 30, 10.0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.connected
+
+
+def test_bench_cma_round(benchmark):
+    field = GreenOrbsLightField(seed=7, freeze_sun_at=600.0)
+    problem = OSTDProblem(
+        k=100, rc=10.0, rs=5.0, region=field.region, field=field,
+        speed=1.0, t0=600.0, duration=45.0,
+    )
+    sim = MobileSimulation(problem)
+    record = benchmark.pedantic(sim.step, rounds=3, iterations=1,
+                                warmup_rounds=0)
+    assert record.n_alive == 100

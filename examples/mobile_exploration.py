@@ -1,0 +1,99 @@
+"""Mobile exploration: 100 robots track a drifting light field with CMA.
+
+The paper's OSTD scenario end to end: the environment is unknown and
+time-varying, so mobile nodes explore it with only Rs-disk sensing and
+single-hop gossip, self-organising toward the curvature-weighted
+distribution while the Local Connectivity Mechanism keeps the radio graph
+whole. We attach recorders, print the δ(t) trajectory against the
+do-nothing control, and demonstrate the trace-sampling extension.
+
+Run:  python examples/mobile_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import uniform_grid_placement
+from repro.core.cma import CMAParams
+from repro.core.problem import OSTDProblem
+from repro.fields.base import sample_grid
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.sim.engine import MobileSimulation
+from repro.sim.recorders import ConnectivityRecorder, DeltaRecorder, ForceRecorder
+from repro.sim.sensing import TraceSampler
+from repro.surfaces.reconstruction import reconstruct_surface
+from repro.viz.ascii import render_series, render_topology
+
+K = 100
+DURATION = 45.0  # minutes, 10:00 -> 10:45 like the paper's Fig. 10
+
+
+def build_problem(field: GreenOrbsLightField) -> OSTDProblem:
+    return OSTDProblem(
+        k=K, rc=10.0, rs=5.0, region=field.region, field=field,
+        speed=1.0, t0=600.0, duration=DURATION,
+    )
+
+
+def static_control(field, problem, times):
+    """δ(t) of the never-moving initial grid — the do-nothing baseline."""
+    centre = problem.region.center.as_array()
+    grid = centre + 0.9 * (uniform_grid_placement(problem.region, K) - centre)
+    deltas = []
+    for t in times:
+        reference = sample_grid(field, problem.region, 101, t=float(t))
+        values = field.sample(grid, float(t))
+        deltas.append(reconstruct_surface(reference, grid, values=values).delta)
+    return np.asarray(deltas)
+
+
+def main() -> None:
+    field = GreenOrbsLightField(seed=7, freeze_sun_at=600.0)
+    problem = build_problem(field)
+
+    delta_rec, conn_rec, force_rec = (
+        DeltaRecorder(), ConnectivityRecorder(), ForceRecorder(),
+    )
+    sim = MobileSimulation(
+        problem,
+        params=CMAParams(rc=10.0, rs=5.0, speed=1.0, dt=1.0),
+        recorders=[delta_rec, conn_rec, force_rec],
+    )
+    print(f"simulating {K} mobile nodes for {DURATION:.0f} minutes ...")
+    result = sim.run()
+
+    control = static_control(field, problem, result.times[::5])
+    print("\n   t    delta(CMA)   delta(static)   moved   |F| mean")
+    for i, record in enumerate(result.rounds):
+        if i % 5:
+            continue
+        print(f"10:{int(record.t - 600):02d}  {record.delta:>10.1f}"
+              f"  {control[i // 5]:>12.1f}  {record.n_moved:>6d}"
+              f"  {record.mean_force:>8.2f}")
+
+    conv = result.converged_after(0.1)
+    print(f"\nalways connected: {result.always_connected}")
+    print(f"movement converged at: "
+          f"{'10:%02d' % int(conv - 600) if conv is not None else 'n/a'}")
+    print(f"delta: start {result.deltas[0]:.0f} -> best "
+          f"{result.deltas.min():.0f} (static control ends at "
+          f"{control[-1]:.0f})")
+
+    print("\nfinal topology (birdview):")
+    print(render_topology(result.final_positions, problem.region, rc=10.0,
+                          width=60, height=20))
+    print(render_series(list(result.times), list(result.deltas),
+                        label="delta_CMA(t)"))
+
+    # Extension: sample the field while driving (paper Section 7).
+    traced = MobileSimulation(
+        build_problem(field), trace_sampler=TraceSampler(samples_per_move=3)
+    ).run()
+    gain = 1.0 - traced.deltas.mean() / result.deltas.mean()
+    print(f"\nwith trace sampling (3 samples/move): mean delta improves "
+          f"{100 * gain:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

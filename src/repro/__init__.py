@@ -1,0 +1,47 @@
+"""repro — spatio-temporal distribution of CPS nodes for environment abstraction.
+
+A from-scratch, laptop-scale reproduction of Kong, Jiang & Wu,
+"Optimizing the Spatio-Temporal Distribution of Cyber-Physical Systems for
+Environment Abstraction", ICDCS 2010.
+
+The library answers two questions about a budget of ``k`` sensing nodes in
+a square region:
+
+* **OSD** — where should *stationary* nodes go, given historical data, so
+  the Delaunay-reconstructed surface best matches reality while the radio
+  graph stays connected? Solved by the Foresighted Refinement Algorithm
+  (:func:`repro.core.fra.foresighted_refinement`).
+* **OSTD** — how should *mobile* nodes move, with only Rs-disk sensing and
+  single-hop gossip, to track a time-varying field? Solved by the
+  Coordinated Movement Algorithm
+  (:mod:`repro.core.cma` + :class:`repro.sim.engine.MobileSimulation`).
+
+Quickstart::
+
+    import repro
+
+    field = repro.fields.GreenOrbsLightField(seed=7)
+    reference = repro.fields.sample_grid(field, field.region, 101, t=600.0)
+    result = repro.core.fra.solve_osd(
+        repro.core.OSDProblem(k=100, rc=10.0, reference=reference)
+    )
+    print(result.delta, result.connected)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure.
+"""
+
+from repro import core, fields, geometry, graphs, sim, surfaces, viz
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "fields",
+    "geometry",
+    "graphs",
+    "sim",
+    "surfaces",
+    "viz",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""Local search / simulated annealing over continuous node positions.
+
+FRA is grid-locked: it selects vertices from the raster the local-error
+array lives on. Nothing in the OSD problem requires that — positions are
+continuous — so a natural question the paper leaves open is how much a
+continuous refinement on top of FRA buys. This module answers it with a
+connectivity-preserving annealed local search:
+
+* propose: jitter one node by a Gaussian step (annealed scale);
+* reject any proposal whose unit-disk graph is disconnected (the η(ω)
+  filter from the NP-hardness proof, applied as a hard constraint);
+* accept improvements always, regressions with Metropolis probability.
+
+Each evaluation is a full Delaunay reconstruction, so this is the most
+expensive optimiser in the repo — use it to polish, not to search from
+scratch (the ``ablation_localsearch`` experiment quantifies both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.fields.base import GridSample
+from repro.fields.grid import GridField
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+@dataclass
+class LocalSearchResult:
+    """Outcome of :func:`local_search_osd`."""
+
+    positions: np.ndarray
+    delta: float
+    initial_delta: float
+    n_evaluations: int
+    n_accepted: int
+    #: (evaluation index, best-so-far δ) pairs, sparsely recorded.
+    history: List[Tuple[int, float]] = dataclass_field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional δ reduction achieved over the initial layout."""
+        if self.initial_delta == 0:
+            return 0.0
+        return 1.0 - self.delta / self.initial_delta
+
+
+def local_search_osd(
+    reference: GridSample,
+    positions: np.ndarray,
+    rc: float,
+    iterations: int = 200,
+    initial_step: float = 3.0,
+    final_step: float = 0.5,
+    temperature: float = 0.0,
+    seed: int = 0,
+    fixed_positions: Optional[np.ndarray] = None,
+) -> LocalSearchResult:
+    """Polish a connected layout by annealed single-node moves.
+
+    Parameters
+    ----------
+    reference:
+        The referential surface δ is scored against.
+    positions:
+        Starting layout — must be connected at radius ``rc`` (raises
+        otherwise; start from FRA or a grid).
+    rc:
+        Communication radius for the hard connectivity constraint.
+    iterations:
+        Proposal count. Each one costs a full reconstruction.
+    initial_step / final_step:
+        Gaussian proposal scale, geometrically annealed between the two.
+    temperature:
+        Metropolis temperature in δ units; 0 gives pure hill-climbing.
+        Annealed to 0 linearly over the run.
+    seed:
+        Proposal RNG seed (the search is deterministic given it).
+    fixed_positions:
+        Extra sample positions included in every reconstruction but never
+        moved and exempt from the connectivity check — FRA's virtual
+        corner anchors.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if initial_step <= 0 or final_step <= 0:
+        raise ValueError("step scales must be positive")
+    pts = np.asarray(positions, dtype=float).reshape(-1, 2).copy()
+    if len(pts) == 0:
+        raise ValueError("cannot search over an empty layout")
+    if not is_connected(unit_disk_graph(pts, rc)):
+        raise ValueError("initial layout must be connected at radius rc")
+
+    region = reference.region
+    grid_field = GridField(reference)
+    rng = np.random.default_rng(seed)
+    anchors = (
+        np.asarray(fixed_positions, dtype=float).reshape(-1, 2)
+        if fixed_positions is not None
+        else np.empty((0, 2))
+    )
+
+    def score(layout: np.ndarray) -> float:
+        full = np.vstack([layout, anchors]) if len(anchors) else layout
+        return reconstruct_surface(
+            reference, full, values=grid_field.sample(full)
+        ).delta
+
+    current_delta = score(pts)
+    initial_delta = current_delta
+    best = pts.copy()
+    best_delta = current_delta
+    n_accepted = 0
+    history: List[Tuple[int, float]] = [(0, best_delta)]
+    decay = (final_step / initial_step) ** (1.0 / max(iterations - 1, 1))
+
+    step = initial_step
+    for it in range(iterations):
+        idx = int(rng.integers(0, len(pts)))
+        proposal = pts.copy()
+        proposal[idx] = region.clamp(
+            proposal[idx] + rng.normal(0.0, step, size=2)
+        ).as_array()
+        if not is_connected(unit_disk_graph(proposal, rc)):
+            step *= decay
+            continue
+        delta = score(proposal)
+        temp = temperature * (1.0 - it / iterations)
+        accept = delta < current_delta or (
+            temp > 0.0
+            and rng.random() < float(np.exp(-(delta - current_delta) / temp))
+        )
+        if accept:
+            pts = proposal
+            current_delta = delta
+            n_accepted += 1
+            if delta < best_delta:
+                best = proposal.copy()
+                best_delta = delta
+                history.append((it + 1, best_delta))
+        step *= decay
+
+    return LocalSearchResult(
+        positions=best,
+        delta=best_delta,
+        initial_delta=initial_delta,
+        n_evaluations=iterations,
+        n_accepted=n_accepted,
+        history=history,
+    )

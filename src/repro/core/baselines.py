@@ -1,0 +1,97 @@
+"""Placement baselines the paper compares against.
+
+* **Random deployment** — "in WSN study, the random deployment of nodes is
+  a widely used method" (Section 6.2); the Fig. 7 comparison curve.
+* **Uniform grid** — the Fig. 3(b) layout and the initial state of the
+  mobile experiments (Fig. 8(a)).
+* **Greedy refinement without connectivity** — FRA minus the foresight
+  step; quantifies what the connectivity constraint costs (ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fra import FRAConfig, SelectionCriterion, foresighted_refinement
+from repro.fields.base import GridSample
+from repro.geometry.primitives import BoundingBox
+
+
+def random_placement(
+    region: BoundingBox,
+    k: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """``k`` positions i.i.d. uniform over the region (the paper's baseline)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(region.xmin, region.xmax, size=k)
+    ys = rng.uniform(region.ymin, region.ymax, size=k)
+    return np.column_stack([xs, ys])
+
+
+def uniform_grid_placement(region: BoundingBox, k: int) -> np.ndarray:
+    """``k`` positions on a near-square centred lattice (Fig. 3(b) / Fig. 8(a)).
+
+    Uses the most-square ``rows x cols`` factorisation with
+    ``rows·cols >= k`` and returns the first ``k`` lattice points in
+    row-major order. For perfect squares (16, 100, ...) this is the classic
+    ``√k x √k`` grid with half-cell margins.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    cols = int(math.ceil(math.sqrt(k)))
+    rows = int(math.ceil(k / cols))
+    positions = []
+    for r in range(rows):
+        for c in range(cols):
+            if len(positions) == k:
+                break
+            x = region.xmin + (c + 0.5) * region.width / cols
+            y = region.ymin + (r + 0.5) * region.height / rows
+            positions.append((x, y))
+    return np.asarray(positions, dtype=float)
+
+
+def greedy_refinement_placement(
+    reference: GridSample,
+    k: int,
+    criterion: SelectionCriterion = SelectionCriterion.LOCAL_ERROR,
+    seed: int = 0,
+) -> np.ndarray:
+    """Pure refinement with NO connectivity foresight (ablation baseline).
+
+    Implemented as FRA with an effectively infinite communication radius,
+    so the foresight step never fires and every node chases the selection
+    criterion.
+    """
+    huge_rc = 10.0 * max(reference.region.width, reference.region.height) + 1.0
+    result = foresighted_refinement(
+        reference,
+        k,
+        rc=huge_rc,
+        config=FRAConfig(selection=criterion, seed=seed),
+    )
+    return result.positions
+
+
+def perturbed_grid_placement(
+    region: BoundingBox,
+    k: int,
+    jitter: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Uniform grid with i.i.d. jitter — a realistic hand-deployment model."""
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    rng = np.random.default_rng(seed)
+    grid = uniform_grid_placement(region, k)
+    noise = rng.uniform(-jitter, jitter, size=grid.shape)
+    jittered = grid + noise
+    jittered[:, 0] = np.clip(jittered[:, 0], region.xmin, region.xmax)
+    jittered[:, 1] = np.clip(jittered[:, 1], region.ymin, region.ymax)
+    return jittered

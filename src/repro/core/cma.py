@@ -1,0 +1,221 @@
+"""The Coordinated Movement Algorithm — per-node planning (paper Table 2).
+
+CMA is fully distributed: each round a node (lines 2–12 of the pseudocode)
+
+1. senses the ``m`` positions within ``Rs`` and estimates curvature,
+2. exchanges ``(x, y, G)`` with single-hop neighbours,
+3. computes the virtual forces F1/F2/Fr and the resultant ``Fs``,
+4. stops if balanced, otherwise announces its destination (``tell``) and
+   moves, and
+5. (lines 19–21) reacts to neighbours' ``tell`` messages with the Local
+   Connectivity Mechanism.
+
+This module implements the *decision* logic as pure functions over local
+observations — no global state, no field access — so the same code runs
+under the simulation engine (:mod:`repro.sim.engine`) and in unit tests
+with hand-built observations. Time complexity per node is O(m + q) as in
+Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.forces import ForceBreakdown, VirtualForceParams, resultant_force
+from repro.geometry.primitives import BoundingBox
+from repro.surfaces.quadric import QuadricFitMode, fit_quadric
+
+
+@dataclass(frozen=True)
+class CMAParams:
+    """All tunables of the per-node controller.
+
+    Defaults follow the paper's evaluation: ``Rc = 10 m``, ``Rs = 5 m``,
+    ``β = 2``, speed ``v = 1 m/min``, 1-minute rounds.
+    """
+
+    rc: float = 10.0
+    rs: float = 5.0
+    beta: float = 2.0
+    speed: float = 1.0
+    dt: float = 1.0
+    #: How the on-node quadric (Eqn. 11) is fitted; see QuadricFitMode.
+    quadric_mode: QuadricFitMode = QuadricFitMode.CENTERED
+    #: Use signed Gaussian curvature as the force weight (paper-literal)
+    #: instead of |G| (DESIGN.md §6.5).
+    signed_curvature: bool = False
+    #: |Fs| below which the node declares balance and stays put.
+    stop_threshold: float = 0.2
+    #: Scale from |Fs| to metres. Acts as the gradient-descent step size of
+    #: the force system; the repulsion force gradient is ~β·q per metre, so
+    #: stability needs step_gain ≲ 2/(β·q) — 0.1 is safe for the paper's
+    #: β = 2 and grid layouts (q ≈ 4–8 neighbours).
+    step_gain: float = 0.05
+    #: Normalise curvature weights by the node's locally sensed mean |G|
+    #: (dimensionless "how interesting is this spot relative to what I can
+    #: see"). The paper implicitly assumes curvature and distance are of
+    #: comparable magnitude; raw Gaussian curvature of a KLux-over-metres
+    #: surface is ~1e-3 and would be drowned out by the repulsion term.
+    #: (the scale itself is a one-shot deployment-time calibration).
+    normalize_curvature: bool = True
+    #: Upper bound on a normalised curvature weight.
+    curvature_weight_cap: float = 3.0
+    #: Soft threshold on normalised weights (units of the calibration
+    #: scale): ``w = clip(|G|/scale − threshold, 0, cap)``. Curvature at or
+    #: below the fleet-average level — background texture — contributes
+    #: exactly zero force, so nodes in featureless areas hold position (the
+    #: paper's "nodes barely move"); only genuinely curved spots attract.
+    curvature_threshold: float = 1.0
+    #: Weight of the border-anchoring force (CWD requirement #2).
+    border_gain: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.step_gain <= 0:
+            raise ValueError(f"step_gain must be positive, got {self.step_gain}")
+        # Delegate rc/rs/beta validation to the force params.
+        self.force_params()
+
+    def force_params(self) -> VirtualForceParams:
+        return VirtualForceParams(
+            rc=self.rc, rs=self.rs, beta=self.beta,
+            stop_threshold=self.stop_threshold,
+            border_gain=self.border_gain,
+        )
+
+    @property
+    def max_step(self) -> float:
+        """Distance a node may cover in one round: min(v·dt, Rs)."""
+        return min(self.speed * self.dt, self.rs)
+
+
+@dataclass(frozen=True)
+class LocalSensing:
+    """What one node sensed inside its ``Rs`` disk this round.
+
+    ``positions``/``values`` are the ``m`` sensed samples (Table 2's
+    ``M[m][3]``); ``curvatures`` are locally estimated curvature weights at
+    those positions (Table 2's ``MdG``), produced by the sensing model.
+    """
+
+    positions: np.ndarray
+    values: np.ndarray
+    curvatures: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.positions) == len(self.values) == len(self.curvatures)
+        ):
+            raise ValueError("sensing arrays must have equal length")
+
+    @property
+    def m(self) -> int:
+        return len(self.positions)
+
+    def peak(self) -> tuple:
+        """``pc``: the sensed position of maximum curvature weight."""
+        if self.m == 0:
+            return None, 0.0
+        idx = int(np.argmax(self.curvatures))
+        return self.positions[idx], float(self.curvatures[idx])
+
+
+@dataclass(frozen=True)
+class NeighborObservation:
+    """One ``Rx`` record: a single-hop neighbour's id, position, curvature."""
+
+    node_id: int
+    position: np.ndarray
+    curvature: float
+
+
+@dataclass
+class CMAPlan:
+    """One node's decision for the round (its ``tell`` content + bookkeeping)."""
+
+    node_id: int
+    origin: np.ndarray
+    destination: np.ndarray
+    breakdown: Optional[ForceBreakdown]
+    own_curvature: float
+    #: Neighbour table the node announces with its tell() (positions).
+    neighbor_table: List[NeighborObservation] = field(default_factory=list)
+
+    @property
+    def moved(self) -> bool:
+        return bool(np.linalg.norm(self.destination - self.origin) > 0.0)
+
+
+def estimate_own_curvature(
+    sensing: LocalSensing,
+    position: np.ndarray,
+    params: CMAParams,
+) -> float:
+    """``G(n'_i)`` via the least-squares quadric of Eqns. 11–13.
+
+    Falls back to zero curvature when too few samples were sensed to fit
+    (a node pressed into a region corner can see < 6 grid cells).
+    """
+    needed = 3 if params.quadric_mode is QuadricFitMode.PAPER else 6
+    if sensing.m < needed:
+        return 0.0
+    fit = fit_quadric(
+        sensing.positions,
+        sensing.values,
+        center=(float(position[0]), float(position[1])),
+        mode=params.quadric_mode,
+    )
+    g = fit.gaussian_curvature()
+    return g if params.signed_curvature else abs(g)
+
+
+def plan_move(
+    node_id: int,
+    position: np.ndarray,
+    sensing: LocalSensing,
+    neighbors: Sequence[NeighborObservation],
+    params: CMAParams,
+    region: BoundingBox,
+) -> CMAPlan:
+    """Lines 6–18 of Table 2: forces, balance test, destination choice.
+
+    The destination is along ``Fs``, at most ``min(v·dt, Rs)`` away
+    (DESIGN.md §6.7), clamped into the region.
+    """
+    pos = np.asarray(position, dtype=float).reshape(2)
+    own_curvature = estimate_own_curvature(sensing, pos, params)
+
+    peak_pos, peak_curv = sensing.peak()
+    nbr_pos = (
+        np.asarray([n.position for n in neighbors], dtype=float).reshape(-1, 2)
+        if neighbors
+        else np.empty((0, 2))
+    )
+    nbr_curv = np.asarray([n.curvature for n in neighbors], dtype=float)
+
+    breakdown = resultant_force(
+        pos, peak_pos, peak_curv, nbr_pos, nbr_curv, params.force_params(),
+        region=region,
+    )
+    magnitude = breakdown.magnitude
+    if magnitude <= params.stop_threshold:
+        destination = pos.copy()
+    else:
+        direction = breakdown.fs / magnitude
+        step = min(params.max_step, params.step_gain * magnitude)
+        destination = region.clamp(pos + direction * step).as_array()
+
+    return CMAPlan(
+        node_id=node_id,
+        origin=pos,
+        destination=destination,
+        breakdown=breakdown,
+        own_curvature=own_curvature,
+        neighbor_table=list(neighbors),
+    )

@@ -1,0 +1,132 @@
+"""Exhaustive OSD solver for tiny instances.
+
+The paper proves OSD NP-hard (Section 4.1, by reduction from Surface
+Approximation with a polynomial connectivity filter η(ω)); FRA is a
+heuristic with no approximation guarantee. For *tiny* instances — a coarse
+candidate grid and small k — the optimum is computable by brute force:
+enumerate every k-subset of candidate positions, keep those whose
+unit-disk graph is connected (the paper's η filter), and score δ for the
+survivors.
+
+This is exactly the paper's problem statement executed literally, and it
+lets the test suite measure FRA's empirical approximation ratio against
+the true optimum — something the paper itself never reports.
+
+Complexity is C(n_candidates, k); callers must keep both small (the solver
+refuses plainly absurd sizes rather than hanging).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fields.base import GridSample
+from repro.fields.grid import GridField
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+from repro.surfaces.reconstruction import reconstruct_surface
+
+#: Refuse searches bigger than this many candidate subsets.
+MAX_COMBINATIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class ExactOSDResult:
+    """The optimum found by exhaustive search."""
+
+    positions: np.ndarray
+    delta: float
+    n_evaluated: int
+    n_connected: int
+
+
+def candidate_grid(reference: GridSample, stride: int) -> np.ndarray:
+    """Every ``stride``-th grid position as an ``(n, 2)`` candidate array."""
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    xs = reference.xs[::stride]
+    ys = reference.ys[::stride]
+    xx, yy = np.meshgrid(xs, ys)
+    return np.column_stack([xx.ravel(), yy.ravel()])
+
+
+def exhaustive_osd(
+    reference: GridSample,
+    k: int,
+    rc: float,
+    candidates: Optional[np.ndarray] = None,
+    stride: int = 2,
+) -> ExactOSDResult:
+    """Optimal k-subset of candidate positions under the connectivity filter.
+
+    Parameters
+    ----------
+    reference:
+        The referential surface (δ is scored on its grid).
+    k:
+        Node budget.
+    rc:
+        Communication radius for the connectivity constraint.
+    candidates:
+        Candidate positions; defaults to every ``stride``-th grid point.
+    stride:
+        Candidate-grid stride when ``candidates`` is not given.
+
+    Raises
+    ------
+    ValueError
+        If the search space exceeds :data:`MAX_COMBINATIONS`, or no
+        connected k-subset exists.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if rc <= 0:
+        raise ValueError(f"Rc must be positive, got {rc}")
+    cand = (
+        np.asarray(candidates, dtype=float).reshape(-1, 2)
+        if candidates is not None
+        else candidate_grid(reference, stride)
+    )
+    n = len(cand)
+    if n < k:
+        raise ValueError(f"only {n} candidates for k={k}")
+    n_subsets = math.comb(n, k)
+    if n_subsets > MAX_COMBINATIONS:
+        raise ValueError(
+            f"search space C({n},{k}) = {n_subsets} exceeds "
+            f"{MAX_COMBINATIONS}; use fewer candidates or smaller k"
+        )
+
+    grid_field = GridField(reference)
+    values = grid_field.sample(cand)
+
+    best_delta = math.inf
+    best: Optional[np.ndarray] = None
+    n_connected = 0
+    for combo in itertools.combinations(range(n), k):
+        subset = cand[list(combo)]
+        if k > 1 and not is_connected(unit_disk_graph(subset, rc)):
+            continue
+        n_connected += 1
+        recon = reconstruct_surface(
+            reference, subset, values=values[list(combo)]
+        )
+        if recon.delta < best_delta:
+            best_delta = recon.delta
+            best = subset
+
+    if best is None:
+        raise ValueError(
+            f"no connected {k}-subset exists among the candidates at Rc={rc}"
+        )
+    return ExactOSDResult(
+        positions=best,
+        delta=best_delta,
+        n_evaluated=n_subsets,
+        n_connected=n_connected,
+    )

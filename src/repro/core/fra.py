@@ -1,0 +1,407 @@
+"""The Foresighted Refinement Algorithm (paper Table 1).
+
+FRA solves the (NP-hard) OSD problem approximately with a coarse-to-fine
+refinement loop:
+
+1. **Init** — split the square region into two triangles by its diagonal
+   (the four corners act as virtual anchors; see DESIGN.md §6.2) and
+   compute the local-error array ``Err = |f − DT|`` on the grid.
+2. **Foresight** — count the relays ``L(G, Rc)`` needed to connect the
+   unit-disk graph over the nodes selected so far; once the remaining
+   budget ``k − i`` is no more than ``L``, stop refining and spend the rest
+   on relays placed along a Prim MST over the components (paper: "this
+   foresight step is carried out by prim algorithm").
+3. **Refine** — otherwise insert the grid position of maximum local error
+   into the Delaunay triangulation and update ``Err``.
+
+The local-error update is *incremental*: a Bowyer–Watson insertion only
+changes the surface inside the retriangulated cavity, so only grid cells
+inside the cavity's bounding box are re-evaluated. A full-recompute mode
+exists for validation (`FRAConfig.incremental=False`); tests assert both
+modes agree.
+
+Besides the paper's max-local-error criterion, the selection rule is
+pluggable (curvature / error·curvature product / random) to reproduce the
+Garland & Heckbert comparison the paper cites when justifying local error
+(Section 4.2) — see the selection ablation experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import OSDProblem, PlacementResult
+from repro.fields.base import GridSample
+from repro.fields.grid import GridField
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.interpolation import LinearSurfaceInterpolator
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.relay import count_required_relays, plan_relays
+from repro.graphs.traversal import is_connected
+from repro.surfaces.curvature import grid_gaussian_curvature
+from repro.surfaces.local_error import argmax_grid
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+class SelectionCriterion(enum.Enum):
+    """Which grid cell the refinement step inserts next."""
+
+    #: The paper's choice: maximum local error |f − DT|.
+    LOCAL_ERROR = "local_error"
+    #: Maximum |Gaussian curvature| of the reference surface (static).
+    CURVATURE = "curvature"
+    #: Garland-style product: local error × |curvature|.
+    PRODUCT = "product"
+    #: Uniformly random unselected cell (needs ``FRAConfig.seed``).
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class FRAConfig:
+    """Tunables of :func:`foresighted_refinement`."""
+
+    selection: SelectionCriterion = SelectionCriterion.LOCAL_ERROR
+    #: When true, the four region corners are real nodes consuming budget
+    #: (the alternative reading of the pseudocode; DESIGN.md §6.2).
+    corners_are_nodes: bool = False
+    #: Incremental local-error updates (fast path). False recomputes the
+    #: whole grid each step — for validation only.
+    incremental: bool = True
+    #: RNG seed for the RANDOM selection criterion.
+    seed: int = 0
+    #: Record δ after every selection (costly; for convergence studies).
+    record_history: bool = False
+    #: Divide each candidate cell's selection score by ``1 + r`` where
+    #: ``r`` is the number of relays needed to join it to the nearest
+    #: already-selected node. This extends the foresight into the pick
+    #: itself: a far-flung cell must be proportionally more valuable than a
+    #: reachable one, because committing to it also commits relay budget.
+    #: Without it, greedy max-error scatters across isolated field features
+    #: at small k and relay chains consume most of the budget (DESIGN.md
+    #: §6.4). Disable for the paper-literal pick rule.
+    cost_aware_selection: bool = True
+    #: Include the 4 corner anchors (with their *historical* values) in the
+    #: final reconstruction. FRA's triangulation always contains them, and
+    #: the OSD setting explicitly provides historical data, so the deployed
+    #: system legitimately keeps those priors in its model; without them a
+    #: small clustered deployment extrapolates flatly over most of the
+    #: region. Ignored when ``corners_are_nodes`` (they are real nodes then).
+    anchors_in_reconstruction: bool = True
+
+
+@dataclass
+class FRAResult:
+    """Output of :func:`foresighted_refinement`."""
+
+    positions: np.ndarray
+    n_refinement: int
+    n_relays: int
+    n_leftover: int
+    connected: bool
+    #: (i, delta) pairs when ``record_history`` was set.
+    history: List[Tuple[int, float]] = dataclass_field(default_factory=list)
+    #: The 4 virtual corner anchors (empty when ``corners_are_nodes``).
+    anchor_positions: np.ndarray = dataclass_field(
+        default_factory=lambda: np.empty((0, 2))
+    )
+
+    @property
+    def k(self) -> int:
+        return len(self.positions)
+
+
+class _ErrorTracker:
+    """Maintains the triangulation and the local-error grid during FRA."""
+
+    def __init__(self, reference: GridSample, incremental: bool) -> None:
+        self.reference = reference
+        self.incremental = incremental
+        self.tri = DelaunayTriangulation()
+        self.vertex_values: List[float] = []
+        self.err = np.zeros_like(reference.values)
+
+    def insert(self, x: float, y: float, z: float) -> int:
+        index = self.tri.insert((x, y))
+        if index != len(self.vertex_values):
+            raise RuntimeError("triangulation index out of sync with values")
+        self.vertex_values.append(z)
+        if self.tri.n_points >= 3 and self.tri.simplices.size:
+            if self.incremental:
+                self._update_window(index)
+            else:
+                self._recompute_all()
+        return index
+
+    def _interpolator(self, simplices: Optional[np.ndarray] = None,
+                      extrapolate: str = "clamp") -> LinearSurfaceInterpolator:
+        return LinearSurfaceInterpolator(
+            self.tri.points,
+            np.asarray(self.vertex_values, dtype=float),
+            triangulation=self.tri.simplices if simplices is None else simplices,
+            extrapolate=extrapolate,
+        )
+
+    def _recompute_all(self) -> None:
+        approx = self._interpolator().evaluate_grid(
+            self.reference.xs, self.reference.ys
+        )
+        self.err = np.abs(self.reference.values - approx)
+
+    def _update_window(self, new_index: int) -> None:
+        """Re-evaluate |f − DT| only inside the retriangulated cavity."""
+        new_tris = [t for t in self.tri.triangles if t.has_vertex(new_index)]
+        if not new_tris:
+            self._recompute_all()
+            return
+        pts = self.tri.points
+        vids = sorted({v for t in new_tris for v in t})
+        cavity = pts[vids]
+        xs, ys = self.reference.xs, self.reference.ys
+        ix0 = int(np.searchsorted(xs, cavity[:, 0].min() - 1e-9))
+        ix1 = int(np.searchsorted(xs, cavity[:, 0].max() + 1e-9))
+        iy0 = int(np.searchsorted(ys, cavity[:, 1].min() - 1e-9))
+        iy1 = int(np.searchsorted(ys, cavity[:, 1].max() + 1e-9))
+        ix0, iy0 = max(ix0 - 1, 0), max(iy0 - 1, 0)
+        ix1, iy1 = min(ix1 + 1, len(xs)), min(iy1 + 1, len(ys))
+        if ix0 >= ix1 or iy0 >= iy1:
+            return
+        window = self._interpolator(
+            simplices=np.asarray(new_tris, dtype=int), extrapolate="nan"
+        ).evaluate_grid(xs[ix0:ix1], ys[iy0:iy1])
+        inside = ~np.isnan(window)
+        ref_window = self.reference.values[iy0:iy1, ix0:ix1]
+        err_window = self.err[iy0:iy1, ix0:ix1]
+        err_window[inside] = np.abs(ref_window - window)[inside]
+
+
+def foresighted_refinement(
+    reference: GridSample,
+    k: int,
+    rc: float,
+    config: Optional[FRAConfig] = None,
+) -> FRAResult:
+    """Run FRA: place ``k`` nodes against the referential surface.
+
+    Returns the node layout plus bookkeeping (how many nodes went to
+    refinement, relays, and leftovers). ``connected`` reports whether the
+    final unit-disk graph is connected; with very small ``k`` over a large
+    region it may not be achievable, in which case the largest components
+    are joined first and the flag is False.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if rc <= 0:
+        raise ValueError(f"Rc must be positive, got {rc}")
+    cfg = config or FRAConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    tracker = _ErrorTracker(reference, incremental=cfg.incremental)
+    xs, ys = reference.xs, reference.ys
+    selected: List[Tuple[float, float]] = []
+    used = np.zeros_like(reference.values, dtype=bool)
+
+    # Virtual corner anchors (pseudocode line 1: two triangles by the
+    # diagonal). Inserting the 4 corners yields exactly that split.
+    corner_cells = [
+        (0, 0),
+        (len(xs) - 1, 0),
+        (len(xs) - 1, len(ys) - 1),
+        (0, len(ys) - 1),
+    ]
+    for ix, iy in corner_cells:
+        tracker.insert(float(xs[ix]), float(ys[iy]), reference.value_at_index(ix, iy))
+        used[iy, ix] = True
+        if cfg.corners_are_nodes:
+            selected.append((float(xs[ix]), float(ys[iy])))
+
+    budget = k - len(selected)
+    if budget < 0:
+        raise ValueError(
+            f"k={k} cannot cover the 4 corner nodes (corners_are_nodes=True)"
+        )
+
+    curvature_weight: Optional[np.ndarray] = None
+    if cfg.selection in (SelectionCriterion.CURVATURE, SelectionCriterion.PRODUCT):
+        curvature_weight = np.abs(grid_gaussian_curvature(reference))
+
+    history: List[Tuple[int, float]] = []
+    n_relays = 0
+    n_leftover = 0
+    relay_positions: List[Tuple[float, float]] = []
+
+    # Mask of grid cells within Rc of some already-selected node — the
+    # "affordable without extra relays" fallback candidates.
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    reachable = np.zeros_like(used)
+
+    def mark_reachable(x: float, y: float) -> None:
+        window = (grid_x - x) ** 2 + (grid_y - y) ** 2 <= rc * rc
+        np.logical_or(reachable, window, out=reachable)
+
+    def commit(ix: int, iy: int) -> None:
+        x, y = float(xs[ix]), float(ys[iy])
+        tracker.insert(x, y, reference.value_at_index(ix, iy))
+        used[iy, ix] = True
+        selected.append((x, y))
+        mark_reachable(x, y)
+        if cfg.record_history:
+            current = np.asarray(selected, dtype=float)
+            rec = reconstruct_surface(
+                reference, current, values=_grid_values(reference, current)
+            )
+            history.append((len(selected), rec.delta))
+
+    def relays_after(candidate: Optional[Tuple[float, float]]) -> int:
+        pts = list(selected)
+        if candidate is not None:
+            pts = pts + [candidate]
+        arr = np.asarray(pts, dtype=float).reshape(-1, 2)
+        if len(arr) < 2:
+            return 0
+        return count_required_relays(arr, rc)
+
+    while budget > 0:
+        required_now = relays_after(None)
+        if budget <= required_now:
+            break
+
+        score = _selection_score(tracker.err, curvature_weight, cfg.selection, rng)
+        if cfg.cost_aware_selection and selected:
+            score = score / (1.0 + _relay_cost_grid(grid_x, grid_y, selected, rc))
+        ix, iy = argmax_grid(score, exclude=used)
+        x, y = float(xs[ix]), float(ys[iy])
+        if relays_after((x, y)) <= budget - 1:
+            commit(ix, iy)
+            budget -= 1
+            continue
+
+        # Foresight veto: the best cell is unaffordable. Fall back to the
+        # best cell already within radio reach of the network (joining an
+        # existing component never increases the relay requirement).
+        fallback_exclude = used | ~reachable
+        if selected and not fallback_exclude.all():
+            fx, fy = argmax_grid(score, exclude=fallback_exclude)
+            cand = (float(xs[fx]), float(ys[fy]))
+            if relays_after(cand) <= budget - 1:
+                commit(fx, fy)
+                budget -= 1
+                continue
+        break
+
+    # Spend whatever remains on relays joining the components.
+    pts = np.asarray(selected, dtype=float).reshape(-1, 2)
+    if budget > 0 and len(pts) >= 2:
+        plan = plan_relays(pts, rc, budget=budget)
+        for rx, ry in plan.positions:
+            relay_positions.append((float(rx), float(ry)))
+            mark_reachable(float(rx), float(ry))
+        n_relays = len(plan.positions)
+        budget -= n_relays
+
+    # Leftover budget (rare: the relay plan could not consume everything,
+    # or no relays were needed at the veto point): grow the network with
+    # in-reach refinement cells so connectivity is preserved.
+    while budget > 0:
+        score = _selection_score(tracker.err, curvature_weight, cfg.selection, rng)
+        exclude = used | ~reachable if selected else used
+        if exclude.all():
+            exclude = used
+        ix, iy = argmax_grid(score, exclude=exclude)
+        commit(ix, iy)
+        budget -= 1
+        n_leftover += 1
+
+    positions = np.asarray(selected + relay_positions, dtype=float).reshape(-1, 2)
+    connected = is_connected(unit_disk_graph(positions, rc))
+    anchors = (
+        np.empty((0, 2))
+        if cfg.corners_are_nodes
+        else np.asarray(
+            [(float(xs[ix]), float(ys[iy])) for ix, iy in corner_cells], dtype=float
+        )
+    )
+    return FRAResult(
+        positions=positions,
+        n_refinement=len(selected) - (4 if cfg.corners_are_nodes else 0) - n_leftover,
+        n_relays=n_relays,
+        n_leftover=n_leftover,
+        connected=connected,
+        history=history,
+        anchor_positions=anchors,
+    )
+
+
+def _relay_cost_grid(
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    selected: List[Tuple[float, float]],
+    rc: float,
+) -> np.ndarray:
+    """Relays needed to join each grid cell to its nearest selected node.
+
+    An O(cells) lower bound of the true relay increment (joining the
+    nearest node may not be optimal, but is never cheaper than this).
+    """
+    pts = np.asarray(selected, dtype=float).reshape(-1, 2)
+    d2 = np.full(grid_x.shape, np.inf)
+    for x, y in pts:
+        d2 = np.minimum(d2, (grid_x - x) ** 2 + (grid_y - y) ** 2)
+    dmin = np.sqrt(d2)
+    return np.maximum(np.ceil(dmin / rc - 1e-9) - 1.0, 0.0)
+
+
+def _selection_score(
+    err: np.ndarray,
+    curvature: Optional[np.ndarray],
+    criterion: SelectionCriterion,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if criterion is SelectionCriterion.LOCAL_ERROR:
+        return err
+    if criterion is SelectionCriterion.CURVATURE:
+        assert curvature is not None
+        return curvature
+    if criterion is SelectionCriterion.PRODUCT:
+        assert curvature is not None
+        return err * curvature
+    if criterion is SelectionCriterion.RANDOM:
+        return rng.random(err.shape)
+    raise ValueError(f"unknown selection criterion: {criterion}")
+
+
+def _grid_values(reference: GridSample, positions: np.ndarray) -> np.ndarray:
+    """Sample the reference surface at (possibly off-grid) positions."""
+    return GridField(reference).sample(positions)
+
+
+def solve_osd(problem: OSDProblem, config: Optional[FRAConfig] = None) -> PlacementResult:
+    """Solve an :class:`OSDProblem` with FRA and evaluate the layout."""
+    cfg = config or FRAConfig()
+    result = foresighted_refinement(
+        problem.reference, problem.k, problem.rc, config=cfg
+    )
+    recon_points = result.positions
+    if cfg.anchors_in_reconstruction and len(result.anchor_positions):
+        recon_points = np.vstack([result.positions, result.anchor_positions])
+    reconstruction = reconstruct_surface(
+        problem.reference,
+        recon_points,
+        values=_grid_values(problem.reference, recon_points),
+    )
+    return PlacementResult(
+        positions=result.positions,
+        rc=problem.rc,
+        reconstruction=reconstruction,
+        meta={
+            "algorithm": "fra",
+            "n_refinement": result.n_refinement,
+            "n_relays": result.n_relays,
+            "n_leftover": result.n_leftover,
+            "connected": result.connected,
+            "history": result.history,
+        },
+    )

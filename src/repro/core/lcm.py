@@ -1,0 +1,91 @@
+"""The Local Connectivity Mechanism (paper Section 5.2, Fig. 4).
+
+When a node moves, each of its *former* single-hop neighbours must remain
+linked to it — directly, or through another of the mover's former
+neighbours. A neighbour that would be stranded follows the mover, stopping
+on the ``Rc`` circle around the mover's destination (the paper's n5 in
+Fig. 4 "moves with n1 together and keeps d(n1, n5) = Rc").
+
+The decision is purely local: it uses only the mover's ``tell`` message
+(its destination ``nd`` and its neighbour table ``N``) plus the deciding
+node's own position — exactly the information CMA lines 19–21 consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LCMDecision:
+    """Outcome of one LCM check.
+
+    ``must_move`` — whether the deciding node has to follow the mover;
+    ``target`` — where to go if so (on the mover's ``Rc`` circle), else
+    ``None``; ``relayed_by`` — index (into the mover's neighbour table) of
+    the bridging neighbour when the link survives indirectly, else ``None``.
+    """
+
+    must_move: bool
+    target: Optional[np.ndarray]
+    relayed_by: Optional[int]
+
+
+def lcm_adjustment(
+    own_position: np.ndarray,
+    mover_destination: np.ndarray,
+    mover_neighbor_positions: Sequence[np.ndarray],
+    rc: float,
+    own_index_in_table: Optional[int] = None,
+) -> LCMDecision:
+    """Decide whether a former neighbour must follow a moved node.
+
+    Parameters
+    ----------
+    own_position:
+        Position of the deciding node (a former single-hop neighbour of
+        the mover).
+    mover_destination:
+        The mover's announced destination ``nd``.
+    mover_neighbor_positions:
+        The mover's announced neighbour table ``N[q]`` (positions). May
+        include the deciding node itself; pass ``own_index_in_table`` to
+        skip that entry (a node cannot bridge through itself).
+    rc:
+        Communication radius.
+    """
+    if rc <= 0:
+        raise ValueError(f"Rc must be positive, got {rc}")
+    own = np.asarray(own_position, dtype=float).reshape(2)
+    dest = np.asarray(mover_destination, dtype=float).reshape(2)
+
+    # Direct link survives.
+    if np.linalg.norm(own - dest) <= rc:
+        return LCMDecision(must_move=False, target=None, relayed_by=None)
+
+    # Bridged through another former neighbour of the mover: that bridge
+    # must hear both the deciding node and the mover's destination.
+    for idx, nbr in enumerate(mover_neighbor_positions):
+        if own_index_in_table is not None and idx == own_index_in_table:
+            continue
+        bridge = np.asarray(nbr, dtype=float).reshape(2)
+        if (
+            np.linalg.norm(own - bridge) <= rc
+            and np.linalg.norm(bridge - dest) <= rc
+        ):
+            return LCMDecision(must_move=False, target=None, relayed_by=idx)
+
+    # Stranded: follow the mover onto its Rc circle, approaching along the
+    # current line of sight (minimal displacement).
+    direction = own - dest
+    norm = float(np.linalg.norm(direction))
+    if norm == 0.0:
+        # Degenerate: the node sits exactly on the destination; any point of
+        # the circle works — pick +x deterministically.
+        target = dest + np.array([rc, 0.0])
+    else:
+        target = dest + direction / norm * rc
+    return LCMDecision(must_move=True, target=target, relayed_by=None)

@@ -1,0 +1,121 @@
+"""Problem statements: OSD (Definition 3.1) and OSTD (Definition 3.2).
+
+These are plain value types so experiment configurations are explicit,
+validated and serialisable-by-inspection. Solvers take a problem instance
+and return a :class:`PlacementResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.fields.base import DynamicField, GridSample
+from repro.geometry.primitives import BoundingBox
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+from repro.surfaces.reconstruction import Reconstruction
+
+
+@dataclass(frozen=True)
+class OSDProblem:
+    """Optimal Spatial Distribution (stationary nodes, known reference).
+
+    Inputs per Definition 3.1: node budget ``k``, the referential surface
+    ``z = f(x, y)`` given as historical grid data, the communication radius
+    ``Rc`` and the region ``A``. Objective: place ``k`` nodes minimising δ
+    subject to the unit-disk graph being connected.
+    """
+
+    k: int
+    rc: float
+    reference: GridSample
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.rc <= 0:
+            raise ValueError(f"Rc must be positive, got {self.rc}")
+
+    @property
+    def region(self) -> BoundingBox:
+        return self.reference.region
+
+
+@dataclass(frozen=True)
+class OSTDProblem:
+    """Optimal Spatio-Temporal Distribution (mobile nodes, unknown field).
+
+    Inputs per Definition 3.2: budget ``k``, radii ``Rc`` and ``Rs``, the
+    region ``A``; additionally the simulation needs the (hidden) environment
+    ``field``, the node speed cap ``v`` (m/min), the start time ``t0`` and
+    the duration of interest ``T`` in minutes. The field is *not* visible to
+    the nodes — only the simulation oracle samples it within each node's
+    sensing disk.
+    """
+
+    k: int
+    rc: float
+    rs: float
+    region: BoundingBox
+    field: DynamicField
+    speed: float = 1.0
+    t0: float = 600.0
+    duration: float = 45.0
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.rc <= 0:
+            raise ValueError(f"Rc must be positive, got {self.rc}")
+        if self.rs <= 0:
+            raise ValueError(f"Rs must be positive, got {self.rs}")
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of simulation rounds covering the duration of interest."""
+        return int(round(self.duration / self.dt))
+
+
+@dataclass
+class PlacementResult:
+    """A solved node distribution and its evaluation.
+
+    ``positions`` is the full ``(k, 2)`` layout; ``reconstruction`` scores it
+    against the reference surface; ``connected`` reports the unit-disk graph
+    connectivity constraint; ``meta`` carries solver-specific diagnostics
+    (refinement counts, relay counts, iteration history, ...).
+    """
+
+    positions: np.ndarray
+    rc: float
+    reconstruction: Optional[Reconstruction] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float).reshape(-1, 2)
+
+    @property
+    def k(self) -> int:
+        return len(self.positions)
+
+    @property
+    def connected(self) -> bool:
+        """Whether the unit-disk graph over the positions is connected."""
+        return is_connected(unit_disk_graph(self.positions, self.rc))
+
+    @property
+    def delta(self) -> float:
+        """δ of the reconstruction; raises if not evaluated."""
+        if self.reconstruction is None:
+            raise ValueError("placement has not been evaluated against a reference")
+        return self.reconstruction.delta

@@ -1,0 +1,58 @@
+"""Experiment harness: one module per paper figure, plus ablations.
+
+Every evaluation artefact of the paper maps to a registered experiment
+(see DESIGN.md §4 for the index). Run them via::
+
+    repro-exp list
+    repro-exp run fig7
+    repro-exp run fig7 --fast      # scaled-down parameters
+    repro-exp all --fast
+
+or programmatically through :func:`repro.experiments.harness.run_experiment`.
+
+Each experiment returns an :class:`~repro.experiments.registry.ExperimentResult`
+whose rows are the series the paper plots; EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    experiment,
+    get_experiment,
+)
+from repro.experiments.harness import format_result, run_experiment
+
+# Importing the experiment modules registers them.
+from repro.experiments import (  # noqa: F401  (registration side effect)
+    ablation_beta,
+    ablation_connectivity,
+    ablation_exact,
+    ablation_interpolation,
+    ablation_localsearch,
+    ablation_rs,
+    ablation_seeds,
+    ablation_selection,
+    ext_centralized,
+    ext_energy,
+    ext_failures,
+    ext_nonconvex,
+    ext_sensor_noise,
+    ext_trace_sampling,
+    fig1_reference,
+    fig2_refinement_step,
+    fig3_cwd_vs_uniform,
+    fig4_lcm_scenario,
+    fig56_fra_surfaces,
+    fig7_delta_vs_k,
+    fig8910_cma_run,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "experiment",
+    "format_result",
+    "get_experiment",
+    "run_experiment",
+]

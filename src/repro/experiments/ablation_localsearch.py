@@ -1,0 +1,93 @@
+"""Ablation — continuous local search on top of FRA.
+
+FRA picks vertices off the evaluation raster; the OSD problem allows
+continuous positions. How much does grid-locking cost? We polish the FRA
+layout with the connectivity-preserving annealed local search and compare
+against polishing a random connected start, isolating (a) the value of
+continuous refinement and (b) the value of FRA as an initialiser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.anneal import local_search_osd
+from repro.core.fra import foresighted_refinement
+from repro.sim.engine import default_grid_layout
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.fields.grid import GridField
+from repro.surfaces.reconstruction import reconstruct_surface
+
+K = 50
+
+
+@experiment(
+    "ablation_localsearch",
+    "Continuous local search on top of FRA",
+    "OSD is continuous; FRA is raster-locked (implementation gap)",
+)
+def run(fast: bool = False) -> ExperimentResult:
+    # Deliberately reduced scale: every proposal re-runs the full
+    # reconstruction, making this the most compute-hungry ablation.
+    reference = config.reference_surface(fast=True)
+    grid_field = GridField(reference)
+    iterations = 60 if fast else 250
+
+    fra = foresighted_refinement(reference, K, config.RC)
+    fra_layout = np.vstack([fra.positions, fra.anchor_positions])
+    fra_delta = reconstruct_surface(
+        reference, fra_layout, values=grid_field.sample(fra_layout)
+    ).delta
+
+    # Only the k real nodes move and must stay connected; the corner
+    # anchors are fixed reconstruction priors (DESIGN.md §6.2).
+    polished = local_search_osd(
+        reference, fra.positions, config.RC, iterations=iterations, seed=1,
+        fixed_positions=fra.anchor_positions,
+    )
+
+    # Connectivity-aware grid start (plain lattice spacing exceeds Rc here).
+    grid_start = default_grid_layout(reference.region, K + 4, config.RC)
+    grid_delta = reconstruct_surface(
+        reference, grid_start, values=grid_field.sample(grid_start)
+    ).delta
+    grid_polished = local_search_osd(
+        reference, grid_start, config.RC, iterations=iterations, seed=1
+    )
+
+    rows = [
+        {
+            "start": "FRA", "polish": "none",
+            "delta": round(fra_delta, 1), "accepted_moves": 0,
+        },
+        {
+            "start": "FRA", "polish": f"{iterations} local-search steps",
+            "delta": round(polished.delta, 1),
+            "accepted_moves": polished.n_accepted,
+        },
+        {
+            "start": "uniform grid", "polish": "none",
+            "delta": round(grid_delta, 1), "accepted_moves": 0,
+        },
+        {
+            "start": "uniform grid", "polish": f"{iterations} local-search steps",
+            "delta": round(grid_polished.delta, 1),
+            "accepted_moves": grid_polished.n_accepted,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_localsearch",
+        title=f"Local-search polish, k = {K} (+4 anchors where applicable)",
+        columns=("start", "polish", "delta", "accepted_moves"),
+        rows=rows,
+        notes=[
+            "Not in the paper: FRA's raster-locking is an implementation "
+            "artefact, not part of the problem.",
+            f"Measured: polishing FRA buys {100 * polished.improvement:.1f}% "
+            "additional delta; the same budget from a uniform-grid start "
+            f"buys {100 * grid_polished.improvement:.1f}% but ends at "
+            f"{grid_polished.delta / polished.delta:.2f}x the polished-FRA "
+            "delta — good initialisation dominates the polish.",
+        ],
+    )

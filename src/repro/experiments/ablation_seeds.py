@@ -1,0 +1,105 @@
+"""Ablation — are the headline conclusions seed-robust?
+
+Every figure runs on one synthetic field (seed 7). This ablation re-runs
+the two headline comparisons on several independently drawn fields and
+reports the spread:
+
+* FRA vs random deployment at k = 100 (the Fig. 7 headline), and
+* CMA's converged δ vs FRA and vs the static grid (the Fig. 10 headline).
+
+If a conclusion held only on the canonical seed, it would show up here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import random_placement
+from repro.core.fra import solve_osd
+from repro.core.problem import OSDProblem, OSTDProblem
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.fields.base import sample_grid
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.fields.grid import GridField
+from repro.sim.engine import MobileSimulation
+from repro.surfaces.reconstruction import reconstruct_surface
+
+K = 100
+
+
+@experiment(
+    "ablation_seeds",
+    "Seed-robustness of the headline comparisons",
+    "methodology check (not in paper)",
+)
+def run(fast: bool = False) -> ExperimentResult:
+    sc = config.scale(fast)
+    seeds = (7, 21) if fast else (7, 21, 42, 1013)
+    rows = []
+    for seed in seeds:
+        field = GreenOrbsLightField(seed=seed, freeze_sun_at=config.T_REFERENCE)
+        reference = sample_grid(
+            field, field.region, sc.resolution, t=config.T_REFERENCE
+        )
+        grid_field = GridField(reference)
+
+        fra = solve_osd(OSDProblem(k=K, rc=config.RC, reference=reference))
+        random_deltas = []
+        for rseed in range(sc.n_random_seeds):
+            pts = random_placement(reference.region, K, seed=rseed)
+            random_deltas.append(
+                reconstruct_surface(
+                    reference, pts, values=grid_field.sample(pts)
+                ).delta
+            )
+        random_delta = float(np.mean(random_deltas))
+
+        problem = OSTDProblem(
+            k=K, rc=config.RC, rs=config.RS, region=field.region, field=field,
+            speed=config.SPEED, t0=config.T_REFERENCE,
+            duration=float(sc.n_rounds),
+        )
+        cma = MobileSimulation(
+            problem, params=config.cma_params(), resolution=sc.resolution
+        ).run()
+        cma_delta = float(np.median(cma.deltas[len(cma.deltas) // 2:]))
+
+        rows.append(
+            {
+                "field_seed": seed,
+                "random_over_fra": round(random_delta / fra.delta, 2),
+                "cma_over_fra": round(cma_delta / fra.delta, 2),
+                "cma_improves_grid": bool(cma.deltas.min() < cma.deltas[0]),
+                "cma_connected": cma.always_connected,
+            }
+        )
+
+    rof = [r["random_over_fra"] for r in rows]
+    cof = [r["cma_over_fra"] for r in rows]
+    n_fra_wins = sum(1 for r in rows if r["random_over_fra"] > 1)
+    n_cma_improves = sum(1 for r in rows if r["cma_improves_grid"])
+    n_connected = sum(1 for r in rows if r["cma_connected"])
+    return ExperimentResult(
+        experiment_id="ablation_seeds",
+        title="Headline ratios across independent field seeds",
+        columns=("field_seed", "random_over_fra", "cma_over_fra",
+                 "cma_improves_grid", "cma_connected"),
+        rows=rows,
+        notes=[
+            "Methodology check: the paper evaluates on one trace; we verify "
+            "the conclusions on independently drawn fields.",
+            (
+                f"Measured over {len(rows)} seeds: random/FRA = "
+                f"{np.mean(rof):.2f} ± {np.std(rof):.2f} "
+                f"(FRA wins on {n_fra_wins}/{len(rows)}); CMA/FRA = "
+                f"{np.mean(cof):.2f} ± {np.std(cof):.2f}; CMA improves on "
+                f"the initial grid on {n_cma_improves}/{len(rows)} seeds "
+                f"and stays connected on {n_connected}/{len(rows)}. The "
+                "stationary conclusion is seed-robust; CMA's improvement "
+                "depends on the field having features the initial grid "
+                "undersamples (a field whose hot-spots happen to align "
+                "with the lattice leaves no headroom)."
+            ),
+        ],
+    )

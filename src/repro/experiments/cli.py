@@ -1,0 +1,85 @@
+"""``repro-exp`` — the experiment command-line interface.
+
+Usage::
+
+    repro-exp list                 # show registered experiments
+    repro-exp run fig7             # run one (full parameters)
+    repro-exp run fig10 --fast     # scaled-down variant
+    repro-exp all [--fast]         # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.harness import format_result, run_all, run_experiment
+from repro.experiments.registry import all_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Reproduce the paper's figures (ICDCS 2010 CPS "
+        "spatio-temporal distribution).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment_id", help="e.g. fig7, fig10, ablation_beta")
+    run_p.add_argument("--fast", action="store_true", help="scaled-down run")
+    run_p.add_argument(
+        "--no-artifacts", action="store_true", help="suppress ASCII artifacts"
+    )
+    run_p.add_argument(
+        "--csv", metavar="PATH", help="also write the rows to a CSV file"
+    )
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--fast", action="store_true", help="scaled-down runs")
+    all_p.add_argument(
+        "--artifacts", action="store_true", help="include ASCII artifacts"
+    )
+    all_p.add_argument(
+        "--markdown", metavar="PATH",
+        help="also write a Markdown report of every experiment",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for spec in all_experiments():
+            print(f"{spec.experiment_id:22s} {spec.paper_ref:12s} {spec.title}")
+        return 0
+    if args.command == "run":
+        try:
+            result = run_experiment(args.experiment_id, fast=args.fast)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(format_result(result, show_artifacts=not args.no_artifacts))
+        if args.csv:
+            from repro.experiments.export import write_csv
+
+            print(f"wrote {write_csv(result, args.csv)}")
+        return 0
+    if args.command == "all":
+        if args.markdown:
+            from repro.experiments.export import write_markdown_report
+
+            results = [spec.runner(args.fast) for spec in all_experiments()]
+            path = write_markdown_report(results, args.markdown)
+            print(f"wrote {path}")
+            return 0
+        print(run_all(fast=args.fast, show_artifacts=args.artifacts))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

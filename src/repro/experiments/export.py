@@ -1,0 +1,63 @@
+"""Export experiment results to CSV and Markdown.
+
+The harness prints tables to the terminal; downstream users (papers,
+dashboards, regression tracking) want files. These writers are lossless
+for the row data and deliberately boring: one CSV per experiment, or one
+Markdown report for a batch.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.experiments.registry import ExperimentResult
+
+
+def write_csv(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write one experiment's rows as CSV; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(result.columns))
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow({c: row.get(c, "") for c in result.columns})
+    return path
+
+
+def markdown_table(result: ExperimentResult) -> str:
+    """The result rows as a GitHub-flavoured Markdown table."""
+    columns = list(result.columns)
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    lines = [header, rule]
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def markdown_report(results: Iterable[ExperimentResult]) -> str:
+    """A multi-experiment Markdown report with notes, no ASCII artifacts."""
+    parts = []
+    for result in results:
+        parts.append(f"## {result.experiment_id} — {result.title}\n")
+        parts.append(markdown_table(result))
+        if result.notes:
+            parts.append("")
+            parts.extend(f"> {note}" for note in result.notes)
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_markdown_report(
+    results: Iterable[ExperimentResult], path: Union[str, Path]
+) -> Path:
+    """Write :func:`markdown_report` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(markdown_report(results))
+    return path

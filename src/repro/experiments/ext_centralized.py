@@ -1,0 +1,113 @@
+"""Extension — distributed CMA vs centralized dispatch.
+
+Quantifies the paper's one-sentence dismissal of centralized control
+(Section 5): a global planner with fresh information is a strong upper
+bound, but realistic collection/dispatch latency makes it chase stale
+field state, and its multi-hop traffic dwarfs CMA's one-hop beacons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import OSTDProblem
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.sim.centralized import CentralizedSimulation, cma_message_count
+from repro.sim.engine import MobileSimulation
+
+K = 100
+
+
+def _problem(field, n_rounds: int) -> OSTDProblem:
+    return OSTDProblem(
+        k=K, rc=config.RC, rs=config.RS, region=field.region, field=field,
+        speed=config.SPEED, t0=config.T_REFERENCE, duration=float(n_rounds),
+    )
+
+
+@experiment(
+    "ext_centralized",
+    "Distributed CMA vs centralized dispatch (delay + traffic)",
+    "Section 5 (centralized 'not available': transmission + delay)",
+)
+def run(fast: bool = False) -> ExperimentResult:
+    sc = config.scale(fast)
+    # Faster drift accentuates the staleness penalty within the window.
+    field = config.ostd_field()
+    rows = []
+
+    cma = MobileSimulation(
+        _problem(field, sc.n_rounds),
+        params=config.cma_params(),
+        resolution=sc.resolution,
+    ).run()
+    rows.append(
+        {
+            "controller": "CMA (distributed, paper)",
+            "delta_mean": round(float(cma.deltas.mean()), 1),
+            "delta_final": round(float(cma.deltas[-1]), 1),
+            "messages": cma_message_count(cma),
+            "always_connected": cma.always_connected,
+        }
+    )
+
+    for delay in (0, 10):
+        central = CentralizedSimulation(
+            _problem(field, sc.n_rounds),
+            delay_rounds=delay,
+            replan_every=2 if fast else 5,
+            solver_iterations=2 if fast else 5,
+            resolution=sc.resolution,
+        ).run()
+        rows.append(
+            {
+                "controller": f"centralized, delay={delay} min",
+                "delta_mean": round(float(central.deltas.mean()), 1),
+                "delta_final": round(float(central.deltas[-1]), 1),
+                "messages": central.total_messages,
+                "always_connected": central.always_connected,
+            }
+        )
+
+    cma_row = rows[0]
+    central_rows = rows[1:]
+    traffic_ratio = (
+        max(r["messages"] for r in central_rows) / cma_row["messages"]
+        if cma_row["messages"]
+        else float("inf")
+    )
+    cma_wins_delta = all(
+        cma_row["delta_mean"] <= r["delta_mean"] for r in central_rows
+    )
+    central_connected = all(r["always_connected"] for r in central_rows)
+    verdict = []
+    if cma_wins_delta:
+        verdict.append("CMA dominates both centralized variants on mean δ")
+    else:
+        verdict.append("a centralized variant matches CMA on mean δ")
+    if not central_connected:
+        verdict.append(
+            "the global planner (which has no LCM) breaks the radio graph, "
+            "so some nodes stop receiving commands at all"
+        )
+        if traffic_ratio < 1.0:
+            verdict.append(
+                "its measured traffic even collapses below CMA's because "
+                "unreachable nodes cannot report at all — silence, not "
+                "efficiency"
+            )
+    return ExperimentResult(
+        experiment_id="ext_centralized",
+        title="CMA vs centralized dispatch",
+        columns=("controller", "delta_mean", "delta_final", "messages",
+                 "always_connected"),
+        rows=rows,
+        notes=[
+            "Paper: centralized control dismissed for transmission volume "
+            "and time delay; no measurement given.",
+            f"Measured: centralized multi-hop dispatch traffic is "
+            f"{traffic_ratio:.1f}x CMA's one-hop beacon traffic; "
+            + "; ".join(verdict) + ".",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""Extension — finite movement energy.
+
+The paper assumes "the energy is sufficient for the movement of CPS
+nodes" (Section 3.1). Real robots carry batteries. This experiment gives
+every node a movement budget (metres of travel before it dies) and sweeps
+it: a generous budget reproduces the paper's behaviour, a tight one turns
+the adaptation phase into a death march — quantifying how load-bearing the
+free-energy assumption is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import OSTDProblem
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.sim.engine import MobileSimulation
+
+K = 100
+BUDGETS = (None, 10.0, 3.0, 1.0)  # metres of travel per node
+
+
+@experiment(
+    "ext_energy",
+    "CMA under finite movement-energy budgets",
+    "Section 3.1 ('energy is sufficient') relaxed",
+)
+def run(fast: bool = False) -> ExperimentResult:
+    sc = config.scale(fast)
+    field = config.ostd_field()
+    rows = []
+    for budget in BUDGETS:
+        problem = OSTDProblem(
+            k=K, rc=config.RC, rs=config.RS, region=field.region, field=field,
+            speed=config.SPEED, t0=config.T_REFERENCE,
+            duration=float(sc.n_rounds),
+        )
+        sim = MobileSimulation(
+            problem,
+            params=config.cma_params(),
+            resolution=sc.resolution,
+            energy_budget=budget,
+        )
+        result = sim.run()
+        deltas = result.deltas
+        spent = [n.distance_travelled for n in sim.nodes]
+        rows.append(
+            {
+                "budget_m": "unlimited" if budget is None else budget,
+                "delta_min": round(float(np.nanmin(deltas)), 1),
+                "delta_final": round(float(deltas[-1]), 1)
+                if np.isfinite(deltas[-1]) else float("nan"),
+                "alive_final": result.rounds[-1].n_alive,
+                "mean_travel_m": round(float(np.mean(spent)), 2),
+            }
+        )
+
+    unlimited = rows[0]
+    tight = rows[-1]
+    return ExperimentResult(
+        experiment_id="ext_energy",
+        title="Movement-energy budget sweep (Fig. 10 scenario)",
+        columns=("budget_m", "delta_min", "delta_final", "alive_final",
+                 "mean_travel_m"),
+        rows=rows,
+        notes=[
+            "Paper: assumes movement energy is sufficient; never tested.",
+            (
+                f"Measured: the fleet only travels "
+                f"{unlimited['mean_travel_m']:.1f} m/node on average in the "
+                "whole 45-minute window (CMA converges quickly), so even "
+                "modest budgets reproduce the paper's behaviour; a "
+                f"{tight['budget_m']} m budget kills "
+                f"{K - tight['alive_final']} nodes and costs "
+                "reconstruction quality accordingly. The free-energy "
+                "assumption is cheap for CMA — a point in its favour the "
+                "paper never makes."
+            ),
+        ],
+    )

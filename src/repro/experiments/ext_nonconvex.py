@@ -1,0 +1,139 @@
+"""Extension — discontinuous ("non-convex") surfaces (paper §7, item 1).
+
+The paper assumes the virtual surface is convex / single-valued and smooth
+enough for local error and curvature to behave, and names relaxing this as
+future work. Here we stress both algorithms on a terraced surface with
+sharp cliffs:
+
+* FRA still works — local error is well-defined across discontinuities and
+  the refinement naturally lines vertices up along the cliffs — but needs
+  more nodes per unit of accuracy than on a smooth field of comparable
+  amplitude;
+* CMA's quadric fit (Eqn. 11 assumes a smooth second-order model) is badly
+  specified on cliffs, yet |curvature| still *localises* them, so the
+  swarm densifies along the cliff lines rather than diverging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import random_placement, uniform_grid_placement
+from repro.core.fra import solve_osd
+from repro.core.problem import OSDProblem, OSTDProblem
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.fields.analytic import TerraceField
+from repro.fields.base import sample_grid
+from repro.fields.dynamic import StaticAsDynamic
+from repro.fields.grid import GridField
+from repro.geometry.primitives import BoundingBox
+from repro.sim.engine import MobileSimulation
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+@experiment(
+    "ext_nonconvex",
+    "Discontinuous (terraced) surface stress test",
+    "Section 7 (future work: non-convex surfaces)",
+)
+def run(fast: bool = False) -> ExperimentResult:
+    sc = config.scale(fast)
+    region = BoundingBox.square(config.SIDE)
+    terrace = TerraceField(step=2.0, run=22.0, direction=(1.0, 0.35))
+    reference = sample_grid(terrace, region, sc.resolution)
+    grid_field = GridField(reference)
+
+    rows = []
+
+    # Stationary: FRA vs random on the cliff field.
+    k = 100
+    fra = solve_osd(OSDProblem(k=k, rc=config.RC, reference=reference))
+    random_deltas = []
+    for seed in range(sc.n_random_seeds):
+        pts = random_placement(region, k, seed=seed)
+        random_deltas.append(
+            reconstruct_surface(
+                reference, pts, values=grid_field.sample(pts)
+            ).delta
+        )
+    rows.append(
+        {
+            "case": f"FRA k={k} (stationary)",
+            "delta": round(fra.delta, 1),
+            "connected": fra.connected,
+        }
+    )
+    rows.append(
+        {
+            "case": f"random k={k} (stationary)",
+            "delta": round(float(np.mean(random_deltas)), 1),
+            "connected": "-",
+        }
+    )
+
+    # Mobile: CMA on the (static) terrace — does the swarm stay sane?
+    problem = OSTDProblem(
+        k=k, rc=config.RC, rs=config.RS, region=region,
+        field=StaticAsDynamic(terrace),
+        speed=config.SPEED, t0=config.T_REFERENCE,
+        duration=float(sc.n_rounds),
+    )
+    sim = MobileSimulation(
+        problem, params=config.cma_params(), resolution=sc.resolution
+    )
+    result = sim.run()
+    grid = uniform_grid_placement(region, k)
+    grid_delta = reconstruct_surface(
+        reference, grid, values=grid_field.sample(grid)
+    ).delta
+    rows.append(
+        {
+            "case": "CMA final (mobile)",
+            "delta": round(float(result.deltas[-1]), 1),
+            "connected": result.always_connected,
+        }
+    )
+    rows.append(
+        {
+            "case": "uniform grid (mobile init)",
+            "delta": round(grid_delta, 1),
+            "connected": "-",
+        }
+    )
+
+    fra_delta = rows[0]["delta"]
+    random_delta = rows[1]["delta"]
+    cma_delta = rows[2]["delta"]
+    grid_delta = rows[3]["delta"]
+    cma_penalty = cma_delta / grid_delta - 1.0
+    return ExperimentResult(
+        experiment_id="ext_nonconvex",
+        title="Terraced-surface stress test (future work, Section 7)",
+        columns=("case", "delta", "connected"),
+        rows=rows,
+        notes=[
+            "Paper: assumes a convex (single-valued, smooth) surface; "
+            "relaxing it is left as future work.",
+            (
+                (
+                    f"Measured: FRA still beats random on cliffs "
+                    f"({fra_delta:.0f} vs {random_delta:.0f}) by lining "
+                    "vertices along the discontinuities. "
+                    if fra_delta < random_delta
+                    else
+                    f"Measured: FRA loses its edge on cliffs "
+                    f"({fra_delta:.0f} vs random {random_delta:.0f}): "
+                    "greedy max-local-error keeps re-picking the same "
+                    "discontinuity lines while blanket coverage wins — the "
+                    "smoothness assumption is load-bearing for FRA too. "
+                )
+                + "CMA neither diverges nor disconnects, but its migration "
+                f"does not pay off here (final δ {100 * cma_penalty:+.0f}% "
+                "vs the initial grid): the quadric curvature model of "
+                "Eqn. 11 is misspecified at cliff lines. The paper's "
+                "convex-surface assumption (Section 7) is a real "
+                "limitation."
+            ),
+        ],
+    )

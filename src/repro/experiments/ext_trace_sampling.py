@@ -1,0 +1,72 @@
+"""Extension — trace sampling (the paper's future-work item, Section 7).
+
+"In order to save more CPS nodes and abstract accurately, trace sampling
+of mobile nodes is worth to further study." Here it is: nodes also record
+the field along their movement segments, and the extra samples feed the
+reconstruction. We run the Fig. 10 scenario with and without trace
+sampling and compare δ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import OSTDProblem
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.sim.engine import MobileSimulation
+from repro.sim.sensing import TraceSampler
+
+K = 100
+
+
+@experiment(
+    "ext_trace_sampling",
+    "Trace sampling along movement paths (future work, Section 7)",
+    "Section 7",
+)
+def run(fast: bool = False) -> ExperimentResult:
+    sc = config.scale(fast)
+    field = config.ostd_field()
+    rows = []
+    results = {}
+    for name, sampler in (
+        ("point sampling (paper)", None),
+        ("trace sampling (3/move)", TraceSampler(samples_per_move=3)),
+    ):
+        problem = OSTDProblem(
+            k=K, rc=config.RC, rs=config.RS, region=field.region, field=field,
+            speed=config.SPEED, t0=config.T_REFERENCE,
+            duration=float(sc.n_rounds),
+        )
+        sim = MobileSimulation(
+            problem,
+            params=config.cma_params(),
+            resolution=sc.resolution,
+            trace_sampler=sampler,
+        )
+        result = sim.run()
+        results[name] = result
+        deltas = result.deltas
+        rows.append(
+            {
+                "mode": name,
+                "delta_min": round(float(deltas.min()), 1),
+                "delta_final": round(float(deltas[-1]), 1),
+                "delta_mean": round(float(deltas.mean()), 1),
+            }
+        )
+
+    gain = 1.0 - rows[1]["delta_mean"] / rows[0]["delta_mean"]
+    return ExperimentResult(
+        experiment_id="ext_trace_sampling",
+        title="Point vs trace sampling under CMA",
+        columns=("mode", "delta_min", "delta_final", "delta_mean"),
+        rows=rows,
+        notes=[
+            "Paper: proposed as future work, no numbers.",
+            f"Measured: trace sampling improves mean delta by "
+            f"{100 * gain:.1f}% at zero extra hardware (samples taken while "
+            "driving; the benefit shrinks as movement converges).",
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Fig. 2 — one FRA refinement step, shown quantitatively.
+
+The paper's Fig. 2 illustrates a single refinement: insert the
+max-local-error vertex D into triangle ABC and re-triangulate by the
+Delaunay rules. We perform exactly that step on the canonical reference
+surface and report what changed: triangle count, where the new vertex
+went, and how much the surface error dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.interpolation import LinearSurfaceInterpolator
+from repro.surfaces.local_error import argmax_grid, local_error_grid
+from repro.viz.ascii import render_triangulation
+
+
+@experiment("fig2", "One foresighted-refinement step", "Fig. 2")
+def run(fast: bool = False) -> ExperimentResult:
+    reference = config.reference_surface(fast)
+    xs, ys = reference.xs, reference.ys
+
+    # Initial state: the region split into two triangles by its diagonal.
+    tri = DelaunayTriangulation()
+    values = []
+    for ix, iy in ((0, 0), (len(xs) - 1, 0), (len(xs) - 1, len(ys) - 1), (0, len(ys) - 1)):
+        tri.insert((float(xs[ix]), float(ys[iy])))
+        values.append(reference.value_at_index(ix, iy))
+
+    def total_error() -> float:
+        interp = LinearSurfaceInterpolator(
+            tri.points, np.asarray(values), triangulation=tri.simplices
+        )
+        return float(local_error_grid(reference, interp).sum())
+
+    before_triangles = len(tri.triangles)
+    before_error = total_error()
+    before_art = render_triangulation(
+        tri.points, tri.simplices, reference.region, width=40, height=16
+    )
+
+    interp = LinearSurfaceInterpolator(
+        tri.points, np.asarray(values), triangulation=tri.simplices
+    )
+    err = local_error_grid(reference, interp)
+    ix, iy = argmax_grid(err)
+    peak_error = float(err[iy, ix])
+    tri.insert((float(xs[ix]), float(ys[iy])))
+    values.append(reference.value_at_index(ix, iy))
+
+    after_triangles = len(tri.triangles)
+    after_error = total_error()
+    interp_after = LinearSurfaceInterpolator(
+        tri.points, np.asarray(values), triangulation=tri.simplices
+    )
+    err_after = local_error_grid(reference, interp_after)
+    error_at_inserted = float(err_after[iy, ix])
+
+    rows = [
+        {"stage": "before", "triangles": before_triangles,
+         "sum_local_error": round(before_error, 1), "inserted": "-"},
+        {"stage": "after", "triangles": after_triangles,
+         "sum_local_error": round(after_error, 1),
+         "inserted": f"({float(xs[ix]):.0f}, {float(ys[iy]):.0f})"},
+    ]
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="One refinement step (insert max-local-error vertex)",
+        columns=("stage", "triangles", "sum_local_error", "inserted"),
+        rows=rows,
+        artifacts={
+            "before": before_art,
+            "after": render_triangulation(
+                tri.points, tri.simplices, reference.region,
+                width=40, height=16,
+            ),
+        },
+        notes=[
+            "Paper: inserting D re-triangulates ABC(D) per Delaunay rules; "
+            "D is the position of maximum local error.",
+            f"Measured: 2 -> {after_triangles} triangles; local error at the "
+            f"inserted vertex went {peak_error:.2f} -> "
+            f"{error_at_inserted:.2f} (exact interpolation at vertices). "
+            "Total error on a 2-triangle mesh may transiently rise — the "
+            "surface is globally reshaped by its very first interior vertex "
+            "— and decreases monotonically once the mesh has a few vertices "
+            "(see fig7's delta-vs-k curve).",
+        ],
+    )

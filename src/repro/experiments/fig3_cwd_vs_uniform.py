@@ -1,0 +1,96 @@
+"""Fig. 3 — uniform vs curvature-weighted distribution, 16 nodes on peaks(100).
+
+The paper compares two topologies of 16 nodes approximating the MATLAB
+``Peaks(100)`` surface with ``Rc = 30``: the uniform grid (Fig. 3(b)) and
+the CWD pattern (Fig. 3(c)), claiming the CWD samples interpolate closer
+to the true surface. We reproduce both layouts, measure δ, and also report
+the Eqn. 10 objective (total curvature weight at node positions) and the
+Eqn. 9 balance residual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import uniform_grid_placement
+from repro.core.cwd import _curvature_field, balance_residuals, solve_cwd, total_curvature
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.fields.analytic import PeaksField
+from repro.fields.base import sample_grid
+from repro.fields.grid import GridField
+from repro.surfaces.reconstruction import reconstruct_surface
+from repro.viz.ascii import render_topology
+
+K = 16
+RC = 30.0
+RS = 15.0
+
+
+@experiment("fig3", "Uniform vs CWD, 16 nodes on peaks(100)", "Fig. 3")
+def run(fast: bool = False) -> ExperimentResult:
+    field = PeaksField(side=100.0)
+    resolution = 51 if fast else 101
+    reference = sample_grid(field, field.region, resolution)
+    grid_field = GridField(reference)
+    weight_field = _curvature_field(reference)
+
+    uniform = uniform_grid_placement(reference.region, K)
+    cwd = solve_cwd(
+        reference,
+        K,
+        rc=RC,
+        rs=RS,
+        beta=2.0,
+        max_iterations=60 if fast else 300,
+        step=0.5,
+        curvature_cap=0.5,
+        curvature_threshold=0.5,
+    )
+
+    rows = []
+    layouts = {"uniform (Fig. 3b)": uniform, "cwd (Fig. 3c)": cwd.positions}
+    deltas = {}
+    for name, positions in layouts.items():
+        recon = reconstruct_surface(
+            reference, positions, values=grid_field.sample(positions)
+        )
+        curv = weight_field.sample(positions)
+        rows.append(
+            {
+                "layout": name,
+                "delta": round(recon.delta, 1),
+                "rmse": round(recon.rmse, 3),
+                "total_curvature": round(
+                    total_curvature(positions, weight_field), 2
+                ),
+                "max_balance_residual": round(
+                    float(balance_residuals(positions, curv, RC).max()), 2
+                ),
+            }
+        )
+        deltas[name] = recon.delta
+
+    improvement = 1.0 - deltas["cwd (Fig. 3c)"] / deltas["uniform (Fig. 3b)"]
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Uniform vs CWD on peaks(100), k=16, Rc=30",
+        columns=(
+            "layout", "delta", "rmse", "total_curvature", "max_balance_residual",
+        ),
+        rows=rows,
+        notes=[
+            "Paper: the 16 CWD nodes outline the surface more clearly than "
+            "the uniform grid; interpolation from CWD samples approaches "
+            "the surface more closely.",
+            f"Measured: CWD improves delta by {100 * improvement:.1f}% over "
+            "uniform.",
+        ],
+        artifacts={
+            "uniform_topology": render_topology(
+                uniform, reference.region, rc=RC, width=40, height=16
+            ),
+            "cwd_topology": render_topology(
+                cwd.positions, reference.region, rc=RC, width=40, height=16
+            ),
+        },
+    )

@@ -1,0 +1,66 @@
+"""Run experiments and format their results for the terminal."""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+)
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    spec = get_experiment(experiment_id)
+    return spec.runner(fast)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render the result rows as an aligned text table."""
+    columns = list(result.columns)
+    headers = [str(c) for c in columns]
+    body = [[str(row.get(c, "")) for c in columns] for row in result.rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult, show_artifacts: bool = True) -> str:
+    """Full human-readable report for one experiment."""
+    parts: List[str] = [
+        f"== {result.experiment_id}: {result.title} ==",
+        format_table(result),
+    ]
+    if result.notes:
+        parts.append("")
+        parts.extend(f"note: {note}" for note in result.notes)
+    if show_artifacts and result.artifacts:
+        for name, art in result.artifacts.items():
+            parts.append("")
+            parts.append(f"-- {name} --")
+            parts.append(art)
+    return "\n".join(parts)
+
+
+def run_all(fast: bool = False, show_artifacts: bool = False) -> str:
+    """Run every registered experiment; returns the combined report."""
+    reports = []
+    for spec in all_experiments():
+        start = time.time()
+        result = spec.runner(fast)
+        elapsed = time.time() - start
+        reports.append(format_result(result, show_artifacts=show_artifacts))
+        reports.append(f"(ran in {elapsed:.1f}s)")
+        reports.append("")
+    return "\n".join(reports)

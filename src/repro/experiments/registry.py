@@ -1,0 +1,76 @@
+"""Experiment registry: id → runnable experiment with metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment produces.
+
+    ``rows`` are dicts sharing the keys in ``columns`` — the series the
+    paper's figure plots, printable as a table. ``notes`` carry the shape
+    claims checked; ``artifacts`` are named ASCII renderings (surfaces,
+    topologies) standing in for the paper's 3-D plots.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def column_values(self, name: str) -> List:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}; have {list(self.columns)}")
+        return [row.get(name) for row in self.rows]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[[bool], ExperimentResult]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def experiment(experiment_id: str, title: str, paper_ref: str):
+    """Decorator registering ``fn(fast: bool) -> ExperimentResult``."""
+
+    def register(fn: Callable[[bool], ExperimentResult]) -> Callable:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            paper_ref=paper_ref,
+            runner=fn,
+        )
+        return fn
+
+    return register
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment; KeyError with guidance if absent."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """All registered experiments, sorted by id."""
+    return [spec for _, spec in sorted(_REGISTRY.items())]

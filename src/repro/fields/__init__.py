@@ -1,0 +1,87 @@
+"""Environment field models: the physical world the CPS nodes sample.
+
+The paper abstracts an environment as a scalar field ``z = f(x, y)``
+(static, for the OSD problem) or ``z = f(x, y, t)`` (time-varying, for the
+OSTD problem), visualised as a virtual surface in 3-D. This package
+provides:
+
+* the :class:`~repro.fields.base.Field` / :class:`~repro.fields.base.DynamicField`
+  interfaces and grid-sampling helpers,
+* analytic surfaces including the MATLAB ``peaks`` function used in the
+  paper's Fig. 3 (:mod:`.analytic`),
+* seeded Gaussian random fields via spectral synthesis (:mod:`.random_field`),
+* time-varying wrappers — drift, diurnal modulation, keyframe interpolation
+  (:mod:`.dynamic`),
+* the **GreenOrbs substitute**: a synthetic forest-light trace generator
+  standing in for the paper's (unavailable) GreenOrbs deployment data
+  (:mod:`.greenorbs`), and
+* bilinear grid fields and CSV trace IO for trace-driven simulation
+  (:mod:`.grid`, :mod:`.trace_io`).
+"""
+
+from repro.fields.base import (
+    DynamicField,
+    Field,
+    FrozenField,
+    GridSample,
+    sample_grid,
+)
+from repro.fields.analytic import (
+    GaussianBump,
+    GaussianMixtureField,
+    PlaneField,
+    RidgeField,
+    SaddleField,
+    TerraceField,
+    peaks,
+    PeaksField,
+)
+from repro.fields.grid import GridField
+from repro.fields.random_field import GaussianRandomField
+from repro.fields.dynamic import (
+    DiurnalField,
+    DriftingField,
+    KeyframeField,
+    ScaledField,
+    SumField,
+)
+from repro.fields.greenorbs import GreenOrbsLightField, clock_to_minutes
+from repro.fields.presets import (
+    forest_light_field,
+    humidity_field,
+    soil_ph_field,
+    temperature_field,
+)
+from repro.fields.trace_io import GridTrace, read_trace_csv, write_trace_csv
+
+__all__ = [
+    "DiurnalField",
+    "DriftingField",
+    "DynamicField",
+    "Field",
+    "FrozenField",
+    "GaussianBump",
+    "GaussianMixtureField",
+    "GaussianRandomField",
+    "GreenOrbsLightField",
+    "GridField",
+    "GridSample",
+    "GridTrace",
+    "KeyframeField",
+    "PeaksField",
+    "PlaneField",
+    "RidgeField",
+    "SaddleField",
+    "ScaledField",
+    "SumField",
+    "TerraceField",
+    "clock_to_minutes",
+    "forest_light_field",
+    "humidity_field",
+    "peaks",
+    "read_trace_csv",
+    "sample_grid",
+    "soil_ph_field",
+    "temperature_field",
+    "write_trace_csv",
+]

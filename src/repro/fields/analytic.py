@@ -1,0 +1,249 @@
+"""Analytic test surfaces.
+
+Includes the MATLAB ``peaks`` function the paper uses for its Fig. 3 CWD
+demonstration ("Peaks(100) function in Matlab"), plus a family of simple
+surfaces (plane, saddle, ridge, Gaussian mixtures) whose curvature and
+volume integrals are known in closed form — invaluable for testing the
+δ metric and the curvature estimators against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.fields.base import ArrayLike, Field
+from repro.geometry.primitives import BoundingBox
+
+
+def peaks(x: ArrayLike, y: ArrayLike) -> np.ndarray:
+    """The MATLAB ``peaks`` function on its native domain ``[-3, 3]²``.
+
+    ``z = 3(1-x)² e^{-x²-(y+1)²} - 10(x/5 - x³ - y⁵) e^{-x²-y²}
+    - (1/3) e^{-(x+1)²-y²}``.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    return (
+        3.0 * (1.0 - xa) ** 2 * np.exp(-(xa**2) - (ya + 1.0) ** 2)
+        - 10.0 * (xa / 5.0 - xa**3 - ya**5) * np.exp(-(xa**2) - ya**2)
+        - (1.0 / 3.0) * np.exp(-((xa + 1.0) ** 2) - ya**2)
+    )
+
+
+class PeaksField(Field):
+    """MATLAB ``peaks`` rescaled onto an arbitrary square region.
+
+    ``PeaksField(side=100)`` reproduces the paper's "Peaks(100)" surface: the
+    native ``[-3, 3]²`` domain stretched over ``[0, side]²``.
+    """
+
+    def __init__(self, side: float = 100.0, amplitude: float = 1.0) -> None:
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        self.side = float(side)
+        self.amplitude = float(amplitude)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        u = 6.0 * xa / self.side - 3.0
+        v = 6.0 * ya / self.side - 3.0
+        return self.amplitude * peaks(u, v)
+
+    @property
+    def region(self) -> BoundingBox:
+        return BoundingBox.square(self.side)
+
+    def __repr__(self) -> str:
+        return f"PeaksField(side={self.side}, amplitude={self.amplitude})"
+
+
+class PlaneField(Field):
+    """The affine surface ``z = ax + by + c`` (zero Gaussian curvature)."""
+
+    def __init__(self, a: float = 0.0, b: float = 0.0, c: float = 0.0) -> None:
+        self.a, self.b, self.c = float(a), float(b), float(c)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        return self.a * xa + self.b * ya + self.c
+
+    def __repr__(self) -> str:
+        return f"PlaneField(a={self.a}, b={self.b}, c={self.c})"
+
+
+class SaddleField(Field):
+    """The quadric ``z = s·(x−x0)(y−y0)`` (negative Gaussian curvature)."""
+
+    def __init__(self, scale: float = 1.0, center: Tuple[float, float] = (0.0, 0.0)):
+        self.scale = float(scale)
+        self.center = (float(center[0]), float(center[1]))
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xa = np.asarray(x, dtype=float) - self.center[0]
+        ya = np.asarray(y, dtype=float) - self.center[1]
+        return self.scale * xa * ya
+
+    def __repr__(self) -> str:
+        return f"SaddleField(scale={self.scale}, center={self.center})"
+
+
+class RidgeField(Field):
+    """A sinusoidal ridge ``z = A sin(2π x / λ)`` — curvature varies in x only."""
+
+    def __init__(self, amplitude: float = 1.0, wavelength: float = 50.0) -> None:
+        if wavelength <= 0:
+            raise ValueError(f"wavelength must be positive, got {wavelength}")
+        self.amplitude = float(amplitude)
+        self.wavelength = float(wavelength)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        return self.amplitude * np.sin(2.0 * np.pi * xa / self.wavelength) + 0.0 * ya
+
+    def __repr__(self) -> str:
+        return f"RidgeField(amplitude={self.amplitude}, wavelength={self.wavelength})"
+
+
+@dataclass(frozen=True)
+class GaussianBump:
+    """One isotropic Gaussian bump ``amp · e^{-r² / (2σ²)}``."""
+
+    cx: float
+    cy: float
+    sigma: float
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        r2 = (x - self.cx) ** 2 + (y - self.cy) ** 2
+        return self.amplitude * np.exp(-r2 / (2.0 * self.sigma**2))
+
+
+class GaussianMixtureField(Field):
+    """A sum of Gaussian bumps over an optional constant baseline.
+
+    This is the workhorse synthetic "environment": smooth, multi-modal,
+    with closed-form derivatives for curvature ground truth.
+    """
+
+    def __init__(self, bumps: Sequence[GaussianBump], baseline: float = 0.0) -> None:
+        self.bumps: Tuple[GaussianBump, ...] = tuple(bumps)
+        self.baseline = float(baseline)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        out = np.full(np.broadcast(xa, ya).shape, self.baseline, dtype=float)
+        for bump in self.bumps:
+            out = out + bump.evaluate(xa, ya)
+        return out
+
+    def gradient(self, x: ArrayLike, y: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Analytic gradient ``(∂z/∂x, ∂z/∂y)``."""
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        shape = np.broadcast(xa, ya).shape
+        gx = np.zeros(shape, dtype=float)
+        gy = np.zeros(shape, dtype=float)
+        for b in self.bumps:
+            e = b.evaluate(xa, ya)
+            gx = gx - (xa - b.cx) / b.sigma**2 * e
+            gy = gy - (ya - b.cy) / b.sigma**2 * e
+        return gx, gy
+
+    def hessian(
+        self, x: ArrayLike, y: ArrayLike
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Analytic Hessian ``(z_xx, z_xy, z_yy)``."""
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        shape = np.broadcast(xa, ya).shape
+        hxx = np.zeros(shape, dtype=float)
+        hxy = np.zeros(shape, dtype=float)
+        hyy = np.zeros(shape, dtype=float)
+        for b in self.bumps:
+            e = b.evaluate(xa, ya)
+            dx = (xa - b.cx) / b.sigma**2
+            dy = (ya - b.cy) / b.sigma**2
+            hxx = hxx + (dx * dx - 1.0 / b.sigma**2) * e
+            hyy = hyy + (dy * dy - 1.0 / b.sigma**2) * e
+            hxy = hxy + dx * dy * e
+        return hxx, hxy, hyy
+
+    @staticmethod
+    def random(
+        n_bumps: int,
+        region: BoundingBox,
+        seed: int,
+        sigma_range: Tuple[float, float] = (5.0, 20.0),
+        amplitude_range: Tuple[float, float] = (0.5, 3.0),
+        baseline: float = 0.0,
+    ) -> "GaussianMixtureField":
+        """A seeded random mixture spread over ``region``."""
+        if n_bumps < 0:
+            raise ValueError(f"n_bumps must be >= 0, got {n_bumps}")
+        rng = np.random.default_rng(seed)
+        bumps = [
+            GaussianBump(
+                cx=float(rng.uniform(region.xmin, region.xmax)),
+                cy=float(rng.uniform(region.ymin, region.ymax)),
+                sigma=float(rng.uniform(*sigma_range)),
+                amplitude=float(rng.uniform(*amplitude_range)),
+            )
+            for _ in range(n_bumps)
+        ]
+        return GaussianMixtureField(bumps, baseline=baseline)
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianMixtureField(n_bumps={len(self.bumps)}, "
+            f"baseline={self.baseline})"
+        )
+
+
+class TerraceField(Field):
+    """A terraced (discontinuous) surface — the paper's "concave" stress case.
+
+    Section 7 names non-convex surfaces as future work: the paper assumes
+    ``z = f(x, y)`` is smooth enough for curvature and local-error logic to
+    behave. A terrace field breaks that: the surface is piecewise flat with
+    sharp cliffs (height ``step`` every ``run`` metres along a direction),
+    so derivatives are zero almost everywhere and infinite on cliff lines.
+    Useful for measuring how gracefully the algorithms degrade.
+    """
+
+    def __init__(
+        self,
+        step: float = 2.0,
+        run: float = 25.0,
+        direction: Tuple[float, float] = (1.0, 0.4),
+    ) -> None:
+        if run <= 0:
+            raise ValueError(f"run must be positive, got {run}")
+        norm = float(np.hypot(direction[0], direction[1]))
+        if norm == 0:
+            raise ValueError("direction must be non-zero")
+        self.step = float(step)
+        self.run = float(run)
+        self.direction = (direction[0] / norm, direction[1] / norm)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        along = xa * self.direction[0] + ya * self.direction[1]
+        return self.step * np.floor(along / self.run)
+
+    def __repr__(self) -> str:
+        return (
+            f"TerraceField(step={self.step}, run={self.run}, "
+            f"direction={self.direction})"
+        )

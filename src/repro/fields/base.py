@@ -1,0 +1,138 @@
+"""Field interfaces and grid sampling.
+
+A *field* is any callable mapping vectorised planar coordinates to scalar
+values; a *dynamic field* additionally takes a time. Every concrete field in
+this package is:
+
+* **vectorised** — accepts numpy arrays of arbitrary (broadcastable) shape,
+* **pure** — same inputs, same outputs (randomness lives in constructor
+  seeds), so experiments are reproducible, and
+* **cheap** — evaluation is numpy-only, no Python loops over grid cells.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.geometry.primitives import BoundingBox
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class Field(abc.ABC):
+    """A static scalar field ``z = f(x, y)``."""
+
+    @abc.abstractmethod
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        """Evaluate at (broadcastable) coordinates."""
+
+    def sample(self, positions: np.ndarray) -> np.ndarray:
+        """Evaluate at an ``(n, 2)`` array of positions; returns ``(n,)``."""
+        pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+        return np.asarray(self(pts[:, 0], pts[:, 1]), dtype=float).reshape(-1)
+
+
+class DynamicField(abc.ABC):
+    """A time-varying scalar field ``z = f(x, y, t)``."""
+
+    @abc.abstractmethod
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        """Evaluate at coordinates and time ``t``."""
+
+    def at(self, t: float) -> "FrozenField":
+        """The static snapshot ``f(·, ·, t)``."""
+        return FrozenField(self, t)
+
+    def sample(self, positions: np.ndarray, t: float) -> np.ndarray:
+        """Evaluate at an ``(n, 2)`` array of positions at time ``t``."""
+        pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+        return np.asarray(self(pts[:, 0], pts[:, 1], t), dtype=float).reshape(-1)
+
+
+class FrozenField(Field):
+    """A :class:`DynamicField` frozen at a fixed time."""
+
+    def __init__(self, field: DynamicField, t: float) -> None:
+        self.field = field
+        self.t = float(t)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        return self.field(x, y, self.t)
+
+    def __repr__(self) -> str:
+        return f"FrozenField({self.field!r}, t={self.t})"
+
+
+@dataclass(frozen=True)
+class GridSample:
+    """A field sampled on a regular tensor grid.
+
+    ``values[i, j]`` is the field at ``(xs[j], ys[i])`` — row = y, column =
+    x, the layout used by the FRA local-error array ``Err[√A][√A]``.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.ys), len(self.xs)):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match grid "
+                f"({len(self.ys)}, {len(self.xs)})"
+            )
+
+    @property
+    def cell_area(self) -> float:
+        """Area represented by one grid cell (uniform spacing assumed)."""
+        dx = float(self.xs[1] - self.xs[0]) if len(self.xs) > 1 else 1.0
+        dy = float(self.ys[1] - self.ys[0]) if len(self.ys) > 1 else 1.0
+        return dx * dy
+
+    @property
+    def region(self) -> BoundingBox:
+        return BoundingBox(
+            float(self.xs[0]), float(self.ys[0]),
+            float(self.xs[-1]), float(self.ys[-1]),
+        )
+
+    def positions(self) -> np.ndarray:
+        """All grid positions as an ``(n_cells, 2)`` array (row-major)."""
+        xx, yy = np.meshgrid(self.xs, self.ys)
+        return np.column_stack([xx.ravel(), yy.ravel()])
+
+    def value_at_index(self, ix: int, iy: int) -> float:
+        """Field value at grid index ``(ix, iy)`` = position ``(xs[ix], ys[iy])``."""
+        return float(self.values[iy, ix])
+
+
+def sample_grid(
+    field: Union[Field, DynamicField],
+    region: BoundingBox,
+    resolution: int,
+    t: Optional[float] = None,
+) -> GridSample:
+    """Sample ``field`` on a uniform ``resolution x resolution`` grid.
+
+    ``resolution`` counts grid *points* per axis (the paper's 100 m region
+    with 1 m spacing is ``resolution=101``). For a :class:`DynamicField`,
+    ``t`` must be given.
+    """
+    if resolution < 2:
+        raise ValueError(f"resolution must be >= 2, got {resolution}")
+    xs = np.linspace(region.xmin, region.xmax, resolution)
+    ys = np.linspace(region.ymin, region.ymax, resolution)
+    xx, yy = np.meshgrid(xs, ys)
+    if isinstance(field, DynamicField):
+        if t is None:
+            raise ValueError("sampling a DynamicField requires a time t")
+        values = np.asarray(field(xx, yy, t), dtype=float)
+    else:
+        if t is not None:
+            raise ValueError("t given for a static Field")
+        values = np.asarray(field(xx, yy), dtype=float)
+    return GridSample(xs=xs, ys=ys, values=values)

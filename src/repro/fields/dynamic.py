@@ -1,0 +1,157 @@
+"""Time-varying field combinators.
+
+The OSTD problem (paper Section 3.2) needs environments that genuinely
+change over time — "temperature, light and humidity are in this field".
+These combinators lift static fields into :class:`DynamicField` and compose
+them: drifting features, diurnal amplitude cycles, keyframe interpolation
+between recorded snapshots, sums and scalings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.fields.base import ArrayLike, DynamicField, Field
+
+
+class DriftingField(DynamicField):
+    """A static field translated with constant velocity over time.
+
+    ``f(x, y, t) = base(x - vx·t, y - vy·t)`` — features move with
+    velocity ``(vx, vy)``; e.g. sunlight patches wandering as the sun moves.
+    """
+
+    def __init__(self, base: Field, velocity: Tuple[float, float]) -> None:
+        self.base = base
+        self.velocity = (float(velocity[0]), float(velocity[1]))
+
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        xa = np.asarray(x, dtype=float) - self.velocity[0] * t
+        ya = np.asarray(y, dtype=float) - self.velocity[1] * t
+        return self.base(xa, ya)
+
+    def __repr__(self) -> str:
+        return f"DriftingField({self.base!r}, velocity={self.velocity})"
+
+
+class DiurnalField(DynamicField):
+    """A static field amplitude-modulated by a day/night half-sine.
+
+    ``f(x, y, t) = base(x, y) · m(t) + floor`` with ``m(t)`` a half-sine that
+    is 0 outside ``[sunrise, sunset]`` and peaks at noon. Time is in minutes
+    since midnight (the unit used by the GreenOrbs substitute).
+    """
+
+    def __init__(
+        self,
+        base: Field,
+        sunrise: float = 6 * 60.0,
+        sunset: float = 18 * 60.0,
+        floor: float = 0.0,
+    ) -> None:
+        if sunset <= sunrise:
+            raise ValueError("sunset must come after sunrise")
+        self.base = base
+        self.sunrise = float(sunrise)
+        self.sunset = float(sunset)
+        self.floor = float(floor)
+
+    def modulation(self, t: float) -> float:
+        """The scalar day-cycle multiplier at time ``t`` (minutes)."""
+        if t <= self.sunrise or t >= self.sunset:
+            return 0.0
+        phase = (t - self.sunrise) / (self.sunset - self.sunrise)
+        return float(np.sin(np.pi * phase))
+
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        return self.base(x, y) * self.modulation(t) + self.floor
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalField({self.base!r}, sunrise={self.sunrise}, "
+            f"sunset={self.sunset})"
+        )
+
+
+class KeyframeField(DynamicField):
+    """Linear interpolation in time between static snapshot fields.
+
+    Outside the keyframe range the nearest snapshot holds (clamped). This is
+    the playback field for recorded traces: each trace frame is a
+    :class:`~repro.fields.grid.GridField` keyframe.
+    """
+
+    def __init__(self, times: Sequence[float], frames: Sequence[Field]) -> None:
+        if len(times) != len(frames):
+            raise ValueError(
+                f"{len(times)} times but {len(frames)} frames"
+            )
+        if len(times) == 0:
+            raise ValueError("KeyframeField needs at least one frame")
+        order = np.argsort(np.asarray(times, dtype=float))
+        self.times = np.asarray(times, dtype=float)[order]
+        if len(self.times) > 1 and np.any(np.diff(self.times) <= 0):
+            raise ValueError("keyframe times must be distinct")
+        self.frames = [frames[i] for i in order]
+
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        if len(self.frames) == 1 or t <= self.times[0]:
+            return self.frames[0](x, y)
+        if t >= self.times[-1]:
+            return self.frames[-1](x, y)
+        hi = int(np.searchsorted(self.times, t, side="right"))
+        lo = hi - 1
+        span = self.times[hi] - self.times[lo]
+        w = (t - self.times[lo]) / span
+        return (1.0 - w) * self.frames[lo](x, y) + w * self.frames[hi](x, y)
+
+    def __repr__(self) -> str:
+        return f"KeyframeField(n_frames={len(self.frames)})"
+
+
+class SumField(DynamicField):
+    """Pointwise sum of dynamic fields (static fields lift via ``Static``)."""
+
+    def __init__(self, fields: Sequence[DynamicField]) -> None:
+        if not fields:
+            raise ValueError("SumField needs at least one component")
+        self.fields = list(fields)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        total = self.fields[0](x, y, t)
+        for f in self.fields[1:]:
+            total = total + f(x, y, t)
+        return total
+
+    def __repr__(self) -> str:
+        return f"SumField(n={len(self.fields)})"
+
+
+class ScaledField(DynamicField):
+    """A dynamic field multiplied by a constant and offset: ``a·f + b``."""
+
+    def __init__(self, base: DynamicField, scale: float = 1.0, offset: float = 0.0):
+        self.base = base
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        return self.scale * self.base(x, y, t) + self.offset
+
+    def __repr__(self) -> str:
+        return f"ScaledField({self.base!r}, scale={self.scale}, offset={self.offset})"
+
+
+class StaticAsDynamic(DynamicField):
+    """Adapter: a static field viewed as a (constant-in-time) dynamic field."""
+
+    def __init__(self, base: Field) -> None:
+        self.base = base
+
+    def __call__(self, x: ArrayLike, y: ArrayLike, t: float) -> np.ndarray:
+        return self.base(x, y)
+
+    def __repr__(self) -> str:
+        return f"StaticAsDynamic({self.base!r})"

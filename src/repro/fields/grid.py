@@ -1,0 +1,68 @@
+"""Bilinear interpolation over a sampled grid — trace playback fields.
+
+When an experiment is driven by a recorded trace (the GreenOrbs substitute
+writes its fields to CSV; see :mod:`repro.fields.trace_io`), the replayed
+environment is a :class:`GridField`: the grid samples joined by bilinear
+interpolation, clamped at the region border.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields.base import ArrayLike, Field, GridSample
+from repro.geometry.primitives import BoundingBox
+
+
+class GridField(Field):
+    """A static field defined by bilinear interpolation of grid samples."""
+
+    def __init__(self, sample: GridSample) -> None:
+        if len(sample.xs) < 2 or len(sample.ys) < 2:
+            raise ValueError("GridField needs at least a 2x2 grid")
+        dx = np.diff(sample.xs)
+        dy = np.diff(sample.ys)
+        if not (np.allclose(dx, dx[0]) and np.allclose(dy, dy[0])):
+            raise ValueError("GridField requires uniform grid spacing")
+        if dx[0] <= 0 or dy[0] <= 0:
+            raise ValueError("grid axes must be strictly increasing")
+        self.sample_data = sample
+        self._dx = float(dx[0])
+        self._dy = float(dy[0])
+
+    @property
+    def region(self) -> BoundingBox:
+        return self.sample_data.region
+
+    def __call__(self, x: ArrayLike, y: ArrayLike) -> np.ndarray:
+        xs, ys, z = self.sample_data.xs, self.sample_data.ys, self.sample_data.values
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        xa, ya = np.broadcast_arrays(xa, ya)
+
+        # Fractional grid indices, clamped so border queries extrapolate
+        # with the edge value (constant outside the region).
+        fx = np.clip((xa - xs[0]) / self._dx, 0.0, len(xs) - 1.0)
+        fy = np.clip((ya - ys[0]) / self._dy, 0.0, len(ys) - 1.0)
+        ix = np.clip(np.floor(fx).astype(int), 0, len(xs) - 2)
+        iy = np.clip(np.floor(fy).astype(int), 0, len(ys) - 2)
+        tx = fx - ix
+        ty = fy - iy
+
+        z00 = z[iy, ix]
+        z01 = z[iy, ix + 1]
+        z10 = z[iy + 1, ix]
+        z11 = z[iy + 1, ix + 1]
+        out = (
+            z00 * (1 - tx) * (1 - ty)
+            + z01 * tx * (1 - ty)
+            + z10 * (1 - tx) * ty
+            + z11 * tx * ty
+        )
+        return np.asarray(out, dtype=float)
+
+    def __repr__(self) -> str:
+        return (
+            f"GridField(shape={self.sample_data.values.shape}, "
+            f"region={self.region})"
+        )

@@ -1,0 +1,119 @@
+"""Ready-made environment presets for the paper's motivating quantities.
+
+The paper names the environments it cares about explicitly: soil pH as the
+space-varying-only OSD example (Section 3.2: "e.g., the PH of soil"), and
+temperature / light / humidity as the time-varying OSTD examples. These
+presets package plausible synthetic versions of each so examples and user
+code can say ``soil_ph_field(seed=1)`` instead of hand-assembling
+combinators. All are pure functions of their seeds.
+"""
+
+from __future__ import annotations
+
+from repro.fields.analytic import GaussianMixtureField
+from repro.fields.base import DynamicField, Field
+from repro.fields.dynamic import DiurnalField, DriftingField, SumField, StaticAsDynamic
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.fields.random_field import GaussianRandomField
+from repro.geometry.primitives import BoundingBox
+
+
+def soil_ph_field(side: float = 100.0, seed: int = 0) -> Field:
+    """Soil pH: static, smooth, long-range correlated around pH ~6.
+
+    The paper's canonical OSD environment ("the change of environment has
+    low correlation with time"). Values span roughly pH 4.5–7.5.
+    """
+    region = BoundingBox.square(side)
+    return GaussianRandomField(
+        region,
+        correlation_length=0.3 * side,
+        amplitude=0.7,
+        mean=6.0,
+        seed=seed,
+        grid_resolution=128,
+    )
+
+
+def temperature_field(side: float = 100.0, seed: int = 0) -> DynamicField:
+    """Air temperature in °C: diurnal cycle over smooth spatial variation.
+
+    A ~12 °C night floor, peaking around +10 °C at solar noon, with
+    microclimate spots (clearings, water) a few degrees apart and a slow
+    drift of the warm patches as insolation angles change.
+    """
+    region = BoundingBox.square(side)
+    spatial = GaussianMixtureField.random(
+        n_bumps=5,
+        region=region,
+        seed=seed,
+        sigma_range=(0.15 * side, 0.4 * side),
+        amplitude_range=(1.0, 4.0),
+        baseline=6.0,
+    )
+    microclimate = GaussianMixtureField.random(
+        n_bumps=3,
+        region=region,
+        seed=seed + 5,
+        sigma_range=(0.1 * side, 0.2 * side),
+        amplitude_range=(0.5, 1.5),
+        baseline=0.0,
+    )
+    return SumField([
+        StaticAsDynamic(_Constant(12.0)),
+        DiurnalField(spatial, floor=0.0),
+        _Scaled(DriftingField(microclimate, velocity=(0.05, 0.02)), 1.0),
+    ])
+
+
+def humidity_field(side: float = 100.0, seed: int = 0) -> DynamicField:
+    """Relative humidity in %: anti-phase with the diurnal cycle.
+
+    Humid (~90%) at night, drying toward midday; damp hollows stay wetter.
+    Values are clipped to [0, 100] by construction of the components.
+    """
+    region = BoundingBox.square(side)
+    hollows = GaussianMixtureField.random(
+        n_bumps=4,
+        region=region,
+        seed=seed + 17,
+        sigma_range=(0.1 * side, 0.25 * side),
+        amplitude_range=(1.0, 5.0),
+        baseline=0.0,
+    )
+    daytime_drying = DiurnalField(_Constant(-25.0), floor=0.0)
+    return SumField([
+        StaticAsDynamic(_Constant(90.0)),
+        StaticAsDynamic(hollows),
+        daytime_drying,
+    ])
+
+
+def forest_light_field(side: float = 100.0, seed: int = 2009) -> GreenOrbsLightField:
+    """Forest-floor light in KLux — the canonical GreenOrbs substitute."""
+    return GreenOrbsLightField(side=side, seed=seed)
+
+
+class _Constant(Field):
+    """Internal: a constant surface."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, x, y):
+        import numpy as np
+
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        return np.full(np.broadcast(xa, ya).shape, self.value)
+
+
+class _Scaled(DynamicField):
+    """Internal: a dynamic field times a constant."""
+
+    def __init__(self, base: DynamicField, factor: float) -> None:
+        self.base = base
+        self.factor = float(factor)
+
+    def __call__(self, x, y, t):
+        return self.factor * self.base(x, y, t)

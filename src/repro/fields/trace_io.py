@@ -1,0 +1,135 @@
+"""CSV trace IO — the "trace-driven" part of the evaluation.
+
+The paper's simulation is driven by recorded GreenOrbs data. Our substitute
+generator can be exported to a plain CSV trace and replayed from it, so
+experiments run against *recorded data on disk*, not a live callable — the
+same discipline as the paper, and a natural interchange point for users who
+do have real sensor traces.
+
+Trace format (one row per grid sample)::
+
+    t,x,y,z
+    600.0,0.0,0.0,1.234
+    ...
+
+Rows must form, for each distinct ``t``, a complete uniform grid; times and
+grid axes are recovered from the data.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.fields.base import GridSample
+from repro.fields.dynamic import KeyframeField
+from repro.fields.grid import GridField
+
+
+@dataclass
+class GridTrace:
+    """A time series of grid snapshots of an environment field."""
+
+    times: np.ndarray
+    frames: List[GridSample]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.frames):
+            raise ValueError(
+                f"{len(self.times)} times but {len(self.frames)} frames"
+            )
+        if len(self.frames) == 0:
+            raise ValueError("empty trace")
+        shape = self.frames[0].values.shape
+        for frame in self.frames[1:]:
+            if frame.values.shape != shape:
+                raise ValueError("all trace frames must share one grid")
+
+    def as_field(self) -> KeyframeField:
+        """Replay the trace as a time-interpolated dynamic field."""
+        return KeyframeField(
+            list(self.times), [GridField(frame) for frame in self.frames]
+        )
+
+    def frame_at(self, t: float) -> GridSample:
+        """The recorded frame nearest in time to ``t``."""
+        idx = int(np.argmin(np.abs(self.times - t)))
+        return self.frames[idx]
+
+
+def write_trace_csv(trace: GridTrace, path: Union[str, Path]) -> None:
+    """Write a :class:`GridTrace` to ``path`` in the t,x,y,z CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t", "x", "y", "z"])
+        for t, frame in zip(trace.times, trace.frames):
+            for iy, y in enumerate(frame.ys):
+                for ix, x in enumerate(frame.xs):
+                    writer.writerow(
+                        [
+                            f"{float(t):.6g}",
+                            f"{float(x):.6g}",
+                            f"{float(y):.6g}",
+                            f"{float(frame.values[iy, ix]):.9g}",
+                        ]
+                    )
+
+
+def read_trace_csv(path: Union[str, Path]) -> GridTrace:
+    """Read a trace written by :func:`write_trace_csv` (or hand-made).
+
+    Raises :class:`ValueError` on malformed files (missing header, ragged
+    grids, inconsistent axes between frames).
+    """
+    path = Path(path)
+    by_time: dict = {}
+    with path.open("r", newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header] != ["t", "x", "y", "z"]:
+            raise ValueError(f"{path}: expected header 't,x,y,z', got {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise ValueError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
+            try:
+                t, x, y, z = (float(v) for v in row)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: non-numeric value") from exc
+            by_time.setdefault(t, []).append((x, y, z))
+
+    if not by_time:
+        raise ValueError(f"{path}: trace contains no data rows")
+
+    times = sorted(by_time)
+    frames: List[GridSample] = []
+    axes = None
+    for t in times:
+        rows = by_time[t]
+        xs = np.unique([r[0] for r in rows])
+        ys = np.unique([r[1] for r in rows])
+        if len(rows) != len(xs) * len(ys):
+            raise ValueError(
+                f"{path}: frame t={t} is not a complete grid "
+                f"({len(rows)} rows for {len(xs)}x{len(ys)} axes)"
+            )
+        if axes is None:
+            axes = (xs, ys)
+        elif not (np.array_equal(axes[0], xs) and np.array_equal(axes[1], ys)):
+            raise ValueError(f"{path}: frame t={t} has different grid axes")
+        values = np.full((len(ys), len(xs)), np.nan)
+        x_index = {float(v): i for i, v in enumerate(xs)}
+        y_index = {float(v): i for i, v in enumerate(ys)}
+        for x, y, z in rows:
+            values[y_index[float(y)], x_index[float(x)]] = z
+        if np.isnan(values).any():
+            raise ValueError(f"{path}: frame t={t} has duplicate/missing cells")
+        frames.append(GridSample(xs=xs, ys=ys, values=values))
+
+    return GridTrace(times=np.asarray(times, dtype=float), frames=frames)

@@ -1,0 +1,58 @@
+"""Geometry kernel: 2-D predicates, convex hull, Delaunay triangulation.
+
+This package implements, from scratch, the planar computational-geometry
+substrate that the paper's algorithms rest on:
+
+* robust-enough orientation and in-circle predicates (:mod:`.predicates`),
+* Andrew monotone-chain convex hull (:mod:`.hull`),
+* incremental Bowyer--Watson Delaunay triangulation with walk-based point
+  location (:mod:`.delaunay`),
+* vectorised piecewise-linear evaluation of the triangulated surface
+  ``z* = DT(x, y)`` used by the paper's reconstruction metric
+  (:mod:`.interpolation`).
+
+The triangulation is cross-validated against :mod:`scipy.spatial` in the
+test suite but does not depend on it at runtime.
+"""
+
+from repro.geometry.predicates import (
+    incircle,
+    orientation,
+    point_in_triangle,
+    triangle_area,
+)
+from repro.geometry.hull import convex_hull, point_in_convex_polygon
+from repro.geometry.primitives import (
+    BoundingBox,
+    Point2,
+    Point3,
+    distance,
+    distance_squared,
+    midpoint,
+    unit_vector,
+)
+from repro.geometry.delaunay import DelaunayTriangulation, Triangle
+from repro.geometry.interpolation import (
+    LinearSurfaceInterpolator,
+    barycentric_coordinates,
+)
+
+__all__ = [
+    "BoundingBox",
+    "DelaunayTriangulation",
+    "LinearSurfaceInterpolator",
+    "Point2",
+    "Point3",
+    "Triangle",
+    "barycentric_coordinates",
+    "convex_hull",
+    "distance",
+    "distance_squared",
+    "incircle",
+    "midpoint",
+    "orientation",
+    "point_in_convex_polygon",
+    "point_in_triangle",
+    "triangle_area",
+    "unit_vector",
+]

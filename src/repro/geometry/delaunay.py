@@ -1,0 +1,261 @@
+"""Incremental Bowyer--Watson Delaunay triangulation.
+
+The paper reconstructs the environment surface from the ``k`` sampled
+positions with a Delaunay triangulation (``z* = DT(x, y)``, Section 3.1) and
+FRA refines that triangulation one insertion at a time (Table 1). This
+module provides exactly that: a triangulation that supports *incremental*
+insertion so FRA's per-step re-triangulation is cheap, built from scratch on
+the predicates in :mod:`repro.geometry.predicates`.
+
+Implementation notes
+--------------------
+* A large super-triangle encloses all real points; triangles incident to its
+  three synthetic vertices are hidden from the public API.
+* Cavity search is a linear scan of current triangles per insertion. For the
+  paper's scales (k <= a few hundred points, so <= ~2k triangles) this is
+  comfortably fast in practice and trivially robust; the test-suite
+  cross-validates the result against :mod:`scipy.spatial.Delaunay`.
+* Cocircular points (common on integer grids) make the Delaunay
+  triangulation non-unique; ties in the in-circle predicate are resolved as
+  "outside", which always yields *a* valid Delaunay triangulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.predicates import incircle, orientation, point_in_triangle
+from repro.geometry.primitives import Point2, PointLike
+
+
+class Triangle(NamedTuple):
+    """Vertex indices of one triangle, counter-clockwise."""
+
+    a: int
+    b: int
+    c: int
+
+    def edges(self) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+        """The three undirected edges as frozensets of vertex indices."""
+        return (
+            frozenset((self.a, self.b)),
+            frozenset((self.b, self.c)),
+            frozenset((self.c, self.a)),
+        )
+
+    def has_vertex(self, index: int) -> bool:
+        return index in (self.a, self.b, self.c)
+
+
+class DuplicatePointError(ValueError):
+    """Raised when inserting a point that coincides with an existing vertex."""
+
+
+#: Number of synthetic super-triangle vertices kept at internal indices 0..2.
+_N_SUPER = 3
+
+
+class DelaunayTriangulation:
+    """A planar Delaunay triangulation supporting incremental insertion.
+
+    Parameters
+    ----------
+    points:
+        Optional initial points, inserted in order.
+    dedup_tol:
+        Two points closer than this are considered the same vertex;
+        re-inserting one raises :class:`DuplicatePointError` unless
+        ``skip_duplicates`` is set.
+    skip_duplicates:
+        When true, inserting a duplicate silently returns the index of the
+        existing vertex instead of raising.
+    span:
+        Half-extent of the synthetic super-triangle. Defaults to a value
+        safely exceeding any coordinate the library's 100x100-style regions
+        produce; pass a larger value for exotic coordinate ranges.
+    """
+
+    def __init__(
+        self,
+        points: Optional[Iterable[PointLike]] = None,
+        dedup_tol: float = 1e-9,
+        skip_duplicates: bool = False,
+        span: float = 1e6,
+    ) -> None:
+        self._dedup_tol = float(dedup_tol)
+        self._skip_duplicates = bool(skip_duplicates)
+        # Deliberately asymmetric super-triangle to dodge degeneracies with
+        # axis-aligned / diagonal input.
+        self._verts: List[Tuple[float, float]] = [
+            (-3.17 * span, -2.89 * span),
+            (3.61 * span, -3.07 * span),
+            (0.13 * span, 3.79 * span),
+        ]
+        self._triangles: Dict[int, Triangle] = {0: Triangle(0, 1, 2)}
+        self._next_tri_id = 1
+        if points is not None:
+            for p in points:
+                self.insert(p)
+
+    # ------------------------------------------------------------------
+    # Public views
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of real (non-synthetic) vertices."""
+        return len(self._verts) - _N_SUPER
+
+    @property
+    def points(self) -> np.ndarray:
+        """Real vertices as an ``(n, 2)`` float array (insertion order)."""
+        return np.asarray(self._verts[_N_SUPER:], dtype=float).reshape(-1, 2)
+
+    @property
+    def triangles(self) -> List[Triangle]:
+        """Triangles not incident to the super-triangle, as *public* indices."""
+        out: List[Triangle] = []
+        for tri in self._triangles.values():
+            if tri.a < _N_SUPER or tri.b < _N_SUPER or tri.c < _N_SUPER:
+                continue
+            out.append(
+                Triangle(tri.a - _N_SUPER, tri.b - _N_SUPER, tri.c - _N_SUPER)
+            )
+        return out
+
+    @property
+    def simplices(self) -> np.ndarray:
+        """Triangles as an ``(m, 3)`` int array (scipy-compatible view)."""
+        tris = self.triangles
+        if not tris:
+            return np.empty((0, 3), dtype=int)
+        return np.asarray(tris, dtype=int)
+
+    def point(self, index: int) -> Point2:
+        """The coordinates of public vertex ``index``."""
+        if not 0 <= index < self.n_points:
+            raise IndexError(f"vertex index {index} out of range")
+        x, y = self._verts[index + _N_SUPER]
+        return Point2(x, y)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, point: PointLike) -> int:
+        """Insert ``point``; return its public vertex index.
+
+        Raises :class:`DuplicatePointError` on (near-)duplicate input unless
+        the triangulation was built with ``skip_duplicates=True``.
+        """
+        p = Point2.of(point)
+        dup = self.find_vertex(p, tol=self._dedup_tol)
+        if dup is not None:
+            if self._skip_duplicates:
+                return dup
+            raise DuplicatePointError(f"point {p} duplicates vertex {dup}")
+
+        internal_index = len(self._verts)
+        self._verts.append((p.x, p.y))
+
+        bad_ids = [
+            tid
+            for tid, tri in self._triangles.items()
+            if incircle(
+                self._verts[tri.a], self._verts[tri.b], self._verts[tri.c], (p.x, p.y)
+            )
+            > 0
+        ]
+        if not bad_ids:
+            # Point falls outside every circumcircle: numerically possible
+            # only when it is outside the super-triangle.
+            self._verts.pop()
+            raise ValueError(
+                f"point {p} is outside the triangulation's working area; "
+                "construct DelaunayTriangulation with a larger span"
+            )
+
+        boundary = self._cavity_boundary(bad_ids)
+        for tid in bad_ids:
+            del self._triangles[tid]
+        for u, v in boundary:
+            self._add_triangle(u, v, internal_index)
+        return internal_index - _N_SUPER
+
+    def _add_triangle(self, a: int, b: int, c: int) -> None:
+        if orientation(self._verts[a], self._verts[b], self._verts[c]) < 0:
+            a, b = b, a
+        self._triangles[self._next_tri_id] = Triangle(a, b, c)
+        self._next_tri_id += 1
+
+    def _cavity_boundary(self, bad_ids: Sequence[int]) -> List[Tuple[int, int]]:
+        """Directed edges of the cavity border, interior on the left."""
+        count: Dict[FrozenSet[int], int] = {}
+        directed: Dict[FrozenSet[int], Tuple[int, int]] = {}
+        for tid in bad_ids:
+            tri = self._triangles[tid]
+            for u, v in ((tri.a, tri.b), (tri.b, tri.c), (tri.c, tri.a)):
+                key = frozenset((u, v))
+                count[key] = count.get(key, 0) + 1
+                directed[key] = (u, v)
+        return [directed[k] for k, n in count.items() if n == 1]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def find_vertex(self, point: PointLike, tol: float = 1e-9) -> Optional[int]:
+        """Public index of an existing vertex within ``tol``, else ``None``."""
+        p = Point2.of(point)
+        for i, (x, y) in enumerate(self._verts[_N_SUPER:]):
+            if abs(x - p.x) <= tol and abs(y - p.y) <= tol:
+                if (x - p.x) ** 2 + (y - p.y) ** 2 <= tol * tol:
+                    return i
+        return None
+
+    def locate(self, point: PointLike) -> Optional[Triangle]:
+        """The real triangle containing ``point`` (boundary inclusive).
+
+        Returns ``None`` when the point is outside the convex hull of the
+        real vertices.
+        """
+        p = Point2.of(point)
+        for tri in self.triangles:
+            pa = self._verts[tri.a + _N_SUPER]
+            pb = self._verts[tri.b + _N_SUPER]
+            pc = self._verts[tri.c + _N_SUPER]
+            if point_in_triangle((p.x, p.y), pa, pb, pc):
+                return tri
+        return None
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Undirected edges between real vertices (public indices, sorted)."""
+        seen = set()
+        for tri in self.triangles:
+            for e in tri.edges():
+                seen.add(tuple(sorted(e)))
+        return sorted(seen)  # type: ignore[arg-type]
+
+    def is_delaunay(self, eps: float = 1e-7) -> bool:
+        """Verify the empty-circumcircle property over real triangles.
+
+        O(m·n) — intended for tests and assertions, not hot paths.
+        Cocircular configurations count as valid.
+        """
+        pts = self.points
+        for tri in self.triangles:
+            pa, pb, pc = pts[tri.a], pts[tri.b], pts[tri.c]
+            for i in range(self.n_points):
+                if tri.has_vertex(i):
+                    continue
+                if incircle(pa, pb, pc, pts[i], eps=eps) > 0:
+                    return False
+        return True
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def __repr__(self) -> str:
+        return (
+            f"DelaunayTriangulation(n_points={self.n_points}, "
+            f"n_triangles={len(self.triangles)})"
+        )

@@ -1,0 +1,111 @@
+"""Convex hull and hull-related queries.
+
+The reconstruction metric evaluates ``DT(x, y)`` across the whole region;
+query points outside the convex hull of the samples (possible under the
+random-placement baseline) are clamped onto the hull, so this module also
+provides nearest-point projection onto a convex polygon.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.predicates import EPSILON, orientation
+from repro.geometry.primitives import Point2, PointLike
+
+
+def convex_hull(points: Sequence[PointLike]) -> List[Point2]:
+    """Convex hull via Andrew's monotone chain, counter-clockwise.
+
+    Collinear points on hull edges are dropped. Returns the input point(s)
+    unchanged for degenerate sets of size < 3 (after deduplication).
+    """
+    pts = sorted({tuple(Point2.of(p)) for p in points})
+    unique = [Point2(x, y) for x, y in pts]
+    if len(unique) <= 2:
+        return unique
+
+    def half_hull(ordered: Sequence[Point2]) -> List[Point2]:
+        chain: List[Point2] = []
+        for p in ordered:
+            while len(chain) >= 2 and orientation(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half_hull(unique)
+    upper = half_hull(list(reversed(unique)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        # All points collinear: return the two extremes.
+        return [unique[0], unique[-1]]
+    return hull
+
+
+def point_in_convex_polygon(
+    point: PointLike, hull: Sequence[PointLike], eps: float = EPSILON
+) -> bool:
+    """Whether ``point`` lies inside or on a counter-clockwise convex hull."""
+    verts = [Point2.of(v) for v in hull]
+    if len(verts) < 3:
+        return False
+    p = Point2.of(point)
+    for i, a in enumerate(verts):
+        b = verts[(i + 1) % len(verts)]
+        if orientation(a, b, p, eps=eps) < 0:
+            return False
+    return True
+
+
+def project_onto_segment(point: PointLike, a: PointLike, b: PointLike) -> Point2:
+    """Closest point to ``point`` on the closed segment ``ab``."""
+    p, pa, pb = Point2.of(point), Point2.of(a), Point2.of(b)
+    ab = pb - pa
+    denom = ab.dot(ab)
+    if denom == 0.0:
+        return pa
+    t = (p - pa).dot(ab) / denom
+    t = min(1.0, max(0.0, t))
+    return pa + ab * t
+
+
+def project_onto_convex_polygon(point: PointLike, hull: Sequence[PointLike]) -> Point2:
+    """Closest point to ``point`` inside/on a counter-clockwise convex hull.
+
+    Points already inside are returned unchanged; outside points are
+    projected onto the nearest hull edge. Degenerate hulls (size 1 or 2)
+    project onto the point / the segment.
+    """
+    verts = [Point2.of(v) for v in hull]
+    if not verts:
+        raise ValueError("empty hull")
+    p = Point2.of(point)
+    if len(verts) == 1:
+        return verts[0]
+    if len(verts) == 2:
+        return project_onto_segment(p, verts[0], verts[1])
+    if point_in_convex_polygon(p, verts):
+        return p
+    best: Point2 = verts[0]
+    best_d = float("inf")
+    for i, a in enumerate(verts):
+        b = verts[(i + 1) % len(verts)]
+        candidate = project_onto_segment(p, a, b)
+        d = candidate.distance_to(p)
+        if d < best_d:
+            best, best_d = candidate, d
+    return best
+
+
+def hull_area(hull: Sequence[PointLike]) -> float:
+    """Area of a counter-clockwise simple polygon (shoelace formula)."""
+    verts = [Point2.of(v) for v in hull]
+    if len(verts) < 3:
+        return 0.0
+    arr = np.asarray([tuple(v) for v in verts], dtype=float)
+    x, y = arr[:, 0], arr[:, 1]
+    return 0.5 * abs(
+        float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    )

@@ -1,0 +1,214 @@
+"""Basic planar/3-D primitives shared across the geometry kernel.
+
+The library keeps heavy numeric paths in :mod:`numpy`; these light value
+types exist for clarity at API boundaries (problem statements, node
+positions, experiment configs) where a bare ``ndarray`` would hide intent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+import numpy as np
+
+PointLike = Union["Point2", Tuple[float, float], Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True, order=True)
+class Point2:
+    """An immutable point (or displacement vector) in the plane."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point2") -> "Point2":
+        return Point2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point2") -> "Point2":
+        return Point2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point2":
+        return Point2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point2":
+        return Point2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point2":
+        return Point2(-self.x, -self.y)
+
+    def dot(self, other: "Point2") -> float:
+        """Scalar product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point2") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point2":
+        """Unit vector in the same direction; zero vector stays zero."""
+        n = self.norm()
+        if n == 0.0:
+            return Point2(0.0, 0.0)
+        return Point2(self.x / n, self.y / n)
+
+    def distance_to(self, other: "Point2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        """Return a ``float64`` array ``[x, y]``."""
+        return np.array([self.x, self.y], dtype=float)
+
+    @staticmethod
+    def of(value: PointLike) -> "Point2":
+        """Coerce a 2-sequence or :class:`Point2` into a :class:`Point2`."""
+        if isinstance(value, Point2):
+            return value
+        x, y = float(value[0]), float(value[1])
+        return Point2(x, y)
+
+
+@dataclass(frozen=True, order=True)
+class Point3:
+    """An immutable point in 3-space; ``z`` is the sampled field value."""
+
+    x: float
+    y: float
+    z: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def projection(self) -> Point2:
+        """Drop the z-coordinate (projection onto the X-Y plane)."""
+        return Point2(self.x, self.y)
+
+    def as_array(self) -> np.ndarray:
+        """Return a ``float64`` array ``[x, y, z]``."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax < self.xmin or self.ymax < self.ymin:
+            raise ValueError(
+                f"degenerate bounding box: ({self.xmin},{self.ymin})-"
+                f"({self.xmax},{self.ymax})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point2:
+        return Point2((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def contains(self, point: PointLike, tol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside (with optional tolerance ``tol``)."""
+        p = Point2.of(point)
+        return (
+            self.xmin - tol <= p.x <= self.xmax + tol
+            and self.ymin - tol <= p.y <= self.ymax + tol
+        )
+
+    def clamp(self, point: PointLike) -> Point2:
+        """Project ``point`` onto the box (nearest point inside)."""
+        p = Point2.of(point)
+        return Point2(
+            min(max(p.x, self.xmin), self.xmax),
+            min(max(p.y, self.ymin), self.ymax),
+        )
+
+    def corners(self) -> Tuple[Point2, Point2, Point2, Point2]:
+        """Corners in counter-clockwise order starting at (xmin, ymin)."""
+        return (
+            Point2(self.xmin, self.ymin),
+            Point2(self.xmax, self.ymin),
+            Point2(self.xmax, self.ymax),
+            Point2(self.xmin, self.ymax),
+        )
+
+    @staticmethod
+    def square(side: float) -> "BoundingBox":
+        """The region ``[0, side]²`` used throughout the paper."""
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        return BoundingBox(0.0, 0.0, float(side), float(side))
+
+    @staticmethod
+    def around(points: Iterable[PointLike]) -> "BoundingBox":
+        """Smallest box containing every point in ``points``."""
+        arr = np.asarray([tuple(Point2.of(p)) for p in points], dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot bound an empty point set")
+        return BoundingBox(
+            float(arr[:, 0].min()),
+            float(arr[:, 1].min()),
+            float(arr[:, 0].max()),
+            float(arr[:, 1].max()),
+        )
+
+
+def distance(a: PointLike, b: PointLike) -> float:
+    """Euclidean distance between two planar points."""
+    pa, pb = Point2.of(a), Point2.of(b)
+    return pa.distance_to(pb)
+
+
+def distance_squared(a: PointLike, b: PointLike) -> float:
+    """Squared Euclidean distance (avoids the sqrt in hot loops)."""
+    pa, pb = Point2.of(a), Point2.of(b)
+    dx, dy = pa.x - pb.x, pa.y - pb.y
+    return dx * dx + dy * dy
+
+
+def midpoint(a: PointLike, b: PointLike) -> Point2:
+    """Midpoint of the segment ``ab``."""
+    pa, pb = Point2.of(a), Point2.of(b)
+    return Point2((pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0)
+
+
+def unit_vector(origin: PointLike, target: PointLike) -> Point2:
+    """Unit vector pointing from ``origin`` to ``target`` (zero if equal)."""
+    po, pt = Point2.of(origin), Point2.of(target)
+    return (pt - po).normalized()
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense symmetric distance matrix for an ``(n, 2)`` position array."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) array, got shape {pts.shape}")
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))

@@ -1,0 +1,109 @@
+"""A small undirected weighted graph with adjacency-list storage.
+
+Vertices are integers ``0..n-1`` (matching row indices of position arrays
+elsewhere in the library). Parallel edges collapse to the latest weight;
+self-loops are rejected — neither occurs in unit-disk graphs, and rejecting
+them keeps the invariants simple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Graph:
+    """Undirected weighted graph on vertices ``0..n-1``."""
+
+    def __init__(self, n_vertices: int) -> None:
+        if n_vertices < 0:
+            raise ValueError(f"n_vertices must be >= 0, got {n_vertices}")
+        self._adj: List[Dict[int, float]] = [{} for _ in range(n_vertices)]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj) // 2
+
+    def add_vertex(self) -> int:
+        """Append a vertex; return its index."""
+        self._adj.append({})
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or re-weight) the undirected edge ``{u, v}``."""
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``{u, v}``; KeyError if absent."""
+        self._check(u)
+        self._check(v)
+        try:
+            del self._adj[u][v]
+            del self._adj[v][u]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check(u)
+        self._check(v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; KeyError if absent."""
+        self._check(u)
+        self._check(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def neighbors(self, u: int) -> List[int]:
+        """Neighbour indices of ``u`` (sorted, for determinism)."""
+        self._check(u)
+        return sorted(self._adj[u])
+
+    def degree(self, u: int) -> int:
+        self._check(u)
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate undirected edges as ``(u, v, weight)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in sorted(nbrs.items()):
+                if u < v:
+                    yield (u, v, w)
+
+    def subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", List[int]]:
+        """Induced subgraph; returns it plus the old-index list per new index."""
+        keep = sorted(set(vertices))
+        for v in keep:
+            self._check(v)
+        remap = {old: new for new, old in enumerate(keep)}
+        sub = Graph(len(keep))
+        for u in keep:
+            for v, w in self._adj[u].items():
+                if v in remap and u < v:
+                    sub.add_edge(remap[u], remap[v], w)
+        return sub, keep
+
+    def copy(self) -> "Graph":
+        dup = Graph(self.n_vertices)
+        for u, v, w in self.edges():
+            dup.add_edge(u, v, w)
+        return dup
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < len(self._adj):
+            raise IndexError(f"vertex {v} out of range [0, {len(self._adj)})")
+
+    def __repr__(self) -> str:
+        return f"Graph(n_vertices={self.n_vertices}, n_edges={self.n_edges})"

@@ -1,0 +1,62 @@
+"""Minimum spanning trees: Prim (the paper's choice) and Kruskal.
+
+FRA's foresight step "is carried out by prim algorithm that searching the
+minimum cost spanning tree" (Section 4.2); Kruskal is provided as an
+independent implementation so the test suite can cross-check both against
+each other and against :mod:`networkx`.
+
+Both functions operate per connected component: on a disconnected graph
+they return a minimum spanning *forest*.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.unionfind import UnionFind
+
+Edge = Tuple[int, int, float]
+
+
+def prim_mst(graph: Graph) -> List[Edge]:
+    """Minimum spanning forest via Prim's algorithm with a binary heap.
+
+    Returns edges as ``(u, v, weight)`` with ``u < v``, sorted for
+    determinism. O(E log V).
+    """
+    visited = [False] * graph.n_vertices
+    forest: List[Edge] = []
+    for root in range(graph.n_vertices):
+        if visited[root]:
+            continue
+        visited[root] = True
+        heap: List[Tuple[float, int, int]] = []
+        for v in graph.neighbors(root):
+            heapq.heappush(heap, (graph.weight(root, v), root, v))
+        while heap:
+            w, u, v = heapq.heappop(heap)
+            if visited[v]:
+                continue
+            visited[v] = True
+            forest.append((min(u, v), max(u, v), w))
+            for nxt in graph.neighbors(v):
+                if not visited[nxt]:
+                    heapq.heappush(heap, (graph.weight(v, nxt), v, nxt))
+    return sorted(forest)
+
+
+def kruskal_mst(graph: Graph) -> List[Edge]:
+    """Minimum spanning forest via Kruskal's algorithm (sort + union-find)."""
+    uf = UnionFind(graph.n_vertices)
+    forest: List[Edge] = []
+    for u, v, w in sorted(graph.edges(), key=lambda e: (e[2], e[0], e[1])):
+        if uf.union(u, v):
+            forest.append((u, v, w))
+    return sorted(forest)
+
+
+def total_weight(edges: List[Edge]) -> float:
+    """Sum of edge weights of a spanning forest."""
+    return sum(w for _, _, w in edges)

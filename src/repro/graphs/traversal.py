@@ -1,0 +1,84 @@
+"""Breadth-first traversal, connected components, hop-count paths.
+
+The paper's NP-hardness argument (Section 4.1) leans on connectivity of
+``G(V, E)`` being decidable cheaply; these are those decision procedures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.graphs.graph import Graph
+
+
+def bfs_order(graph: Graph, source: int) -> List[int]:
+    """Vertices reachable from ``source`` in BFS visiting order."""
+    graph._check(source)
+    seen = [False] * graph.n_vertices
+    seen[source] = True
+    order = [source]
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """All connected components, each sorted, ordered by smallest member."""
+    seen = [False] * graph.n_vertices
+    components: List[List[int]] = []
+    for start in range(graph.n_vertices):
+        if seen[start]:
+            continue
+        comp = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            u = queue.popleft()
+            comp.append(u)
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        components.append(sorted(comp))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has at most one connected component.
+
+    The empty graph and the single-vertex graph count as connected (the
+    paper's ``C(G) > 1`` test is false for them).
+    """
+    if graph.n_vertices <= 1:
+        return True
+    return len(bfs_order(graph, 0)) == graph.n_vertices
+
+
+def shortest_hop_path(graph: Graph, source: int, target: int) -> Optional[List[int]]:
+    """Minimum-hop path from ``source`` to ``target``; ``None`` if unreachable."""
+    graph._check(source)
+    graph._check(target)
+    if source == target:
+        return [source]
+    parent: Dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in parent:
+                continue
+            parent[v] = u
+            if v == target:
+                path = [v]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            queue.append(v)
+    return None

@@ -1,0 +1,54 @@
+"""Discrete-time simulation of mobile CPS nodes.
+
+The paper evaluates CMA in trace-driven simulation (Section 6); this
+package is that testbed:
+
+* :mod:`.sensing` — the ``Rs``-disk sensing model producing the ``m``
+  samples and local curvature estimates of Table 2,
+* :mod:`.radio` — unit-disk neighbour discovery and the per-round
+  ``(x, y, G)`` exchange, with optional message loss,
+* :mod:`.messages` — the ``tell`` message (destination + neighbour table),
+* :mod:`.failures` — failure injection: node death schedules, lossy links,
+* :mod:`.engine` — the synchronous round loop
+  (sense → exchange → plan → move → LCM → measure), and
+* :mod:`.recorders` — pluggable observers collecting δ(t), trajectories,
+  connectivity and force series.
+"""
+
+from repro.sim.sensing import DiskSensor, TraceSampler
+from repro.sim.radio import Radio
+from repro.sim.messages import TellMessage
+from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.engine import MobileSimulation, RoundRecord, SimulationResult
+from repro.sim.centralized import (
+    CentralizedResult,
+    CentralizedSimulation,
+    cma_message_count,
+)
+from repro.sim.recorders import (
+    ConnectivityRecorder,
+    DeltaRecorder,
+    ForceRecorder,
+    Recorder,
+    TrajectoryRecorder,
+)
+
+__all__ = [
+    "CentralizedResult",
+    "CentralizedSimulation",
+    "ConnectivityRecorder",
+    "DeltaRecorder",
+    "DiskSensor",
+    "ForceRecorder",
+    "MessageLossModel",
+    "MobileSimulation",
+    "NodeFailureSchedule",
+    "Radio",
+    "Recorder",
+    "RoundRecord",
+    "SimulationResult",
+    "TellMessage",
+    "TraceSampler",
+    "TrajectoryRecorder",
+    "cma_message_count",
+]

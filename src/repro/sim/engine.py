@@ -1,0 +1,488 @@
+"""The synchronous round loop: sense → exchange → plan → move → LCM → measure.
+
+Each simulated minute (round) the engine:
+
+1. snapshots the hidden environment field at the current time (the nodes
+   never see this snapshot — only their ``Rs``-disk readings of it),
+2. lets every alive node sense and estimate curvature,
+3. runs one beacon exchange over the unit-disk radio,
+4. has every node plan its move with :func:`repro.core.cma.plan_move`,
+5. applies the moves, then runs the Local Connectivity Mechanism pass
+   (followers chase movers that would strand them),
+6. reconstructs the surface from the nodes' *current samples* and scores
+   δ against the true snapshot — the paper's Fig. 10 measurement.
+
+The engine is deterministic for a fixed configuration (all randomness sits
+in explicitly seeded models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cma import (
+    CMAParams,
+    CMAPlan,
+    LocalSensing,
+    estimate_own_curvature,
+    plan_move,
+)
+from repro.core.lcm import lcm_adjustment
+from repro.core.problem import OSTDProblem
+from repro.core.baselines import uniform_grid_placement
+from repro.fields.base import sample_grid
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import connected_components
+from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.node import NodeState
+from repro.sim.radio import Radio
+from repro.sim.recorders import Recorder
+from repro.sim.sensing import DiskSensor, TraceSampler
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured about one completed round."""
+
+    round_index: int
+    t: float
+    positions: np.ndarray
+    delta: float
+    rmse: float
+    connected: bool
+    n_components: int
+    n_alive: int
+    n_moved: int
+    n_lcm_moves: int
+    mean_force: float
+    n_trace_samples: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """The full run: per-round records plus convenience accessors."""
+
+    rounds: List[RoundRecord] = dataclass_field(default_factory=list)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray([r.t for r in self.rounds], dtype=float)
+
+    @property
+    def deltas(self) -> np.ndarray:
+        return np.asarray([r.delta for r in self.rounds], dtype=float)
+
+    @property
+    def final_positions(self) -> np.ndarray:
+        if not self.rounds:
+            raise ValueError("simulation produced no rounds")
+        return self.rounds[-1].positions
+
+    @property
+    def always_connected(self) -> bool:
+        return all(r.connected for r in self.rounds)
+
+    def converged_after(self, movement_tolerance: float = 0.05) -> Optional[float]:
+        """First time from which mean displacement stays below tolerance.
+
+        This is the paper's "the nodes converge from 10:30" measurement.
+        Returns ``None`` if the run never settles.
+        """
+        if len(self.rounds) < 2:
+            return None
+        moves = [
+            float(np.linalg.norm(b.positions - a.positions, axis=1).mean())
+            for a, b in zip(self.rounds, self.rounds[1:])
+        ]
+        for i in range(len(moves)):
+            if all(m <= movement_tolerance for m in moves[i:]):
+                return self.rounds[i + 1].t
+        return None
+
+
+def default_grid_layout(region, k: int, rc: float) -> np.ndarray:
+    """The paper's grid start, shrunk toward the centre for link slack.
+
+    The shrink factor is at most 0.9 (10% slack below the nominal lattice
+    spacing — a grid at spacing exactly Rc breaks links on any movement)
+    and smaller when the nominal spacing exceeds ``0.95·Rc``, so the
+    initial unit-disk graph is connected whenever geometrically possible.
+    """
+    grid = uniform_grid_placement(region, k)
+    xs = np.unique(grid[:, 0])
+    ys = np.unique(grid[:, 1])
+    spacing = max(
+        float(np.diff(xs).max()) if len(xs) > 1 else 0.0,
+        float(np.diff(ys).max()) if len(ys) > 1 else 0.0,
+    )
+    factor = 0.9
+    if spacing > 0:
+        factor = min(0.9, 0.95 * rc / spacing)
+    centre = region.center.as_array()
+    return centre + factor * (grid - centre)
+
+
+class MobileSimulation:
+    """Simulate ``k`` CMA-driven mobile nodes against a hidden field.
+
+    Connectivity maintenance (constrained movement + LCM) preserves an
+    *initially connected* radio graph — the paper's stated precondition
+    (Section 5.2: "assume that in the initial state, all the nodes are
+    connected"). A disconnected start runs fine but isolated components
+    cannot find each other (nodes only know single-hop neighbours).
+    """
+
+    def __init__(
+        self,
+        problem: OSTDProblem,
+        params: Optional[CMAParams] = None,
+        initial_positions: Optional[np.ndarray] = None,
+        resolution: int = 101,
+        message_loss: Optional[MessageLossModel] = None,
+        failure_schedule: Optional[NodeFailureSchedule] = None,
+        trace_sampler: Optional[TraceSampler] = None,
+        recorders: Sequence[Recorder] = (),
+        energy_budget: Optional[float] = None,
+        sensor_noise_std: float = 0.0,
+        sensor_noise_seed: int = 0,
+    ) -> None:
+        self.problem = problem
+        self.params = params or CMAParams(
+            rc=problem.rc,
+            rs=problem.rs,
+            speed=problem.speed,
+            dt=problem.dt,
+        )
+        if self.params.rc != problem.rc or self.params.rs != problem.rs:
+            raise ValueError("CMAParams radii must match the problem's Rc/Rs")
+        self.resolution = int(resolution)
+        self.radio = Radio(problem.rc, loss=message_loss)
+        self.failure_schedule = failure_schedule
+        self.trace_sampler = trace_sampler
+        self.recorders = list(recorders)
+        if energy_budget is not None and energy_budget <= 0:
+            raise ValueError(
+                f"energy_budget must be positive, got {energy_budget}"
+            )
+        #: Total movement distance (metres) a node may spend before it dies
+        #: — the paper assumes "energy is sufficient for the movement";
+        #: this knob removes that assumption for robustness studies.
+        self.energy_budget = energy_budget
+        if sensor_noise_std < 0:
+            raise ValueError(
+                f"sensor_noise_std must be >= 0, got {sensor_noise_std}"
+            )
+        #: Gaussian read noise on every sensed value (paper: noiseless).
+        self.sensor_noise_std = float(sensor_noise_std)
+        self._sensor_rng = np.random.default_rng(sensor_noise_seed)
+
+        if initial_positions is not None:
+            init = np.asarray(initial_positions, dtype=float).reshape(-1, 2)
+        else:
+            init = default_grid_layout(problem.region, problem.k, problem.rc)
+        if len(init) != problem.k:
+            raise ValueError(
+                f"initial layout has {len(init)} nodes, expected k={problem.k}"
+            )
+        self.nodes = [NodeState(node_id=i, position=p) for i, p in enumerate(init)]
+        self.t = float(problem.t0)
+        self.round_index = 0
+        #: Deployment-time curvature calibration (mean sensed |G| across the
+        #: fleet at t0). Fixed after the first round so weights keep their
+        #: spatial contrast — re-normalising per node would flatten it.
+        self._curvature_scale: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        return np.asarray([n.position for n in self.nodes], dtype=float)
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        return np.asarray([n.alive for n in self.nodes], dtype=bool)
+
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Advance one round; returns the round's measurements."""
+        # 0. scheduled failures fire at the start of the round; nodes that
+        # have exhausted their movement-energy budget die too.
+        if self.failure_schedule is not None:
+            for node_id in self.failure_schedule.failures_due(self.t):
+                if 0 <= node_id < len(self.nodes):
+                    self.nodes[node_id].kill(self.t)
+        if self.energy_budget is not None:
+            for node in self.nodes:
+                if node.alive and node.distance_travelled >= self.energy_budget:
+                    node.kill(self.t)
+
+        snapshot = sample_grid(
+            self.problem.field, self.problem.region, self.resolution, t=self.t
+        )
+        sensor = DiskSensor(
+            snapshot,
+            self.problem.rs,
+            noise_std=self.sensor_noise_std,
+            noise_rng=self._sensor_rng,
+        )
+        alive_ids = [n.node_id for n in self.nodes if n.alive]
+
+        # 1.-2. sense + own-curvature estimation. Weights are normalised by
+        # a *deployment-time* calibration constant (the fleet's mean sensed
+        # |curvature| at t0, a one-shot broadcast during initialisation):
+        # this makes them dimensionless and comparable to the metre-valued
+        # repulsion while preserving the spatial contrast between feature
+        # curvature and background noise. Weights are capped so one sharp
+        # edge cannot produce an unbounded force.
+        raw_sensings = {}
+        for node_id in alive_ids:
+            node = self.nodes[node_id]
+            raw_sensings[node_id] = sensor.read(node.position)
+        if self._curvature_scale is None:
+            all_curv = np.concatenate(
+                [s.curvatures for s in raw_sensings.values() if s.m]
+            ) if raw_sensings else np.empty(0)
+            mean_curv = float(np.mean(np.abs(all_curv))) if all_curv.size else 0.0
+            self._curvature_scale = mean_curv if mean_curv > 0.0 else 1.0
+
+        sensings = {}
+        for node_id in alive_ids:
+            node = self.nodes[node_id]
+            sensing = raw_sensings[node_id]
+            curvature = estimate_own_curvature(sensing, node.position, self.params)
+            if self.params.normalize_curvature:
+                cap = self.params.curvature_weight_cap
+                thr = self.params.curvature_threshold
+                curvature = float(
+                    np.clip(curvature / self._curvature_scale - thr, 0.0, cap)
+                )
+                if sensing.m:
+                    sensing = LocalSensing(
+                        positions=sensing.positions,
+                        values=sensing.values,
+                        curvatures=np.clip(
+                            sensing.curvatures / self._curvature_scale - thr,
+                            0.0,
+                            cap,
+                        ),
+                    )
+            node.curvature = curvature
+            sensings[node_id] = sensing
+
+        # 3. beacon exchange (dead nodes transmit nothing).
+        curvatures = [n.curvature for n in self.nodes]
+        inboxes = self.radio.exchange(
+            self.positions, curvatures, alive=self.alive_mask
+        )
+
+        # 4. plan.
+        plans: List[CMAPlan] = []
+        for node_id in alive_ids:
+            node = self.nodes[node_id]
+            plans.append(
+                plan_move(
+                    node_id,
+                    node.position,
+                    sensings[node_id],
+                    inboxes[node_id],
+                    self.params,
+                    self.problem.region,
+                )
+            )
+
+        # 5a. apply moves, clipped so no unbridged link is broken by the
+        # mover itself (connectivity-preserving movement; the follower-side
+        # LCM below repairs the rare residual breaks caused by two
+        # neighbours moving in the same round).
+        n_moved = 0
+        force_norms: List[float] = []
+        for plan in plans:
+            node = self.nodes[plan.node_id]
+            if plan.breakdown is not None:
+                force_norms.append(plan.breakdown.magnitude)
+            if plan.moved:
+                destination = self._constrain_move(node, plan)
+                if float(np.linalg.norm(destination - node.position)) > 0.0:
+                    node.move_to(destination)
+                    n_moved += 1
+
+        # 5b. LCM pass: former neighbours of each mover check their link.
+        n_lcm_moves = self._lcm_pass(plans)
+
+        # 5c. trace sampling: each node records the field along the path it
+        # actually travelled this round (origin -> post-LCM position).
+        extra_positions: List[np.ndarray] = []
+        extra_values: List[np.ndarray] = []
+        if self.trace_sampler is not None:
+            for plan in plans:
+                node = self.nodes[plan.node_id]
+                if not node.alive:
+                    continue
+                pts, vals = self.trace_sampler.sample_path(
+                    self.problem.field, plan.origin, node.position, self.t
+                )
+                if len(pts):
+                    extra_positions.append(pts)
+                    extra_values.append(vals)
+
+        # 6. measure: reconstruct from the nodes' own samples.
+        record = self._measure(snapshot, extra_positions, extra_values)
+        record.n_moved = n_moved
+        record.n_lcm_moves = n_lcm_moves
+        record.mean_force = float(np.mean(force_norms)) if force_norms else 0.0
+
+        for recorder in self.recorders:
+            recorder.on_round(record)
+        self.t += self.problem.dt
+        self.round_index += 1
+        return record
+
+    #: Step fractions tried when clipping a move against link constraints.
+    _ALPHA_LADDER = (1.0, 0.75, 0.5, 0.25, 0.1, 0.0)
+
+    def _constrain_move(self, node, plan: CMAPlan) -> np.ndarray:
+        """Largest fraction of the planned step that breaks no unbridged link.
+
+        A link to neighbour ``j`` may stretch beyond ``Rc`` only if some
+        other neighbour ``k`` (a bridge) remains within ``Rc`` of both ``j``
+        and the new position. Uses only the node's own neighbour table —
+        the information CMA already has.
+        """
+        nbr_ids = [
+            o.node_id for o in plan.neighbor_table if self.nodes[o.node_id].alive
+        ]
+        if not nbr_ids:
+            return plan.destination
+        origin = node.position
+        step_vec = plan.destination - origin
+        rc = self.problem.rc
+        nbr_pos = {j: self.nodes[j].position for j in nbr_ids}
+
+        def feasible(p: np.ndarray) -> bool:
+            for j in nbr_ids:
+                if float(np.linalg.norm(p - nbr_pos[j])) <= rc:
+                    continue
+                bridged = any(
+                    k != j
+                    and float(np.linalg.norm(nbr_pos[k] - nbr_pos[j])) <= rc
+                    and float(np.linalg.norm(nbr_pos[k] - p)) <= rc
+                    for k in nbr_ids
+                )
+                if not bridged:
+                    return False
+            return True
+
+        for alpha in self._ALPHA_LADDER:
+            candidate = origin + alpha * step_vec
+            if feasible(candidate):
+                return candidate
+        return origin
+
+    #: LCM repair passes per round (followers chasing movers can strand
+    #: their own followers, so the pass iterates a bounded number of times).
+    _LCM_MAX_PASSES = 6
+
+    def _lcm_pass(self, plans: List[CMAPlan]) -> int:
+        """Follower-side LCM (paper lines 19-21) as a repair pass.
+
+        With movers already clipping their own steps, breaks only arise
+        when two linked nodes move in the same round; the follower then
+        chases onto the mover's ``Rc`` circle. Bridge checks use the
+        current beacon positions of the mover's announced table.
+        """
+        n_moves = 0
+        for _ in range(self._LCM_MAX_PASSES):
+            moves_this_pass = 0
+            for plan in plans:
+                mover = self.nodes[plan.node_id]
+                if not mover.alive:
+                    continue
+                for obs in plan.neighbor_table:
+                    follower = self.nodes[obs.node_id]
+                    if not follower.alive:
+                        continue
+                    bridges = [
+                        self.nodes[o.node_id].position
+                        for o in plan.neighbor_table
+                        if o.node_id != obs.node_id and self.nodes[o.node_id].alive
+                    ]
+                    decision = lcm_adjustment(
+                        follower.position, mover.position, bridges, self.problem.rc
+                    )
+                    if decision.must_move and decision.target is not None:
+                        target = self.problem.region.clamp(
+                            decision.target
+                        ).as_array()
+                        follower.move_to(target)
+                        moves_this_pass += 1
+            n_moves += moves_this_pass
+            if moves_this_pass == 0:
+                break
+        return n_moves
+
+    def _measure(
+        self,
+        snapshot,
+        extra_positions: List[np.ndarray],
+        extra_values: List[np.ndarray],
+    ) -> RoundRecord:
+        alive = [n for n in self.nodes if n.alive]
+        pts = np.asarray([n.position for n in alive], dtype=float).reshape(-1, 2)
+        values = self.problem.field.sample(pts, self.t)
+        n_trace = 0
+        if extra_positions:
+            extras = np.vstack(extra_positions)
+            pts = np.vstack([pts, extras])
+            values = np.concatenate([values, np.concatenate(extra_values)])
+            n_trace = len(extras)
+
+        if len(pts) == 0:
+            # The whole fleet is dead: there is no reconstruction to score.
+            return RoundRecord(
+                round_index=self.round_index,
+                t=self.t,
+                positions=self.positions.copy(),
+                delta=float("nan"),
+                rmse=float("nan"),
+                connected=True,
+                n_components=0,
+                n_alive=0,
+                n_moved=0,
+                n_lcm_moves=0,
+                mean_force=0.0,
+                n_trace_samples=0,
+            )
+
+        reconstruction = reconstruct_surface(snapshot, pts, values=values)
+        alive_positions = np.asarray(
+            [n.position for n in alive], dtype=float
+        ).reshape(-1, 2)
+        graph = unit_disk_graph(alive_positions, self.problem.rc)
+        components = connected_components(graph)
+        return RoundRecord(
+            round_index=self.round_index,
+            t=self.t,
+            positions=self.positions.copy(),
+            delta=reconstruction.delta,
+            rmse=reconstruction.rmse,
+            connected=len(components) <= 1,
+            n_components=len(components),
+            n_alive=len(alive),
+            n_moved=0,
+            n_lcm_moves=0,
+            mean_force=0.0,
+            n_trace_samples=n_trace,
+        )
+
+    def run(self, n_rounds: Optional[int] = None) -> SimulationResult:
+        """Run ``n_rounds`` (default: the problem's duration) and collect."""
+        total = n_rounds if n_rounds is not None else self.problem.n_rounds
+        if total < 1:
+            raise ValueError(f"n_rounds must be >= 1, got {total}")
+        result = SimulationResult()
+        for _ in range(total):
+            result.rounds.append(self.step())
+        return result

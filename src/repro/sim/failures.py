@@ -1,0 +1,66 @@
+"""Failure injection for robustness experiments.
+
+Nothing in the paper's evaluation kills nodes or drops packets — real
+deployments do. These models plug into the engine/radio so the extension
+experiments (DESIGN.md §5) can measure how CMA + LCM degrade:
+
+* :class:`MessageLossModel` — each directed beacon delivery is dropped
+  i.i.d. with a fixed probability (a memoryless lossy link).
+* :class:`NodeFailureSchedule` — nodes die (permanently) at scheduled
+  simulation times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class MessageLossModel:
+    """Bernoulli loss on each directed message delivery.
+
+    Deterministic given the seed; the same model instance must be reused
+    across rounds so the RNG stream advances.
+    """
+
+    def __init__(self, probability: float, seed: int = 0) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {probability}"
+            )
+        self.probability = float(probability)
+        self._rng = np.random.default_rng(seed)
+
+    def delivered(self) -> bool:
+        """Sample one delivery attempt."""
+        if self.probability == 0.0:
+            return True
+        return bool(self._rng.random() >= self.probability)
+
+
+@dataclass
+class NodeFailureSchedule:
+    """Nodes that die at given simulation times (minutes).
+
+    ``at[t]`` lists node ids that fail at the *start* of the round whose
+    time is >= t (first such round). A dead node stops sensing, moving and
+    transmitting; it also stops contributing samples to reconstruction.
+    """
+
+    at: Dict[float, Sequence[int]] = field(default_factory=dict)
+    _fired: List[float] = field(default_factory=list)
+
+    def failures_due(self, t: float) -> List[int]:
+        """Node ids that should die at time ``t`` (each schedule fires once)."""
+        due: List[int] = []
+        for when, ids in self.at.items():
+            if when <= t and when not in self._fired:
+                self._fired.append(when)
+                due.extend(int(i) for i in ids)
+        return due
+
+    def reset(self) -> None:
+        """Re-arm all scheduled failures (for reusing a schedule object)."""
+        self._fired.clear()

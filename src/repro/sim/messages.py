@@ -1,0 +1,38 @@
+"""Message types exchanged between nodes each round.
+
+Two messages exist in CMA (Table 2):
+
+* the beacon ``Tx(ni)`` carrying ``(x_i, y_i, G(n'_i))`` — represented as
+  :class:`repro.core.cma.NeighborObservation` on the receiving side, and
+* ``tell(nd, N[q])`` announcing a planned move: the destination plus the
+  mover's neighbour table, which former neighbours use for the LCM check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.cma import NeighborObservation
+
+
+@dataclass(frozen=True)
+class TellMessage:
+    """A mover's announcement: ``tell(nd, N[q][3])`` from Table 2."""
+
+    sender_id: int
+    destination: np.ndarray
+    neighbor_table: List[NeighborObservation]
+
+    def bridge_positions(self) -> List[np.ndarray]:
+        """Positions of the announced neighbours (potential LCM bridges)."""
+        return [obs.position for obs in self.neighbor_table]
+
+    def index_of(self, node_id: int):
+        """Index of ``node_id`` in the table, or ``None`` if absent."""
+        for idx, obs in enumerate(self.neighbor_table):
+            if obs.node_id == node_id:
+                return idx
+        return None

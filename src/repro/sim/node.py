@@ -1,0 +1,45 @@
+"""Per-node state tracked by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class NodeState:
+    """One mobile CPS node.
+
+    The engine owns movement and liveness; algorithm state (curvature,
+    plans) is recomputed each round from local observations, so nodes carry
+    no hidden memory — matching the stateless round structure of Table 2.
+    """
+
+    node_id: int
+    position: np.ndarray
+    alive: bool = True
+    #: Curvature the node computed for itself this round (diagnostics).
+    curvature: float = 0.0
+    #: Cumulative distance travelled (energy proxy).
+    distance_travelled: float = 0.0
+    #: Round at which the node died, if it did.
+    died_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).reshape(2)
+
+    def move_to(self, destination: np.ndarray) -> float:
+        """Relocate; returns (and accumulates) the distance covered."""
+        dest = np.asarray(destination, dtype=float).reshape(2)
+        step = float(np.linalg.norm(dest - self.position))
+        self.position = dest
+        self.distance_travelled += step
+        return step
+
+    def kill(self, t: float) -> None:
+        """Mark the node dead as of time ``t``; idempotent."""
+        if self.alive:
+            self.alive = False
+            self.died_at = t

@@ -1,0 +1,82 @@
+"""Unit-disk radio: neighbour discovery and the per-round beacon exchange.
+
+Two nodes are single-hop neighbours iff their distance is at most ``Rc``
+(the paper's communication model). Each round every alive node broadcasts
+``(x, y, G)``; the radio delivers those beacons to every in-range listener,
+subject to the optional message-loss model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cma import NeighborObservation
+from repro.geometry.primitives import pairwise_distances
+from repro.sim.failures import MessageLossModel
+
+
+class Radio:
+    """The shared medium connecting all nodes."""
+
+    def __init__(self, rc: float, loss: Optional[MessageLossModel] = None) -> None:
+        if rc <= 0:
+            raise ValueError(f"Rc must be positive, got {rc}")
+        self.rc = float(rc)
+        self.loss = loss
+
+    def neighbor_ids(
+        self, positions: np.ndarray, alive: Optional[np.ndarray] = None
+    ) -> List[List[int]]:
+        """For each node, the ids of alive nodes within ``Rc`` (excluding self)."""
+        pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+        n = len(pts)
+        live = (
+            np.ones(n, dtype=bool)
+            if alive is None
+            else np.asarray(alive, dtype=bool).reshape(n)
+        )
+        if n == 0:
+            return []
+        dists = pairwise_distances(pts)
+        out: List[List[int]] = []
+        for i in range(n):
+            if not live[i]:
+                out.append([])
+                continue
+            in_range = (dists[i] <= self.rc) & live
+            in_range[i] = False
+            out.append(np.nonzero(in_range)[0].tolist())
+        return out
+
+    def exchange(
+        self,
+        positions: np.ndarray,
+        curvatures: Sequence[float],
+        alive: Optional[np.ndarray] = None,
+    ) -> List[List[NeighborObservation]]:
+        """One beacon round: what each node hears from its neighbours.
+
+        Message loss (when configured) applies independently per directed
+        delivery, so a beacon may reach some neighbours and not others —
+        the two directions of a link can disagree, exactly the asymmetry
+        real lossy radios produce.
+        """
+        pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+        ids = self.neighbor_ids(pts, alive=alive)
+        heard: List[List[NeighborObservation]] = []
+        for i, nbrs in enumerate(ids):
+            inbox: List[NeighborObservation] = []
+            for j in nbrs:
+                if self.loss is not None and not self.loss.delivered():
+                    continue
+                inbox.append(
+                    NeighborObservation(
+                        node_id=j,
+                        position=pts[j].copy(),
+                        curvature=float(curvatures[j]),
+                    )
+                )
+            heard.append(inbox)
+        return heard

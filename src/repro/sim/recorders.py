@@ -1,0 +1,93 @@
+"""Pluggable observers of the simulation round loop.
+
+A :class:`Recorder` receives every :class:`~repro.sim.engine.RoundRecord`
+as it is produced. The engine already keeps the full record list; these
+exist for callers that want derived series without post-processing, and to
+attach side effects (progress printing in experiment harnesses).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.engine import RoundRecord
+
+
+class Recorder(abc.ABC):
+    """Observer interface for round-by-round simulation output."""
+
+    @abc.abstractmethod
+    def on_round(self, record: "RoundRecord") -> None:
+        """Called once per completed round."""
+
+
+class DeltaRecorder(Recorder):
+    """Collects the δ(t) series (paper Fig. 10)."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.deltas: List[float] = []
+
+    def on_round(self, record: "RoundRecord") -> None:
+        self.times.append(record.t)
+        self.deltas.append(record.delta)
+
+    def series(self) -> "np.ndarray":
+        """``(n, 2)`` array of (t, δ) pairs."""
+        return np.column_stack([self.times, self.deltas]) if self.times else np.empty((0, 2))
+
+
+class TrajectoryRecorder(Recorder):
+    """Stores a copy of every node position each round (Figs. 8–9)."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.positions: List[np.ndarray] = []
+
+    def on_round(self, record: "RoundRecord") -> None:
+        self.times.append(record.t)
+        self.positions.append(record.positions.copy())
+
+    def displacement(self) -> np.ndarray:
+        """Per-round mean node displacement — the convergence signal."""
+        if len(self.positions) < 2:
+            return np.empty(0)
+        moves = [
+            float(np.linalg.norm(b - a, axis=1).mean())
+            for a, b in zip(self.positions, self.positions[1:])
+        ]
+        return np.asarray(moves)
+
+
+class ConnectivityRecorder(Recorder):
+    """Tracks connectivity and component counts over time."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.connected: List[bool] = []
+        self.n_components: List[int] = []
+
+    def on_round(self, record: "RoundRecord") -> None:
+        self.times.append(record.t)
+        self.connected.append(record.connected)
+        self.n_components.append(record.n_components)
+
+    @property
+    def always_connected(self) -> bool:
+        return all(self.connected)
+
+
+class ForceRecorder(Recorder):
+    """Mean |Fs| per round — how far the swarm is from CWD balance."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.mean_force: List[float] = []
+
+    def on_round(self, record: "RoundRecord") -> None:
+        self.times.append(record.t)
+        self.mean_force.append(record.mean_force)

@@ -1,0 +1,62 @@
+"""Surface analysis: the δ metric, local error, curvature.
+
+This package quantifies everything the paper measures about virtual
+surfaces:
+
+* the reconstruction-quality metric
+  ``δ = ∫∫_A |f(x,y) − DT(x,y)| dx dy`` of Theorem 3.1
+  (:mod:`.metrics`),
+* the FRA local-error array ``Err[√A][√A] = |f − DT|`` (:mod:`.local_error`),
+* analytic Gaussian/mean curvature of gridded surfaces for ground truth
+  (:mod:`.curvature`),
+* the on-node quadric least-squares curvature estimator of Eqns. 11–13
+  (:mod:`.quadric`), and
+* end-to-end surface reconstruction from scattered samples
+  (:mod:`.reconstruction`).
+"""
+
+from repro.surfaces.metrics import (
+    max_absolute_error,
+    rmse,
+    volume_difference,
+    volume_under_surface,
+)
+from repro.surfaces.local_error import (
+    argmax_grid,
+    local_error_grid,
+)
+from repro.surfaces.curvature import (
+    CurvatureGrid,
+    grid_gaussian_curvature,
+    grid_curvatures,
+)
+from repro.surfaces.quadric import (
+    QuadricFit,
+    QuadricFitMode,
+    fit_quadric,
+    gaussian_curvature_from_quadric,
+    principal_curvatures,
+)
+from repro.surfaces.reconstruction import (
+    Reconstruction,
+    reconstruct_surface,
+)
+
+__all__ = [
+    "CurvatureGrid",
+    "QuadricFit",
+    "QuadricFitMode",
+    "Reconstruction",
+    "argmax_grid",
+    "fit_quadric",
+    "gaussian_curvature_from_quadric",
+    "grid_curvatures",
+    "grid_gaussian_curvature",
+    "local_error_grid",
+    "max_absolute_error",
+    "principal_curvatures",
+    "reconstruct_surface",
+    "rmse",
+    "volume_difference",
+    "volume_under_surface",
+]

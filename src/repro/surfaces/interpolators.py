@@ -1,0 +1,163 @@
+"""Alternative scattered-data interpolators: nearest-neighbour and IDW.
+
+The paper adopts Delaunay triangulation for reconstruction because it is
+"widely used in computer vision for rendering vertices into surface"
+(Section 3.1), without comparing alternatives. These two classics make the
+comparison possible (see the ``ablation_interpolation`` experiment):
+
+* **nearest neighbour** — piecewise-constant Voronoi reconstruction;
+* **inverse distance weighting** (Shepard's method) — smooth weighted
+  average with weight ``1/d^p``.
+
+Both share the evaluator interface of
+:class:`repro.geometry.interpolation.LinearSurfaceInterpolator` (callable
+plus ``evaluate_grid``), so :func:`reconstruct_with` can score any of the
+three against the same reference.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.fields.base import GridSample
+from repro.geometry.interpolation import LinearSurfaceInterpolator
+from repro.surfaces.metrics import (
+    max_absolute_error,
+    rmse,
+    volume_difference,
+)
+from repro.surfaces.reconstruction import Reconstruction
+
+
+class NearestNeighborInterpolator:
+    """Piecewise-constant reconstruction: each point takes its nearest sample."""
+
+    def __init__(self, points: np.ndarray, values: np.ndarray) -> None:
+        self.points = np.asarray(points, dtype=float).reshape(-1, 2)
+        self.values = np.asarray(values, dtype=float).reshape(-1)
+        if len(self.points) != len(self.values):
+            raise ValueError(
+                f"{len(self.points)} points but {len(self.values)} values"
+            )
+        if len(self.points) == 0:
+            raise ValueError("cannot interpolate zero samples")
+
+    def __call__(self, x, y):
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        xa, ya = np.broadcast_arrays(xa, ya)
+        flat_x, flat_y = xa.ravel(), ya.ravel()
+        d2 = (flat_x[:, None] - self.points[None, :, 0]) ** 2 + (
+            flat_y[:, None] - self.points[None, :, 1]
+        ) ** 2
+        out = self.values[np.argmin(d2, axis=1)].reshape(xa.shape)
+        if out.shape == ():
+            return float(out)
+        return out
+
+    def evaluate_grid(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xx, yy = np.meshgrid(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))
+        return np.asarray(self(xx, yy), dtype=float)
+
+
+class IDWInterpolator:
+    """Shepard's inverse-distance weighting with exponent ``power``.
+
+    Exact at sample positions (the singular weight is handled by snapping
+    queries within ``snap_tol`` of a sample to its value).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        values: np.ndarray,
+        power: float = 2.0,
+        snap_tol: float = 1e-9,
+    ) -> None:
+        if power <= 0:
+            raise ValueError(f"power must be positive, got {power}")
+        self.points = np.asarray(points, dtype=float).reshape(-1, 2)
+        self.values = np.asarray(values, dtype=float).reshape(-1)
+        if len(self.points) != len(self.values):
+            raise ValueError(
+                f"{len(self.points)} points but {len(self.values)} values"
+            )
+        if len(self.points) == 0:
+            raise ValueError("cannot interpolate zero samples")
+        self.power = float(power)
+        self.snap_tol = float(snap_tol)
+
+    def __call__(self, x, y):
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        xa, ya = np.broadcast_arrays(xa, ya)
+        flat_x, flat_y = xa.ravel(), ya.ravel()
+        d2 = (flat_x[:, None] - self.points[None, :, 0]) ** 2 + (
+            flat_y[:, None] - self.points[None, :, 1]
+        ) ** 2
+        nearest = np.argmin(d2, axis=1)
+        nearest_d2 = d2[np.arange(len(flat_x)), nearest]
+        # Queries coinciding with a sample produce inf weights (and inf/inf
+        # below); they are overwritten by the snap step, so silence both.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            weights = d2 ** (-self.power / 2.0)
+            weights_sum = weights.sum(axis=1)
+            out = (weights @ self.values) / weights_sum
+        snapped = nearest_d2 <= self.snap_tol**2
+        out[snapped] = self.values[nearest[snapped]]
+        out = out.reshape(xa.shape)
+        if out.shape == ():
+            return float(out)
+        return out
+
+    def evaluate_grid(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xx, yy = np.meshgrid(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))
+        return np.asarray(self(xx, yy), dtype=float)
+
+
+Interpolator = Union[
+    LinearSurfaceInterpolator, NearestNeighborInterpolator, IDWInterpolator
+]
+
+
+def make_interpolator(
+    method: str, points: np.ndarray, values: np.ndarray
+) -> Interpolator:
+    """Factory: ``"delaunay"`` (the paper's choice), ``"nearest"``, ``"idw"``."""
+    if method == "delaunay":
+        return LinearSurfaceInterpolator(points, values)
+    if method == "nearest":
+        return NearestNeighborInterpolator(points, values)
+    if method == "idw":
+        return IDWInterpolator(points, values)
+    raise ValueError(
+        f"unknown interpolation method {method!r}; "
+        "use 'delaunay', 'nearest' or 'idw'"
+    )
+
+
+def reconstruct_with(
+    method: str,
+    reference: GridSample,
+    positions: np.ndarray,
+    values: np.ndarray,
+) -> Reconstruction:
+    """Score a sample set under any of the three reconstruction methods."""
+    pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+    vals = np.asarray(values, dtype=float).reshape(-1)
+    interp = make_interpolator(method, pts, vals)
+    surface = GridSample(
+        xs=reference.xs,
+        ys=reference.ys,
+        values=interp.evaluate_grid(reference.xs, reference.ys),
+    )
+    return Reconstruction(
+        sample_positions=pts,
+        sample_values=vals,
+        surface=surface,
+        delta=volume_difference(reference, surface),
+        rmse=rmse(reference, surface),
+        max_error=max_absolute_error(reference, surface),
+    )

@@ -1,0 +1,52 @@
+"""The FRA local-error array.
+
+FRA (paper Table 1) maintains ``Err[√A][√A]``, the vertical distance
+``|f(x, y) − DT(x, y)|`` at every grid position, and repeatedly inserts the
+position of maximum local error. Garland & Heckbert's comparison (cited in
+Section 4.2) found this criterion more accurate than global-error,
+curvature, or product measures — our selection-criterion ablation
+reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fields.base import GridSample
+from repro.geometry.interpolation import LinearSurfaceInterpolator
+
+
+def local_error_grid(
+    reference: GridSample,
+    interpolator: LinearSurfaceInterpolator,
+) -> np.ndarray:
+    """``|f − DT|`` at every grid position; shape ``(len(ys), len(xs))``."""
+    approx = interpolator.evaluate_grid(reference.xs, reference.ys)
+    return np.abs(reference.values - approx)
+
+
+def argmax_grid(
+    err: np.ndarray,
+    exclude: Optional[np.ndarray] = None,
+) -> Tuple[int, int]:
+    """Grid index ``(ix, iy)`` of the maximum value, honouring an exclusion mask.
+
+    ``exclude`` marks cells that must not be chosen (already-selected
+    vertices, in FRA). Ties resolve to the first cell in row-major order,
+    which keeps runs deterministic. Raises :class:`ValueError` when every
+    cell is excluded.
+    """
+    masked = np.asarray(err, dtype=float)
+    if exclude is not None:
+        if exclude.shape != masked.shape:
+            raise ValueError(
+                f"exclude shape {exclude.shape} != error shape {masked.shape}"
+            )
+        masked = np.where(exclude, -np.inf, masked)
+    flat = int(np.argmax(masked))
+    if not np.isfinite(masked.ravel()[flat]):
+        raise ValueError("all grid cells are excluded")
+    iy, ix = divmod(flat, masked.shape[1])
+    return ix, iy

@@ -1,0 +1,73 @@
+"""Reconstruction-quality metrics, headed by the paper's δ.
+
+Theorem 3.1 reduces the volume difference between the real-surface polytope
+and the reconstructed-surface polytope to
+
+    δ(V(z), V(z*)) = ∫∫_A |f(x, y) − DT(x, y)| dx dy.
+
+On the discrete grids used throughout (the paper's region is rasterised to
+``√A x √A`` cells in FRA), the integral becomes a cell-area-weighted sum.
+Grids must be compared on identical axes — mixing resolutions silently
+would corrupt every experiment, so it is an error here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields.base import GridSample
+
+
+def _check_same_grid(a: GridSample, b: GridSample) -> None:
+    if not (
+        np.array_equal(a.xs, b.xs)
+        and np.array_equal(a.ys, b.ys)
+    ):
+        raise ValueError("grid samples are on different grids; resample first")
+
+
+def volume_under_surface(sample: GridSample) -> float:
+    """``V(z) = ∫∫_A f dx dy`` — the volume of the surface polytope (Eqn. 4)."""
+    return float(sample.values.sum() * sample.cell_area)
+
+
+def volume_difference(reference: GridSample, reconstruction: GridSample) -> float:
+    """The paper's δ: integrated absolute difference between two surfaces.
+
+    Equals ``|V∪V*| − |V∩V*|`` (Eqn. 3) for surfaces over the same region;
+    both formulations are implemented and tested to agree.
+    """
+    _check_same_grid(reference, reconstruction)
+    diff = np.abs(reference.values - reconstruction.values)
+    return float(diff.sum() * reference.cell_area)
+
+
+def volume_difference_union_intersection(
+    reference: GridSample, reconstruction: GridSample
+) -> float:
+    """δ via the union/intersection form of Eqn. 3 (used to validate Thm 3.1)."""
+    _check_same_grid(reference, reconstruction)
+    upper = np.maximum(reference.values, reconstruction.values)
+    lower = np.minimum(reference.values, reconstruction.values)
+    return float((upper - lower).sum() * reference.cell_area)
+
+
+def rmse(reference: GridSample, reconstruction: GridSample) -> float:
+    """Root-mean-square error between two surfaces on the same grid."""
+    _check_same_grid(reference, reconstruction)
+    return float(np.sqrt(np.mean((reference.values - reconstruction.values) ** 2)))
+
+
+def max_absolute_error(reference: GridSample, reconstruction: GridSample) -> float:
+    """Worst-case pointwise error between two surfaces on the same grid."""
+    _check_same_grid(reference, reconstruction)
+    return float(np.max(np.abs(reference.values - reconstruction.values)))
+
+
+def normalized_delta(reference: GridSample, reconstruction: GridSample) -> float:
+    """δ divided by region area — mean absolute error in field units.
+
+    Convenient for comparing runs across region sizes or grid resolutions.
+    """
+    delta = volume_difference(reference, reconstruction)
+    return delta / reference.region.area

@@ -1,0 +1,20 @@
+"""Plot-library-free rendering of fields and topologies.
+
+The repository deliberately has no plotting dependency; experiments print
+their series as rows (paper-table style) and, where the paper shows a
+surface or a topology (Figs. 1, 5, 6, 8, 9), an ASCII birdview stands in.
+"""
+
+from repro.viz.ascii import (
+    render_field,
+    render_series,
+    render_topology,
+    render_triangulation,
+)
+
+__all__ = [
+    "render_field",
+    "render_series",
+    "render_topology",
+    "render_triangulation",
+]

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import GaussianBump, GaussianMixtureField, PeaksField
+from repro.fields.base import sample_grid
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.geometry.primitives import BoundingBox
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_region():
+    return BoundingBox.square(100.0)
+
+
+@pytest.fixture
+def small_region():
+    return BoundingBox.square(20.0)
+
+
+@pytest.fixture
+def bump_field():
+    """A two-bump analytic field with known derivatives."""
+    return GaussianMixtureField(
+        [
+            GaussianBump(cx=30.0, cy=40.0, sigma=8.0, amplitude=5.0),
+            GaussianBump(cx=70.0, cy=60.0, sigma=12.0, amplitude=3.0),
+        ],
+        baseline=1.0,
+    )
+
+
+@pytest.fixture
+def bump_reference(bump_field, unit_region):
+    """The bump field sampled on a coarse grid (fast tests)."""
+    return sample_grid(bump_field, unit_region, 51)
+
+
+@pytest.fixture
+def peaks_reference():
+    field = PeaksField(side=100.0)
+    return sample_grid(field, field.region, 51)
+
+
+@pytest.fixture
+def greenorbs_field():
+    return GreenOrbsLightField(side=100.0, seed=7)
+
+
+@pytest.fixture
+def greenorbs_reference(greenorbs_field):
+    return sample_grid(greenorbs_field, greenorbs_field.region, 51, t=600.0)

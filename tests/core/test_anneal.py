@@ -1,0 +1,107 @@
+"""Tests for the connectivity-preserving local search."""
+
+import numpy as np
+import pytest
+
+from repro.core.anneal import local_search_osd
+from repro.core.fra import foresighted_refinement
+from repro.fields.grid import GridField
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+from repro.surfaces.reconstruction import reconstruct_surface
+
+RC = 10.0
+
+
+@pytest.fixture
+def start(bump_reference):
+    result = foresighted_refinement(bump_reference, 15, RC)
+    return result
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, bump_reference, start):
+        out = local_search_osd(
+            bump_reference, start.positions, RC, iterations=30, seed=0,
+            fixed_positions=start.anchor_positions,
+        )
+        assert out.delta <= out.initial_delta + 1e-9
+        assert 0.0 <= out.improvement <= 1.0
+
+    def test_result_stays_connected(self, bump_reference, start):
+        out = local_search_osd(
+            bump_reference, start.positions, RC, iterations=30, seed=0,
+            fixed_positions=start.anchor_positions,
+        )
+        assert is_connected(unit_disk_graph(out.positions, RC))
+
+    def test_positions_stay_in_region(self, bump_reference, start):
+        out = local_search_osd(
+            bump_reference, start.positions, RC, iterations=30, seed=0,
+            fixed_positions=start.anchor_positions,
+        )
+        region = bump_reference.region
+        for x, y in out.positions:
+            assert region.contains((x, y), tol=1e-9)
+
+    def test_deterministic(self, bump_reference, start):
+        a = local_search_osd(
+            bump_reference, start.positions, RC, iterations=20, seed=3,
+            fixed_positions=start.anchor_positions,
+        )
+        b = local_search_osd(
+            bump_reference, start.positions, RC, iterations=20, seed=3,
+            fixed_positions=start.anchor_positions,
+        )
+        assert np.array_equal(a.positions, b.positions)
+        assert a.delta == b.delta
+
+    def test_reported_delta_matches_layout(self, bump_reference, start):
+        out = local_search_osd(
+            bump_reference, start.positions, RC, iterations=20, seed=0,
+            fixed_positions=start.anchor_positions,
+        )
+        full = np.vstack([out.positions, start.anchor_positions])
+        recomputed = reconstruct_surface(
+            bump_reference, full,
+            values=GridField(bump_reference).sample(full),
+        ).delta
+        assert np.isclose(out.delta, recomputed)
+
+    def test_history_monotone(self, bump_reference, start):
+        out = local_search_osd(
+            bump_reference, start.positions, RC, iterations=40, seed=0,
+            fixed_positions=start.anchor_positions,
+        )
+        deltas = [d for _, d in out.history]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_temperature_accepts_regressions(self, bump_reference, start):
+        cold = local_search_osd(
+            bump_reference, start.positions, RC, iterations=40, seed=5,
+            temperature=0.0, fixed_positions=start.anchor_positions,
+        )
+        hot = local_search_osd(
+            bump_reference, start.positions, RC, iterations=40, seed=5,
+            temperature=1e6, fixed_positions=start.anchor_positions,
+        )
+        # With an absurd temperature, essentially every connected proposal
+        # is accepted; the best-so-far is still tracked separately.
+        assert hot.n_accepted >= cold.n_accepted
+        assert hot.delta <= hot.initial_delta + 1e-9
+
+    def test_validation(self, bump_reference):
+        disconnected = np.array([[0.0, 0.0], [90.0, 90.0]])
+        with pytest.raises(ValueError, match="connected"):
+            local_search_osd(bump_reference, disconnected, RC, iterations=5)
+        with pytest.raises(ValueError):
+            local_search_osd(
+                bump_reference, np.array([[1.0, 1.0]]), RC, iterations=0
+            )
+        with pytest.raises(ValueError):
+            local_search_osd(
+                bump_reference, np.array([[1.0, 1.0]]), RC,
+                iterations=5, initial_step=0.0,
+            )
+        with pytest.raises(ValueError):
+            local_search_osd(bump_reference, np.empty((0, 2)), RC)

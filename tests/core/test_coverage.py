@@ -1,0 +1,71 @@
+"""Tests for sensing-coverage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import uniform_grid_placement
+from repro.core.coverage import (
+    coverage_radius_for_full_coverage,
+    sensing_coverage,
+)
+from repro.geometry.primitives import BoundingBox
+
+REGION = BoundingBox.square(100.0)
+
+
+class TestSensingCoverage:
+    def test_empty_layout(self):
+        assert sensing_coverage(np.empty((0, 2)), 5.0, REGION) == 0.0
+
+    def test_single_node_disk_area(self):
+        cov = sensing_coverage(
+            np.array([[50.0, 50.0]]), 10.0, REGION, resolution=201
+        )
+        assert np.isclose(cov, np.pi * 100 / 10000, rtol=0.05)
+
+    def test_full_coverage_with_huge_radius(self):
+        pts = np.array([[50.0, 50.0]])
+        assert sensing_coverage(pts, 100.0, REGION) == 1.0
+
+    def test_monotone_in_k(self):
+        covs = [
+            sensing_coverage(
+                uniform_grid_placement(REGION, k), 5.0, REGION, resolution=101
+            )
+            for k in (25, 100, 225)
+        ]
+        assert covs[0] < covs[1] < covs[2]
+
+    def test_monotone_in_radius(self):
+        pts = uniform_grid_placement(REGION, 49)
+        assert sensing_coverage(pts, 3.0, REGION) < sensing_coverage(
+            pts, 8.0, REGION
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensing_coverage(np.zeros((1, 2)), 0.0, REGION)
+        with pytest.raises(ValueError):
+            sensing_coverage(np.zeros((1, 2)), 5.0, REGION, resolution=1)
+
+
+class TestFullCoverageRadius:
+    def test_lattice_bound(self):
+        # 100 nodes on a 100 m square: spacing 10, need r >= 10/sqrt(2).
+        r = coverage_radius_for_full_coverage(100, REGION)
+        assert np.isclose(r, 10.0 / np.sqrt(2.0))
+
+    def test_grid_at_bound_covers(self):
+        k = 100
+        r = coverage_radius_for_full_coverage(k, REGION) * 1.05
+        pts = uniform_grid_placement(REGION, k)
+        assert sensing_coverage(pts, r, REGION, resolution=101) > 0.99
+
+    def test_paper_threshold_anecdote(self):
+        """The paper's k=125 / Rs=5 plateau onset is near the lattice bound."""
+        r_needed = coverage_radius_for_full_coverage(125, REGION)
+        assert 5.0 < r_needed < 7.5  # Rs=5 is just below full coverage
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_radius_for_full_coverage(0, REGION)

@@ -1,0 +1,99 @@
+"""Tests for the curvature-weighted distribution solver and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.cwd import (
+    _curvature_field,
+    balance_residuals,
+    solve_cwd,
+    total_curvature,
+)
+
+
+class TestBalanceResiduals:
+    def test_perfectly_balanced(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [-5.0, 0.0]])
+        curv = np.array([1.0, 1.0, 1.0])
+        res = balance_residuals(pts, curv, rc=10.0)
+        # The centre node is a pivot; the outer nodes are not.
+        assert np.isclose(res[0], 0.0)
+        assert res[1] > 0 and res[2] > 0
+
+    def test_no_neighbors_zero(self):
+        pts = np.array([[0.0, 0.0], [100.0, 100.0]])
+        res = balance_residuals(pts, np.ones(2), rc=10.0)
+        assert np.allclose(res, 0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            balance_residuals(np.zeros((3, 2)), np.zeros(2), rc=10.0)
+
+
+class TestCurvatureField:
+    def test_normalisation(self, peaks_reference):
+        field = _curvature_field(peaks_reference, threshold=1.0, cap=3.0)
+        values = field.sample_data.values
+        assert (values >= 0).all()
+        assert values.max() <= 3.0
+
+    def test_total_curvature_higher_at_features(self, peaks_reference):
+        field = _curvature_field(peaks_reference)
+        flat = np.array([[5.0, 5.0], [95.0, 95.0]])
+        # Feature-rich middle region of peaks.
+        featureful = np.array([[50.0, 50.0], [60.0, 45.0]])
+        assert total_curvature(featureful, field) > total_curvature(flat, field)
+
+
+class TestSolver:
+    def test_converges_and_stays_in_region(self, peaks_reference):
+        result = solve_cwd(
+            peaks_reference, 9, rc=30.0, rs=15.0, max_iterations=80
+        )
+        assert result.positions.shape == (9, 2)
+        region = peaks_reference.region
+        for x, y in result.positions:
+            assert region.contains((x, y), tol=1e-9)
+        assert result.n_iterations <= 80
+
+    def test_total_curvature_improves_over_uniform(self, peaks_reference):
+        from repro.core.baselines import uniform_grid_placement
+
+        uniform = uniform_grid_placement(peaks_reference.region, 16)
+        result = solve_cwd(
+            peaks_reference, 16, rc=30.0, rs=15.0,
+            max_iterations=120, step=0.5,
+            curvature_cap=0.5, curvature_threshold=0.5,
+        )
+        field = _curvature_field(peaks_reference, threshold=0.5, cap=0.5)
+        assert total_curvature(result.positions, field) > total_curvature(
+            uniform, field
+        )
+
+    def test_initial_layout_accepted(self, peaks_reference):
+        init = np.full((4, 2), 50.0) + np.arange(8).reshape(4, 2)
+        result = solve_cwd(
+            peaks_reference, 4, rc=30.0, initial=init, max_iterations=5
+        )
+        assert result.positions.shape == (4, 2)
+
+    def test_initial_layout_size_checked(self, peaks_reference):
+        with pytest.raises(ValueError):
+            solve_cwd(peaks_reference, 4, rc=30.0, initial=np.zeros((3, 2)))
+
+    def test_invalid_k(self, peaks_reference):
+        with pytest.raises(ValueError):
+            solve_cwd(peaks_reference, 0, rc=30.0)
+
+    def test_zero_weights_keep_uniform(self, bump_reference):
+        """With the curvature weights zeroed out, spacing stays near-uniform
+        (only repulsion and border forces act)."""
+        result = solve_cwd(
+            bump_reference, 9, rc=30.0, rs=5.0,
+            max_iterations=40, curvature_cap=0.0, curvature_threshold=99.0,
+        )
+        from repro.core.baselines import uniform_grid_placement
+
+        uniform = uniform_grid_placement(bump_reference.region, 9)
+        drift = np.linalg.norm(result.positions - uniform, axis=1).mean()
+        assert drift < 20.0

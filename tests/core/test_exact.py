@@ -1,0 +1,107 @@
+"""Tests for the exhaustive OSD solver and FRA's approximation quality."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ExactOSDResult, candidate_grid, exhaustive_osd
+from repro.fields.analytic import GaussianBump, GaussianMixtureField
+from repro.fields.base import sample_grid
+from repro.geometry.primitives import BoundingBox
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+
+
+@pytest.fixture
+def tiny_reference():
+    """A single-bump field on a 20x20 region, coarse grid."""
+    field = GaussianMixtureField(
+        [GaussianBump(cx=7.0, cy=13.0, sigma=4.0, amplitude=5.0)],
+        baseline=1.0,
+    )
+    return sample_grid(field, BoundingBox.square(20.0), 11)
+
+
+class TestCandidateGrid:
+    def test_stride(self, tiny_reference):
+        cand = candidate_grid(tiny_reference, stride=2)
+        assert cand.shape == (36, 2)  # every other point of an 11x11 grid
+        assert candidate_grid(tiny_reference, stride=5).shape == (9, 2)
+
+    def test_bad_stride(self, tiny_reference):
+        with pytest.raises(ValueError):
+            candidate_grid(tiny_reference, stride=0)
+
+
+class TestExhaustive:
+    def test_optimum_is_connected(self, tiny_reference):
+        result = exhaustive_osd(tiny_reference, k=3, rc=12.0, stride=5)
+        assert isinstance(result, ExactOSDResult)
+        assert is_connected(unit_disk_graph(result.positions, 12.0))
+        assert result.n_connected <= result.n_evaluated
+
+    def test_optimum_beats_or_matches_every_subset(self, tiny_reference):
+        """Spot-check optimality against a few explicit subsets."""
+        from repro.fields.grid import GridField
+        from repro.surfaces.reconstruction import reconstruct_surface
+
+        result = exhaustive_osd(tiny_reference, k=2, rc=30.0, stride=5)
+        gf = GridField(tiny_reference)
+        cand = candidate_grid(tiny_reference, stride=5)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            idx = rng.choice(len(cand), size=2, replace=False)
+            subset = cand[idx]
+            delta = reconstruct_surface(
+                tiny_reference, subset, values=gf.sample(subset)
+            ).delta
+            assert result.delta <= delta + 1e-9
+
+    def test_connectivity_filter_matters(self, tiny_reference):
+        """With a tight radius the optimum must sacrifice coverage."""
+        loose = exhaustive_osd(tiny_reference, k=2, rc=30.0, stride=5)
+        tight = exhaustive_osd(tiny_reference, k=2, rc=10.0, stride=5)
+        assert tight.delta >= loose.delta - 1e-9
+        assert tight.n_connected < loose.n_connected
+
+    def test_search_space_guard(self, tiny_reference):
+        with pytest.raises(ValueError, match="search space"):
+            exhaustive_osd(tiny_reference, k=8, rc=10.0, stride=1)
+
+    def test_impossible_connectivity(self, tiny_reference):
+        # Candidates 10 apart, radius 1: no connected pair exists.
+        with pytest.raises(ValueError, match="no connected"):
+            exhaustive_osd(tiny_reference, k=2, rc=1.0, stride=5)
+
+    def test_validation(self, tiny_reference):
+        with pytest.raises(ValueError):
+            exhaustive_osd(tiny_reference, k=0, rc=10.0)
+        with pytest.raises(ValueError):
+            exhaustive_osd(tiny_reference, k=2, rc=-1.0)
+        with pytest.raises(ValueError, match="candidates"):
+            exhaustive_osd(
+                tiny_reference, k=5, rc=10.0,
+                candidates=np.zeros((3, 2)),
+            )
+
+
+class TestFRAApproximation:
+    def test_fra_within_factor_of_optimum(self, tiny_reference):
+        """FRA's empirical approximation ratio on a tiny instance.
+
+        FRA picks from the full grid while the exact solver is restricted
+        to a coarse candidate set, so FRA can even beat the 'optimum';
+        the assertion bounds how much worse it may be.
+        """
+        from repro.core.fra import foresighted_refinement
+        from repro.fields.grid import GridField
+        from repro.surfaces.reconstruction import reconstruct_surface
+
+        k, rc = 3, 12.0
+        exact = exhaustive_osd(tiny_reference, k=k, rc=rc, stride=5)
+        fra = foresighted_refinement(tiny_reference, k, rc)
+        gf = GridField(tiny_reference)
+        pts = np.vstack([fra.positions, fra.anchor_positions])
+        fra_delta = reconstruct_surface(
+            tiny_reference, pts, values=gf.sample(pts)
+        ).delta
+        assert fra_delta <= 2.0 * exact.delta

@@ -1,0 +1,158 @@
+"""Tests for the virtual-force model (Eqns. 14-18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import (
+    VirtualForceParams,
+    attraction_to_neighbors,
+    attraction_to_peak,
+    border_attraction,
+    repulsion_from_neighbors,
+    resultant_force,
+)
+from repro.geometry.primitives import BoundingBox
+
+PARAMS = VirtualForceParams(rc=10.0, rs=5.0, beta=2.0)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualForceParams(rc=0.0, rs=5.0)
+        with pytest.raises(ValueError):
+            VirtualForceParams(rc=10.0, rs=-1.0)
+        with pytest.raises(ValueError):
+            VirtualForceParams(rc=10.0, rs=5.0, beta=-0.1)
+
+
+class TestF1:
+    def test_eqn_14(self):
+        f1 = attraction_to_peak(np.array([0.0, 0.0]), np.array([3.0, 4.0]), 2.0)
+        assert np.allclose(f1, [6.0, 8.0])
+
+    def test_no_peak_zero_force(self):
+        assert np.allclose(attraction_to_peak(np.zeros(2), None, 5.0), 0.0)
+
+    def test_vanishes_at_peak(self):
+        f1 = attraction_to_peak(np.array([3.0, 4.0]), np.array([3.0, 4.0]), 9.0)
+        assert np.allclose(f1, 0.0)
+
+
+class TestF2:
+    def test_eqn_15_sum(self):
+        pos = np.array([0.0, 0.0])
+        nbrs = np.array([[2.0, 0.0], [-1.0, 0.0]])
+        curv = np.array([1.0, 2.0])
+        f2 = attraction_to_neighbors(pos, nbrs, curv)
+        assert np.allclose(f2, [0.0, 0.0])  # 2*1 - 1*2 = 0: balanced pivot
+
+    def test_unbalanced(self):
+        pos = np.array([0.0, 0.0])
+        nbrs = np.array([[2.0, 0.0], [-1.0, 0.0]])
+        curv = np.array([3.0, 1.0])
+        f2 = attraction_to_neighbors(pos, nbrs, curv)
+        assert np.allclose(f2, [5.0, 0.0])
+
+    def test_no_neighbors(self):
+        assert np.allclose(
+            attraction_to_neighbors(np.zeros(2), np.empty((0, 2)), np.empty(0)),
+            0.0,
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            attraction_to_neighbors(np.zeros(2), np.zeros((2, 2)), np.zeros(3))
+
+    def test_eqn9_equilibrium_is_zero_force(self):
+        """At the CWD pivot (Eqn. 9) the F2 force vanishes."""
+        nbrs = np.array([[1.0, 0.0], [-0.5, 0.5], [-0.5, -0.5]])
+        curv = np.array([1.0, 1.0, 1.0])
+        f2 = attraction_to_neighbors(np.zeros(2), nbrs, curv)
+        assert np.allclose(f2, 0.0, atol=1e-12)
+
+
+class TestRepulsion:
+    def test_eqn_17_magnitude(self):
+        pos = np.array([0.0, 0.0])
+        nbrs = np.array([[4.0, 0.0]])
+        fr = repulsion_from_neighbors(pos, nbrs, rc=10.0)
+        assert np.allclose(fr, [-6.0, 0.0])  # (10-4) away from neighbour
+
+    def test_out_of_range_ignored(self):
+        fr = repulsion_from_neighbors(
+            np.zeros(2), np.array([[11.0, 0.0]]), rc=10.0
+        )
+        assert np.allclose(fr, 0.0)
+
+    def test_at_exact_rc_zero(self):
+        fr = repulsion_from_neighbors(
+            np.zeros(2), np.array([[10.0, 0.0]]), rc=10.0
+        )
+        assert np.allclose(fr, 0.0)
+
+    def test_coincident_deterministic_push(self):
+        fr = repulsion_from_neighbors(np.zeros(2), np.zeros((1, 2)), rc=10.0)
+        assert np.allclose(fr, [10.0, 0.0])
+
+    def test_symmetric_neighbors_cancel(self):
+        nbrs = np.array([[3.0, 0.0], [-3.0, 0.0], [0.0, 3.0], [0.0, -3.0]])
+        fr = repulsion_from_neighbors(np.zeros(2), nbrs, rc=10.0)
+        assert np.allclose(fr, 0.0)
+
+
+class TestBorder:
+    REGION = BoundingBox.square(100.0)
+
+    def test_frontier_node_pulled_to_wall(self):
+        pos = np.array([20.0, 50.0])
+        # No neighbour nearer the x=0 wall.
+        nbrs = np.array([[30.0, 50.0]])
+        fb = border_attraction(pos, nbrs, self.REGION, rc=10.0)
+        assert fb[0] < 0  # pulled toward x = 0
+        assert fb[1] == 0.0
+
+    def test_covered_side_no_pull(self):
+        pos = np.array([20.0, 50.0])
+        nbrs = np.array([[12.0, 50.0], [28.0, 50.0], [20.0, 42.0], [20.0, 58.0]])
+        fb = border_attraction(pos, nbrs, self.REGION, rc=10.0)
+        assert np.allclose(fb, 0.0)
+
+    def test_close_enough_no_pull(self):
+        pos = np.array([4.0, 50.0])  # within Rc/2 of the wall
+        fb = border_attraction(pos, np.empty((0, 2)), self.REGION, rc=10.0)
+        assert fb[0] == 0.0
+
+    def test_deep_interior_no_pull(self):
+        pos = np.array([50.0, 50.0])  # farther than 2.5 Rc from every wall
+        fb = border_attraction(pos, np.empty((0, 2)), self.REGION, rc=10.0)
+        assert np.allclose(fb, 0.0)
+
+    def test_pull_capped_at_rc(self):
+        pos = np.array([24.0, 50.0])
+        fb = border_attraction(pos, np.empty((0, 2)), self.REGION, rc=10.0)
+        assert abs(fb[0]) <= 10.0
+
+
+class TestResultant:
+    def test_eqn_18_combination(self):
+        pos = np.zeros(2)
+        peak = np.array([1.0, 0.0])
+        nbrs = np.array([[4.0, 0.0]])
+        curv = np.array([0.0])
+        bd = resultant_force(pos, peak, 1.0, nbrs, curv, PARAMS)
+        expected = bd.f1 + bd.f2 + PARAMS.beta * bd.fr
+        assert np.allclose(bd.fs, expected)
+        assert bd.magnitude == np.linalg.norm(bd.fs)
+
+    def test_region_enables_border_force(self):
+        pos = np.array([20.0, 50.0])
+        bd_without = resultant_force(
+            pos, None, 0.0, np.empty((0, 2)), np.empty(0), PARAMS
+        )
+        bd_with = resultant_force(
+            pos, None, 0.0, np.empty((0, 2)), np.empty(0), PARAMS,
+            region=BoundingBox.square(100.0),
+        )
+        assert np.allclose(bd_without.fb, 0.0)
+        assert not np.allclose(bd_with.fb, 0.0)

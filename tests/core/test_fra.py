@@ -1,0 +1,164 @@
+"""Tests for the Foresighted Refinement Algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fra import (
+    FRAConfig,
+    SelectionCriterion,
+    foresighted_refinement,
+    solve_osd,
+)
+from repro.core.problem import OSDProblem
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+
+
+RC = 10.0
+
+
+class TestBudgetAccounting:
+    def test_exactly_k_nodes(self, bump_reference):
+        for k in (1, 2, 7, 30):
+            result = foresighted_refinement(bump_reference, k, RC)
+            assert result.k == k
+            assert result.n_refinement + result.n_relays + result.n_leftover == k
+
+    def test_invalid_inputs(self, bump_reference):
+        with pytest.raises(ValueError):
+            foresighted_refinement(bump_reference, 0, RC)
+        with pytest.raises(ValueError):
+            foresighted_refinement(bump_reference, 5, 0.0)
+
+    def test_corners_as_nodes_consume_budget(self, bump_reference):
+        result = foresighted_refinement(
+            bump_reference, 10, RC, FRAConfig(corners_are_nodes=True)
+        )
+        assert result.k == 10
+        corners = {(0.0, 0.0), (100.0, 0.0), (100.0, 100.0), (0.0, 100.0)}
+        placed = {tuple(p) for p in result.positions}
+        assert corners <= placed
+        assert len(result.anchor_positions) == 0
+
+    def test_corners_as_nodes_small_k_raises(self, bump_reference):
+        with pytest.raises(ValueError):
+            foresighted_refinement(
+                bump_reference, 3, RC, FRAConfig(corners_are_nodes=True)
+            )
+
+    def test_anchor_positions_exposed(self, bump_reference):
+        result = foresighted_refinement(bump_reference, 5, RC)
+        assert len(result.anchor_positions) == 4
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("k", [5, 12, 25, 40])
+    def test_layout_connected(self, bump_reference, k):
+        result = foresighted_refinement(bump_reference, k, RC)
+        assert result.connected
+        assert is_connected(unit_disk_graph(result.positions, RC))
+
+    def test_single_node_connected(self, bump_reference):
+        result = foresighted_refinement(bump_reference, 1, RC)
+        assert result.connected
+
+    def test_positions_inside_region(self, bump_reference):
+        result = foresighted_refinement(bump_reference, 30, RC)
+        region = bump_reference.region
+        for x, y in result.positions:
+            assert region.contains((x, y), tol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=20))
+    def test_property_connected_for_all_k(self, k):
+        import repro.fields.analytic as fa
+        from repro.fields.base import sample_grid
+        from repro.geometry.primitives import BoundingBox
+
+        field = fa.GaussianMixtureField.random(
+            4, BoundingBox.square(60.0), seed=k
+        )
+        reference = sample_grid(field, BoundingBox.square(60.0), 31)
+        result = foresighted_refinement(reference, k, 10.0)
+        assert result.connected
+
+
+class TestQuality:
+    def test_beats_random_on_features(self, greenorbs_reference):
+        from repro.core.baselines import random_placement
+        from repro.fields.grid import GridField
+        from repro.surfaces.reconstruction import reconstruct_surface
+
+        k = 40
+        problem = OSDProblem(k=k, rc=RC, reference=greenorbs_reference)
+        fra = solve_osd(problem)
+        gf = GridField(greenorbs_reference)
+        random_deltas = []
+        for seed in range(3):
+            pts = random_placement(greenorbs_reference.region, k, seed=seed)
+            random_deltas.append(
+                reconstruct_surface(
+                    greenorbs_reference, pts, values=gf.sample(pts)
+                ).delta
+            )
+        assert fra.delta < np.mean(random_deltas)
+
+    def test_delta_decreases_with_k(self, greenorbs_reference):
+        deltas = [
+            solve_osd(
+                OSDProblem(k=k, rc=RC, reference=greenorbs_reference)
+            ).delta
+            for k in (10, 40, 80)
+        ]
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_incremental_matches_full_recompute(self, bump_reference):
+        fast = foresighted_refinement(
+            bump_reference, 15, RC, FRAConfig(incremental=True)
+        )
+        slow = foresighted_refinement(
+            bump_reference, 15, RC, FRAConfig(incremental=False)
+        )
+        assert np.allclose(fast.positions, slow.positions)
+
+    def test_record_history_monotone_tail(self, bump_reference):
+        result = foresighted_refinement(
+            bump_reference, 20, RC, FRAConfig(record_history=True)
+        )
+        assert len(result.history) >= result.n_refinement
+        ks = [k for k, _ in result.history]
+        assert ks == sorted(ks)
+
+
+class TestSelectionCriteria:
+    @pytest.mark.parametrize("criterion", list(SelectionCriterion))
+    def test_all_criteria_run(self, bump_reference, criterion):
+        result = foresighted_refinement(
+            bump_reference, 12, RC, FRAConfig(selection=criterion, seed=1)
+        )
+        assert result.k == 12
+        assert result.connected
+
+    def test_random_criterion_seeded(self, bump_reference):
+        cfg = FRAConfig(selection=SelectionCriterion.RANDOM, seed=9)
+        a = foresighted_refinement(bump_reference, 10, RC, cfg)
+        b = foresighted_refinement(bump_reference, 10, RC, cfg)
+        assert np.allclose(a.positions, b.positions)
+
+
+class TestSolveOSD:
+    def test_placement_result_fields(self, bump_reference):
+        problem = OSDProblem(k=20, rc=RC, reference=bump_reference)
+        result = solve_osd(problem)
+        assert result.k == 20
+        assert result.connected
+        assert result.delta > 0
+        assert result.meta["algorithm"] == "fra"
+
+    def test_anchor_toggle_changes_delta(self, greenorbs_reference):
+        problem = OSDProblem(k=15, rc=RC, reference=greenorbs_reference)
+        with_anchors = solve_osd(problem, FRAConfig(anchors_in_reconstruction=True))
+        without = solve_osd(problem, FRAConfig(anchors_in_reconstruction=False))
+        assert with_anchors.delta != without.delta

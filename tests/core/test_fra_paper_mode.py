@@ -1,0 +1,64 @@
+"""Tests pinning the documented FRA mode differences (DESIGN.md §6.4).
+
+The library's default FRA includes two sharpenings over the paper's
+pseudocode (look-ahead veto + cost-aware selection). These tests pin the
+*measured claims* DESIGN.md and EXPERIMENTS.md make about the
+paper-literal mode, so the documentation cannot silently rot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fra import FRAConfig, foresighted_refinement, solve_osd
+from repro.core.problem import OSDProblem
+
+
+RC = 10.0
+
+
+class TestCostAwareToggle:
+    def test_literal_mode_is_relay_heavy_at_small_k(self, greenorbs_reference):
+        """DESIGN §6.4: without cost-aware picks, relays eat the budget."""
+        k = 20
+        literal = foresighted_refinement(
+            greenorbs_reference, k, RC,
+            FRAConfig(cost_aware_selection=False),
+        )
+        sharpened = foresighted_refinement(greenorbs_reference, k, RC)
+        assert literal.n_relays > sharpened.n_relays
+        assert literal.connected and sharpened.connected
+
+    def test_sharpened_mode_better_delta_at_small_k(self, greenorbs_reference):
+        k = 20
+        literal = solve_osd(
+            OSDProblem(k=k, rc=RC, reference=greenorbs_reference),
+            FRAConfig(cost_aware_selection=False),
+        )
+        sharpened = solve_osd(
+            OSDProblem(k=k, rc=RC, reference=greenorbs_reference)
+        )
+        assert sharpened.delta < literal.delta
+
+    def test_both_modes_satisfy_budget_and_connectivity(
+        self, greenorbs_reference
+    ):
+        for flag in (True, False):
+            result = foresighted_refinement(
+                greenorbs_reference, 25, RC,
+                FRAConfig(cost_aware_selection=flag),
+            )
+            assert result.k == 25
+            assert result.connected
+
+    def test_modes_agree_at_large_k(self, greenorbs_reference):
+        """With abundant budget the sharpenings matter much less."""
+        k = 80
+        literal = solve_osd(
+            OSDProblem(k=k, rc=RC, reference=greenorbs_reference),
+            FRAConfig(cost_aware_selection=False),
+        )
+        sharpened = solve_osd(
+            OSDProblem(k=k, rc=RC, reference=greenorbs_reference)
+        )
+        assert sharpened.delta < 1.5 * literal.delta
+        assert literal.delta < 3.0 * sharpened.delta

@@ -1,0 +1,101 @@
+"""Tests for the Local Connectivity Mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.lcm import lcm_adjustment
+
+RC = 10.0
+
+
+class TestDirectLink:
+    def test_stays_when_in_range(self):
+        d = lcm_adjustment(np.array([5.0, 0.0]), np.array([0.0, 0.0]), [], RC)
+        assert not d.must_move
+        assert d.target is None
+
+    def test_boundary_exactly_rc(self):
+        d = lcm_adjustment(np.array([10.0, 0.0]), np.array([0.0, 0.0]), [], RC)
+        assert not d.must_move
+
+
+class TestBridging:
+    def test_bridge_keeps_node_in_place(self):
+        own = np.array([18.0, 0.0])
+        dest = np.array([0.0, 0.0])
+        bridge = np.array([9.0, 0.0])
+        d = lcm_adjustment(own, dest, [bridge], RC)
+        assert not d.must_move
+        assert d.relayed_by == 0
+
+    def test_bridge_must_reach_both(self):
+        own = np.array([18.0, 0.0])
+        dest = np.array([0.0, 0.0])
+        too_far_from_dest = np.array([15.0, 0.0])
+        d = lcm_adjustment(own, dest, [too_far_from_dest], RC)
+        assert d.must_move
+
+    def test_cannot_bridge_through_self(self):
+        own = np.array([18.0, 0.0])
+        dest = np.array([0.0, 0.0])
+        d = lcm_adjustment(
+            own, dest, [own.copy()], RC, own_index_in_table=0
+        )
+        assert d.must_move
+
+
+class TestFollowing:
+    def test_target_on_rc_circle(self):
+        own = np.array([25.0, 0.0])
+        dest = np.array([0.0, 0.0])
+        d = lcm_adjustment(own, dest, [], RC)
+        assert d.must_move
+        assert np.isclose(np.linalg.norm(d.target - dest), RC)
+
+    def test_target_along_line_of_sight(self):
+        own = np.array([0.0, 30.0])
+        dest = np.array([0.0, 0.0])
+        d = lcm_adjustment(own, dest, [], RC)
+        assert np.allclose(d.target, [0.0, 10.0])
+
+    def test_degenerate_on_destination(self):
+        own = np.array([0.0, 0.0])
+        dest = np.array([0.0, 0.0])
+        # own == dest but distance 0 <= Rc, so no move needed.
+        d = lcm_adjustment(own, dest, [], RC)
+        assert not d.must_move
+
+    def test_minimal_displacement(self):
+        own = np.array([25.0, 0.0])
+        dest = np.array([0.0, 0.0])
+        d = lcm_adjustment(own, dest, [], RC)
+        moved = np.linalg.norm(d.target - own)
+        assert np.isclose(moved, 15.0)  # 25 - Rc
+
+
+class TestValidation:
+    def test_bad_rc(self):
+        with pytest.raises(ValueError):
+            lcm_adjustment(np.zeros(2), np.zeros(2), [], 0.0)
+
+
+class TestPaperScenario:
+    """The Fig. 4 walk-through, end to end."""
+
+    def test_fig4(self):
+        from repro.experiments.fig4_lcm_scenario import build_scenario
+
+        n1, dest, nodes = build_scenario()
+        table = [nodes["n3"], nodes["n4"], nodes["n5"]]
+        # n3: direct.
+        d3 = lcm_adjustment(nodes["n3"], dest, table, RC, own_index_in_table=0)
+        assert not d3.must_move and d3.relayed_by is None
+        # n4: bridged by n3 (index 0).
+        d4 = lcm_adjustment(nodes["n4"], dest, table, RC, own_index_in_table=1)
+        assert not d4.must_move and d4.relayed_by == 0
+        # n5: must follow, ending exactly Rc from the destination.
+        d5 = lcm_adjustment(nodes["n5"], dest, table, RC, own_index_in_table=2)
+        assert d5.must_move
+        assert np.isclose(np.linalg.norm(d5.target - dest), RC)
+        # n2 becomes a new neighbour after the move.
+        assert np.linalg.norm(nodes["n2"] - dest) <= RC

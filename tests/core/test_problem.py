@@ -1,0 +1,77 @@
+"""Tests for OSD/OSTD problem statements and placement results."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import OSDProblem, OSTDProblem, PlacementResult
+from repro.fields.dynamic import StaticAsDynamic
+from repro.fields.analytic import PlaneField
+from repro.geometry.primitives import BoundingBox
+
+
+class TestOSDProblem:
+    def test_validation(self, bump_reference):
+        with pytest.raises(ValueError):
+            OSDProblem(k=0, rc=10.0, reference=bump_reference)
+        with pytest.raises(ValueError):
+            OSDProblem(k=5, rc=0.0, reference=bump_reference)
+
+    def test_region_from_reference(self, bump_reference):
+        problem = OSDProblem(k=5, rc=10.0, reference=bump_reference)
+        assert problem.region == bump_reference.region
+
+
+class TestOSTDProblem:
+    def make(self, **kwargs):
+        defaults = dict(
+            k=10,
+            rc=10.0,
+            rs=5.0,
+            region=BoundingBox.square(100.0),
+            field=StaticAsDynamic(PlaneField()),
+        )
+        defaults.update(kwargs)
+        return OSTDProblem(**defaults)
+
+    def test_defaults(self):
+        problem = self.make()
+        assert problem.speed == 1.0
+        assert problem.t0 == 600.0
+        assert problem.n_rounds == 45
+
+    def test_n_rounds(self):
+        assert self.make(duration=10.0, dt=2.0).n_rounds == 5
+
+    def test_validation(self):
+        for bad in (
+            dict(k=0),
+            dict(rc=0.0),
+            dict(rs=-1.0),
+            dict(speed=0.0),
+            dict(duration=-1.0),
+            dict(dt=0.0),
+        ):
+            with pytest.raises(ValueError):
+                self.make(**bad)
+
+
+class TestPlacementResult:
+    def test_connectivity_property(self):
+        connected = PlacementResult(
+            positions=np.array([[0, 0], [5, 0]]), rc=10.0
+        )
+        assert connected.connected
+        split = PlacementResult(
+            positions=np.array([[0, 0], [50, 0]]), rc=10.0
+        )
+        assert not split.connected
+
+    def test_delta_requires_evaluation(self):
+        result = PlacementResult(positions=np.zeros((2, 2)), rc=10.0)
+        with pytest.raises(ValueError):
+            _ = result.delta
+
+    def test_positions_coerced(self):
+        result = PlacementResult(positions=[(1, 2), (3, 4)], rc=5.0)
+        assert result.positions.shape == (2, 2)
+        assert result.k == 2

@@ -1,0 +1,39 @@
+"""Tests for the repro-exp CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "fig4", "--fast"])
+        assert args.experiment_id == "fig4"
+        assert args.fast
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "ablation_beta" in out
+
+    def test_run_fig4(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "LCM decisions" in out
+        assert "n5" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "known:" in capsys.readouterr().err
+
+    def test_no_artifacts_flag(self, capsys):
+        assert main(["run", "fig1", "--fast", "--no-artifacts"]) == 0
+        out = capsys.readouterr().out
+        assert "-- birdview --" not in out

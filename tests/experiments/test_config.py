@@ -1,0 +1,66 @@
+"""Tests for the shared experiment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import config
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import is_connected
+from repro.sim.engine import default_grid_layout
+
+
+class TestScale:
+    def test_fast_flag_switches(self):
+        assert config.scale(False) is config.FULL
+        assert config.scale(True) is config.FAST
+
+    def test_fast_is_cheaper(self):
+        assert config.FAST.resolution < config.FULL.resolution
+        assert len(config.FAST.k_sweep) < len(config.FULL.k_sweep)
+        assert config.FAST.n_rounds < config.FULL.n_rounds
+
+
+class TestFields:
+    def test_paper_parameters(self):
+        assert config.RC == 10.0
+        assert config.RS == 5.0
+        assert config.SPEED == 1.0
+        assert config.BETA == 2.0
+        assert config.T_REFERENCE == 600.0
+        assert config.DURATION == 45.0
+
+    def test_osd_and_ostd_fields_share_layout(self):
+        """Same seed -> same gap layout; only the sun handling differs."""
+        osd = config.osd_field()
+        ostd = config.ostd_field()
+        x = np.linspace(0, 100, 7)
+        assert np.allclose(osd(x, x, 600.0), ostd(x, x, 600.0))
+        # At 12:00 the OSD field brightens; the frozen OSTD field does not.
+        assert osd.sun_factor(720.0) > ostd.sun_factor(720.0)
+
+    def test_reference_surface_resolution(self):
+        assert config.reference_surface(fast=True).values.shape == (51, 51)
+
+    def test_cma_params_match_paper(self):
+        params = config.cma_params()
+        assert (params.rc, params.rs, params.beta) == (10.0, 5.0, 2.0)
+
+
+class TestDefaultGridLayout:
+    @pytest.mark.parametrize("k", [4, 9, 16, 36, 64, 100, 144])
+    def test_connected_whenever_possible(self, k):
+        from repro.geometry.primitives import BoundingBox
+
+        region = BoundingBox.square(100.0)
+        pts = default_grid_layout(region, k, rc=10.0)
+        if k >= 16:  # spacing can be brought under Rc from 4x4 up
+            assert is_connected(unit_disk_graph(pts, 10.0))
+        assert (pts[:, 0] >= 0).all() and (pts[:, 0] <= 100).all()
+
+    def test_slack_below_rc(self):
+        from repro.geometry.primitives import BoundingBox
+
+        region = BoundingBox.square(100.0)
+        pts = default_grid_layout(region, 100, rc=10.0)
+        xs = np.unique(pts[:, 0])
+        assert np.diff(xs).max() < 10.0  # strictly below Rc

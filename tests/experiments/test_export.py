@@ -1,0 +1,80 @@
+"""Tests for CSV/Markdown export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    markdown_report,
+    markdown_table,
+    write_csv,
+    write_markdown_report,
+)
+from repro.experiments.registry import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        columns=("k", "delta"),
+        rows=[{"k": 1, "delta": 10.5}, {"k": 2, "delta": 7.25}],
+        notes=["shape holds"],
+        artifacts={"ascii": "###"},
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, result, tmp_path):
+        path = write_csv(result, tmp_path / "out" / "demo.csv")
+        assert path.exists()
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows == [
+            {"k": "1", "delta": "10.5"},
+            {"k": "2", "delta": "7.25"},
+        ]
+
+    def test_missing_cells_blank(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="x", title="x", columns=("a", "b"),
+            rows=[{"a": 1}],
+        )
+        path = write_csv(result, tmp_path / "x.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows == [{"a": "1", "b": ""}]
+
+
+class TestMarkdown:
+    def test_table_structure(self, result):
+        text = markdown_table(result)
+        lines = text.splitlines()
+        assert lines[0] == "| k | delta |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 10.5 |"
+
+    def test_report_includes_notes_not_artifacts(self, result):
+        text = markdown_report([result])
+        assert "## demo — Demo experiment" in text
+        assert "> shape holds" in text
+        assert "###" not in text  # artifacts are terminal-only
+
+    def test_write_report(self, result, tmp_path):
+        path = write_markdown_report([result, result], tmp_path / "report.md")
+        text = path.read_text()
+        assert text.count("## demo") == 2
+        assert text.endswith("\n")
+
+
+class TestCliIntegration:
+    def test_run_with_csv(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "fig4.csv"
+        assert main(["run", "fig4", "--no-artifacts", "--csv", str(out_path)]) == 0
+        assert out_path.exists()
+        with out_path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert {row["node"] for row in rows} == {"n2", "n3", "n4", "n5"}

@@ -1,0 +1,74 @@
+"""Tests for the experiment registry and harness."""
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    experiment,
+    get_experiment,
+)
+from repro.experiments.harness import format_result, format_table
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        ids = {spec.experiment_id for spec in all_experiments()}
+        for fig in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                    "fig8", "fig9", "fig10"):
+            assert fig in ids
+        for extra in ("ablation_selection", "ablation_beta", "ablation_rs",
+                      "ablation_seeds", "ablation_interpolation",
+                      "ablation_localsearch",
+                      "ablation_exact", "ablation_connectivity",
+                      "ext_trace_sampling", "ext_failures",
+                      "ext_nonconvex", "ext_centralized", "ext_energy",
+                      "ext_sensor_noise"):
+            assert extra in ids
+
+    def test_unknown_id_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @experiment("fig1", "dup", "dup")
+            def dup(fast=False):
+                raise AssertionError
+
+    def test_specs_have_metadata(self):
+        for spec in all_experiments():
+            assert spec.title
+            assert spec.paper_ref
+            assert callable(spec.runner)
+
+
+class TestResultType:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="x",
+            title="t",
+            columns=("a", "b"),
+            rows=[{"a": 1, "b": 2}, {"a": 3, "b": 4}],
+            notes=["hello"],
+            artifacts={"art": "<ascii>"},
+        )
+
+    def test_column_values(self):
+        result = self.make()
+        assert result.column_values("a") == [1, 3]
+        with pytest.raises(KeyError):
+            result.column_values("zzz")
+
+    def test_format_table(self):
+        text = format_table(self.make())
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len(lines) == 4
+
+    def test_format_result_includes_notes_and_artifacts(self):
+        text = format_result(self.make())
+        assert "note: hello" in text
+        assert "<ascii>" in text
+        without = format_result(self.make(), show_artifacts=False)
+        assert "<ascii>" not in without

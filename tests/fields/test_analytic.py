@@ -1,0 +1,155 @@
+"""Tests for analytic surfaces (peaks, plane, saddle, mixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import (
+    GaussianBump,
+    GaussianMixtureField,
+    PeaksField,
+    PlaneField,
+    RidgeField,
+    SaddleField,
+    TerraceField,
+    peaks,
+)
+from repro.geometry.primitives import BoundingBox
+
+
+class TestPeaks:
+    def test_known_value_at_origin(self):
+        # peaks(0,0) = 3*exp(-1) - 10*0*... - (1/3)exp(-1) = (3 - 1/3)/e... compute directly
+        expected = (
+            3.0 * np.exp(-1.0)
+            - 0.0
+            - (1.0 / 3.0) * np.exp(-1.0)
+        )
+        assert np.isclose(peaks(0.0, 0.0), expected)
+
+    def test_vectorised(self):
+        x = np.linspace(-3, 3, 7)
+        y = np.zeros(7)
+        out = peaks(x, y)
+        assert out.shape == (7,)
+
+    def test_peaks_field_rescaling(self):
+        field = PeaksField(side=100.0)
+        # Center of the region maps to the native origin.
+        assert np.isclose(field(50.0, 50.0), peaks(0.0, 0.0))
+        assert np.isclose(field(0.0, 0.0), peaks(-3.0, -3.0))
+        assert np.isclose(field(100.0, 100.0), peaks(3.0, 3.0))
+
+    def test_amplitude(self):
+        base = PeaksField(side=10.0)
+        double = PeaksField(side=10.0, amplitude=2.0)
+        assert np.isclose(double(3.0, 7.0), 2.0 * base(3.0, 7.0))
+
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            PeaksField(side=0.0)
+
+
+class TestSimpleSurfaces:
+    def test_plane(self):
+        f = PlaneField(a=2.0, b=-1.0, c=5.0)
+        assert f(3.0, 4.0) == 2 * 3 - 4 + 5
+
+    def test_saddle(self):
+        f = SaddleField(scale=2.0, center=(1.0, 1.0))
+        assert f(2.0, 3.0) == 2.0 * 1.0 * 2.0
+        assert f(1.0, 100.0) == 0.0
+
+    def test_ridge_period(self):
+        f = RidgeField(amplitude=3.0, wavelength=10.0)
+        assert np.isclose(f(0.0, 0.0), 0.0)
+        assert np.isclose(f(2.5, 0.0), 3.0)
+        assert np.isclose(f(10.0, 5.0), 0.0, atol=1e-12)
+
+    def test_ridge_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            RidgeField(wavelength=0.0)
+
+
+class TestGaussianMixture:
+    def test_bump_validation(self):
+        with pytest.raises(ValueError):
+            GaussianBump(cx=0, cy=0, sigma=0.0, amplitude=1.0)
+
+    def test_peak_value(self):
+        f = GaussianMixtureField(
+            [GaussianBump(cx=5, cy=5, sigma=2.0, amplitude=4.0)], baseline=1.0
+        )
+        assert np.isclose(f(5.0, 5.0), 5.0)
+        assert np.isclose(f(100.0, 100.0), 1.0, atol=1e-6)
+
+    def test_gradient_matches_finite_difference(self, bump_field):
+        x, y = 32.0, 45.0
+        h = 1e-5
+        gx, gy = bump_field.gradient(x, y)
+        fd_gx = (bump_field(x + h, y) - bump_field(x - h, y)) / (2 * h)
+        fd_gy = (bump_field(x, y + h) - bump_field(x, y - h)) / (2 * h)
+        assert np.isclose(gx, fd_gx, atol=1e-6)
+        assert np.isclose(gy, fd_gy, atol=1e-6)
+
+    def test_hessian_matches_finite_difference(self, bump_field):
+        x, y = 28.0, 41.0
+        h = 1e-4
+        hxx, hxy, hyy = bump_field.hessian(x, y)
+        fd_hxx = (
+            bump_field(x + h, y) - 2 * bump_field(x, y) + bump_field(x - h, y)
+        ) / h**2
+        fd_hyy = (
+            bump_field(x, y + h) - 2 * bump_field(x, y) + bump_field(x, y - h)
+        ) / h**2
+        fd_hxy = (
+            bump_field(x + h, y + h)
+            - bump_field(x + h, y - h)
+            - bump_field(x - h, y + h)
+            + bump_field(x - h, y - h)
+        ) / (4 * h**2)
+        assert np.isclose(hxx, fd_hxx, atol=1e-4)
+        assert np.isclose(hyy, fd_hyy, atol=1e-4)
+        assert np.isclose(hxy, fd_hxy, atol=1e-4)
+
+    def test_random_mixture_deterministic(self):
+        region = BoundingBox.square(50.0)
+        a = GaussianMixtureField.random(5, region, seed=3)
+        b = GaussianMixtureField.random(5, region, seed=3)
+        c = GaussianMixtureField.random(5, region, seed=4)
+        assert a.bumps == b.bumps
+        assert a.bumps != c.bumps
+
+    def test_random_mixture_in_region(self):
+        region = BoundingBox.square(50.0)
+        f = GaussianMixtureField.random(10, region, seed=0)
+        for bump in f.bumps:
+            assert region.contains((bump.cx, bump.cy))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureField.random(-1, BoundingBox.square(1.0), seed=0)
+
+
+class TestTerrace:
+    def test_steps_along_direction(self):
+        f = TerraceField(step=2.0, run=10.0, direction=(1.0, 0.0))
+        assert f(5.0, 0.0) == 0.0
+        assert f(15.0, 0.0) == 2.0
+        assert f(25.0, 99.0) == 4.0  # independent of the cross direction
+
+    def test_flat_between_cliffs(self):
+        f = TerraceField(step=3.0, run=20.0, direction=(0.0, 1.0))
+        xs = np.linspace(0, 100, 11)
+        values = f(xs, np.full(11, 5.0))
+        assert np.allclose(values, values[0])
+
+    def test_direction_normalised(self):
+        a = TerraceField(direction=(2.0, 0.0))
+        b = TerraceField(direction=(1.0, 0.0))
+        assert np.isclose(a(30.0, 7.0), b(30.0, 7.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TerraceField(run=0.0)
+        with pytest.raises(ValueError):
+            TerraceField(direction=(0.0, 0.0))

@@ -1,0 +1,96 @@
+"""Tests for field interfaces and grid sampling."""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import PlaneField
+from repro.fields.base import FrozenField, GridSample, sample_grid
+from repro.fields.dynamic import DriftingField
+from repro.geometry.primitives import BoundingBox
+
+
+class TestGridSample:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GridSample(
+                xs=np.linspace(0, 1, 5),
+                ys=np.linspace(0, 1, 4),
+                values=np.zeros((5, 4)),  # transposed
+            )
+
+    def test_cell_area(self):
+        gs = GridSample(
+            xs=np.linspace(0, 10, 11),
+            ys=np.linspace(0, 20, 11),
+            values=np.zeros((11, 11)),
+        )
+        assert np.isclose(gs.cell_area, 1.0 * 2.0)
+
+    def test_region(self):
+        gs = GridSample(
+            xs=np.linspace(2, 8, 4), ys=np.linspace(1, 9, 5),
+            values=np.zeros((5, 4)),
+        )
+        region = gs.region
+        assert (region.xmin, region.ymin, region.xmax, region.ymax) == (2, 1, 8, 9)
+
+    def test_positions_row_major(self):
+        gs = GridSample(
+            xs=np.array([0.0, 1.0]), ys=np.array([0.0, 1.0]),
+            values=np.zeros((2, 2)),
+        )
+        pos = gs.positions()
+        assert pos.tolist() == [[0, 0], [1, 0], [0, 1], [1, 1]]
+
+    def test_value_at_index_orientation(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        gs = GridSample(
+            xs=np.array([0.0, 1.0]), ys=np.array([0.0, 1.0]), values=values
+        )
+        # (ix=1, iy=0) -> x=1, y=0 -> values[0][1]
+        assert gs.value_at_index(1, 0) == 2.0
+
+
+class TestSampleGrid:
+    def test_static_field(self):
+        field = PlaneField(a=1.0, b=0.0, c=0.0)  # z = x
+        region = BoundingBox.square(10.0)
+        gs = sample_grid(field, region, 11)
+        assert gs.values.shape == (11, 11)
+        assert np.allclose(gs.values[0], np.linspace(0, 10, 11))
+        assert np.allclose(gs.values[:, 3], 3.0)
+
+    def test_dynamic_needs_t(self):
+        field = DriftingField(PlaneField(a=1.0), velocity=(1.0, 0.0))
+        region = BoundingBox.square(10.0)
+        with pytest.raises(ValueError):
+            sample_grid(field, region, 5)
+        gs = sample_grid(field, region, 5, t=2.0)
+        assert gs.values.shape == (5, 5)
+
+    def test_static_rejects_t(self):
+        with pytest.raises(ValueError):
+            sample_grid(PlaneField(), BoundingBox.square(1.0), 5, t=0.0)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            sample_grid(PlaneField(), BoundingBox.square(1.0), 1)
+
+
+class TestFrozenField:
+    def test_freeze(self):
+        field = DriftingField(PlaneField(a=1.0), velocity=(1.0, 0.0))
+        frozen = field.at(3.0)
+        assert isinstance(frozen, FrozenField)
+        # z = x - t at t=3
+        assert np.isclose(frozen(5.0, 0.0), 2.0)
+
+    def test_sample_positions(self):
+        field = PlaneField(a=1.0, b=2.0)
+        out = field.sample(np.array([[1.0, 1.0], [2.0, 0.0]]))
+        assert np.allclose(out, [3.0, 2.0])
+
+    def test_dynamic_sample(self):
+        field = DriftingField(PlaneField(a=1.0), velocity=(1.0, 0.0))
+        out = field.sample(np.array([[5.0, 0.0]]), t=1.0)
+        assert np.allclose(out, [4.0])

@@ -1,0 +1,100 @@
+"""Tests for time-varying field combinators."""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import PlaneField, SaddleField
+from repro.fields.dynamic import (
+    DiurnalField,
+    DriftingField,
+    KeyframeField,
+    ScaledField,
+    StaticAsDynamic,
+    SumField,
+)
+
+
+class TestDrifting:
+    def test_translation(self):
+        base = PlaneField(a=1.0)  # z = x
+        field = DriftingField(base, velocity=(2.0, 0.0))
+        assert np.isclose(field(10.0, 0.0, t=0.0), 10.0)
+        assert np.isclose(field(10.0, 0.0, t=3.0), 4.0)
+
+    def test_diagonal_velocity(self):
+        base = SaddleField(scale=1.0)
+        field = DriftingField(base, velocity=(1.0, 1.0))
+        assert np.isclose(field(2.0, 2.0, t=1.0), base(1.0, 1.0))
+
+
+class TestDiurnal:
+    def test_night_is_floor(self):
+        field = DiurnalField(PlaneField(c=10.0), floor=0.5)
+        assert field(0.0, 0.0, t=0.0) == 0.5
+        assert field(0.0, 0.0, t=23 * 60.0) == 0.5
+
+    def test_noon_peak(self):
+        field = DiurnalField(PlaneField(c=10.0))
+        assert np.isclose(field(0.0, 0.0, t=12 * 60.0), 10.0)
+
+    def test_monotone_morning(self):
+        field = DiurnalField(PlaneField(c=1.0))
+        morning = [field(0.0, 0.0, t=t) for t in (7 * 60.0, 9 * 60.0, 11 * 60.0)]
+        assert morning[0] < morning[1] < morning[2]
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            DiurnalField(PlaneField(), sunrise=600.0, sunset=500.0)
+
+
+class TestKeyframe:
+    def test_interpolates_between_frames(self):
+        field = KeyframeField(
+            [0.0, 10.0], [PlaneField(c=0.0), PlaneField(c=10.0)]
+        )
+        assert np.isclose(field(0.0, 0.0, t=5.0), 5.0)
+        assert np.isclose(field(0.0, 0.0, t=2.5), 2.5)
+
+    def test_clamped_outside_range(self):
+        field = KeyframeField(
+            [0.0, 10.0], [PlaneField(c=0.0), PlaneField(c=10.0)]
+        )
+        assert field(0.0, 0.0, t=-5.0) == 0.0
+        assert field(0.0, 0.0, t=50.0) == 10.0
+
+    def test_unsorted_times_sorted(self):
+        field = KeyframeField(
+            [10.0, 0.0], [PlaneField(c=10.0), PlaneField(c=0.0)]
+        )
+        assert np.isclose(field(0.0, 0.0, t=5.0), 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyframeField([], [])
+        with pytest.raises(ValueError):
+            KeyframeField([0.0], [PlaneField(), PlaneField()])
+        with pytest.raises(ValueError):
+            KeyframeField([0.0, 0.0], [PlaneField(), PlaneField()])
+
+    def test_single_frame_constant(self):
+        field = KeyframeField([5.0], [PlaneField(c=2.0)])
+        assert field(0.0, 0.0, t=-100.0) == 2.0
+        assert field(0.0, 0.0, t=100.0) == 2.0
+
+
+class TestCombinators:
+    def test_sum(self):
+        f = SumField(
+            [StaticAsDynamic(PlaneField(c=1.0)), StaticAsDynamic(PlaneField(c=2.0))]
+        )
+        assert f(0.0, 0.0, t=0.0) == 3.0
+        with pytest.raises(ValueError):
+            SumField([])
+
+    def test_scaled(self):
+        f = ScaledField(StaticAsDynamic(PlaneField(c=2.0)), scale=3.0, offset=1.0)
+        assert f(0.0, 0.0, t=0.0) == 7.0
+
+    def test_static_adapter(self):
+        f = StaticAsDynamic(PlaneField(a=1.0))
+        assert f(4.0, 0.0, t=0.0) == f(4.0, 0.0, t=999.0) == 4.0

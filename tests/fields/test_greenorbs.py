@@ -1,0 +1,94 @@
+"""Tests for the synthetic GreenOrbs light field."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import sample_grid
+from repro.fields.greenorbs import GreenOrbsLightField, clock_to_minutes
+
+
+class TestClock:
+    def test_basic(self):
+        assert clock_to_minutes("10:00") == 600.0
+        assert clock_to_minutes("0:30") == 30.0
+        assert clock_to_minutes("23:59") == 23 * 60 + 59
+
+    def test_invalid(self):
+        for bad in ("25:00", "10:60", "banana", "10", "10:0"):
+            with pytest.raises(ValueError):
+                clock_to_minutes(bad)
+
+
+class TestField:
+    def test_deterministic_per_seed(self):
+        a = GreenOrbsLightField(seed=3)
+        b = GreenOrbsLightField(seed=3)
+        c = GreenOrbsLightField(seed=4)
+        x = np.linspace(0, 100, 11)
+        assert np.allclose(a(x, x, 600.0), b(x, x, 600.0))
+        assert not np.allclose(a(x, x, 600.0), c(x, x, 600.0))
+
+    def test_nonnegative_light(self, greenorbs_field):
+        gs = sample_grid(
+            greenorbs_field, greenorbs_field.region, 31, t=600.0
+        )
+        assert (gs.values >= 0.0).all()
+
+    def test_dark_at_night(self, greenorbs_field):
+        midnight = greenorbs_field(50.0, 50.0, t=0.0)
+        noon = greenorbs_field(50.0, 50.0, t=720.0)
+        assert noon > midnight
+
+    def test_sun_factor_profile(self, greenorbs_field):
+        f = greenorbs_field
+        assert f.sun_factor(0.0) == 0.0
+        assert f.sun_factor(6 * 60.0) == 0.0
+        assert np.isclose(f.sun_factor(12 * 60.0), 1.0)
+        assert 0.0 < f.sun_factor(8 * 60.0) < 1.0
+
+    def test_time_variation_is_gradual(self, greenorbs_field):
+        gs1 = sample_grid(greenorbs_field, greenorbs_field.region, 21, t=600.0)
+        gs2 = sample_grid(greenorbs_field, greenorbs_field.region, 21, t=605.0)
+        gs3 = sample_grid(greenorbs_field, greenorbs_field.region, 21, t=900.0)
+        d_short = np.abs(gs1.values - gs2.values).mean()
+        d_long = np.abs(gs1.values - gs3.values).mean()
+        assert d_short < d_long
+        assert d_short < 0.2  # 5 minutes changes little
+
+    def test_freeze_sun(self):
+        frozen = GreenOrbsLightField(seed=1, freeze_sun_at=600.0)
+        assert frozen.sun_factor(600.0) == frozen.sun_factor(900.0)
+        live = GreenOrbsLightField(seed=1)
+        assert live.sun_factor(600.0) != live.sun_factor(900.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreenOrbsLightField(side=0.0)
+        with pytest.raises(ValueError):
+            GreenOrbsLightField(sunrise=700.0, sunset=600.0)
+
+    def test_at_clock_helpers(self, greenorbs_field):
+        snap = greenorbs_field.at_clock("10:00")
+        ref = greenorbs_field.reference_snapshot()
+        assert np.isclose(snap(30.0, 30.0), ref(30.0, 30.0))
+        assert np.isclose(
+            snap(30.0, 30.0), greenorbs_field(30.0, 30.0, 600.0)
+        )
+
+    def test_no_texture_mode(self):
+        f = GreenOrbsLightField(seed=1, texture_amplitude=0.0)
+        assert f._speckle is None
+        gs = sample_grid(f, f.region, 21, t=600.0)
+        assert np.isfinite(gs.values).all()
+
+
+class TestTrace:
+    def test_make_trace(self, greenorbs_field):
+        trace = greenorbs_field.make_trace([600.0, 610.0], resolution=11)
+        assert len(trace.frames) == 2
+        assert trace.frames[0].values.shape == (11, 11)
+        replay = trace.as_field()
+        # (20, 20) is a grid point of the 11-point trace, so bilinear
+        # replay is exact there.
+        direct = greenorbs_field(20.0, 20.0, 600.0)
+        assert np.isclose(replay(20.0, 20.0, 600.0), direct, atol=1e-9)

@@ -1,0 +1,74 @@
+"""Tests for bilinear grid fields."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import GridSample, sample_grid
+from repro.fields.analytic import PlaneField
+from repro.fields.grid import GridField
+from repro.geometry.primitives import BoundingBox
+
+
+def make_grid(values, side=None):
+    n = values.shape[0]
+    xs = np.linspace(0, side or (n - 1), values.shape[1])
+    ys = np.linspace(0, side or (n - 1), values.shape[0])
+    return GridSample(xs=xs, ys=ys, values=np.asarray(values, dtype=float))
+
+
+class TestValidation:
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            GridField(make_grid(np.zeros((1, 2))))
+
+    def test_nonuniform_spacing(self):
+        gs = GridSample(
+            xs=np.array([0.0, 1.0, 5.0]),
+            ys=np.array([0.0, 1.0, 2.0]),
+            values=np.zeros((3, 3)),
+        )
+        with pytest.raises(ValueError):
+            GridField(gs)
+
+    def test_decreasing_axis(self):
+        gs = GridSample(
+            xs=np.array([2.0, 1.0, 0.0]),
+            ys=np.array([0.0, 1.0, 2.0]),
+            values=np.zeros((3, 3)),
+        )
+        with pytest.raises(ValueError):
+            GridField(gs)
+
+
+class TestInterpolation:
+    def test_exact_at_grid_points(self, rng):
+        values = rng.normal(size=(5, 5))
+        field = GridField(make_grid(values))
+        for iy in range(5):
+            for ix in range(5):
+                assert np.isclose(field(float(ix), float(iy)), values[iy, ix])
+
+    def test_bilinear_midpoint(self):
+        values = np.array([[0.0, 2.0], [4.0, 6.0]])
+        field = GridField(make_grid(values, side=1.0))
+        assert np.isclose(field(0.5, 0.5), 3.0)
+        assert np.isclose(field(0.5, 0.0), 1.0)
+
+    def test_reproduces_plane_exactly(self):
+        plane = PlaneField(a=2.0, b=-1.0, c=3.0)
+        reference = sample_grid(plane, BoundingBox.square(10.0), 11)
+        field = GridField(reference)
+        q = np.random.default_rng(0).uniform(0, 10, size=(50, 2))
+        assert np.allclose(field(q[:, 0], q[:, 1]), plane(q[:, 0], q[:, 1]))
+
+    def test_clamped_outside(self):
+        values = np.array([[0.0, 1.0], [2.0, 3.0]])
+        field = GridField(make_grid(values, side=1.0))
+        assert np.isclose(field(-5.0, -5.0), 0.0)
+        assert np.isclose(field(10.0, 10.0), 3.0)
+
+    def test_broadcasting(self):
+        values = np.arange(9, dtype=float).reshape(3, 3)
+        field = GridField(make_grid(values))
+        out = field(np.linspace(0, 2, 4)[:, None], np.linspace(0, 2, 4)[None, :])
+        assert out.shape == (4, 4)

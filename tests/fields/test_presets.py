@@ -1,0 +1,84 @@
+"""Tests for the environment presets."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import DynamicField, Field, sample_grid
+from repro.fields.presets import (
+    forest_light_field,
+    humidity_field,
+    soil_ph_field,
+    temperature_field,
+)
+from repro.geometry.primitives import BoundingBox
+
+REGION = BoundingBox.square(100.0)
+
+
+class TestSoilPH:
+    def test_static_and_plausible_range(self):
+        field = soil_ph_field(seed=1)
+        assert isinstance(field, Field)
+        gs = sample_grid(field, REGION, 41)
+        assert 3.0 < gs.values.min()
+        assert gs.values.max() < 9.0
+        assert np.isclose(gs.values.mean(), 6.0, atol=0.5)
+
+    def test_seeded(self):
+        a = sample_grid(soil_ph_field(seed=1), REGION, 21).values
+        b = sample_grid(soil_ph_field(seed=1), REGION, 21).values
+        c = sample_grid(soil_ph_field(seed=2), REGION, 21).values
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+
+class TestTemperature:
+    def test_diurnal_swing(self):
+        field = temperature_field(seed=0)
+        assert isinstance(field, DynamicField)
+        night = sample_grid(field, REGION, 21, t=0.0).values
+        noon = sample_grid(field, REGION, 21, t=720.0).values
+        assert noon.mean() > night.mean() + 3.0
+        assert np.isclose(night.mean(), 12.0, atol=1.0)
+
+    def test_spatial_variation_at_noon(self):
+        field = temperature_field(seed=0)
+        noon = sample_grid(field, REGION, 41, t=720.0).values
+        assert noon.max() - noon.min() > 1.0
+
+
+class TestHumidity:
+    def test_antiphase_with_day(self):
+        field = humidity_field(seed=0)
+        night = sample_grid(field, REGION, 21, t=0.0).values
+        noon = sample_grid(field, REGION, 21, t=720.0).values
+        assert night.mean() > noon.mean() + 10.0
+
+    def test_physical_bounds(self):
+        field = humidity_field(seed=3)
+        for t in (0.0, 360.0, 720.0, 1080.0):
+            values = sample_grid(field, REGION, 21, t=t).values
+            assert (values >= 0.0).all()
+            assert (values <= 105.0).all()  # small bump overshoot allowed
+
+
+class TestForestLight:
+    def test_is_greenorbs(self):
+        from repro.fields.greenorbs import GreenOrbsLightField
+
+        field = forest_light_field(seed=5)
+        assert isinstance(field, GreenOrbsLightField)
+        assert field.seed == 5
+
+
+class TestPresetsDriveOSD:
+    def test_fra_works_on_soil_ph(self):
+        """The paper's own OSD example end to end on the pH preset."""
+        from repro.core.fra import solve_osd
+        from repro.core.problem import OSDProblem
+
+        field = soil_ph_field(side=60.0, seed=4)
+        reference = sample_grid(field, BoundingBox.square(60.0), 31)
+        result = solve_osd(OSDProblem(k=20, rc=10.0, reference=reference))
+        assert result.connected
+        assert result.delta > 0

@@ -1,0 +1,51 @@
+"""Tests for spectral Gaussian random fields."""
+
+import numpy as np
+import pytest
+
+from repro.fields.random_field import GaussianRandomField
+from repro.geometry.primitives import BoundingBox
+
+
+class TestGaussianRandomField:
+    def test_deterministic(self):
+        region = BoundingBox.square(50.0)
+        a = GaussianRandomField(region, seed=5)
+        b = GaussianRandomField(region, seed=5)
+        c = GaussianRandomField(region, seed=6)
+        x = np.linspace(0, 50, 20)
+        assert np.allclose(a(x, x), b(x, x))
+        assert not np.allclose(a(x, x), c(x, x))
+
+    def test_mean_and_amplitude(self):
+        region = BoundingBox.square(100.0)
+        f = GaussianRandomField(region, mean=5.0, amplitude=2.0, seed=0)
+        vals = f._grid.sample_data.values
+        assert np.isclose(vals.mean(), 5.0, atol=0.1)
+        assert np.isclose(vals.std(), 2.0, atol=0.2)
+
+    def test_correlation_length_controls_smoothness(self):
+        region = BoundingBox.square(100.0)
+        rough = GaussianRandomField(region, correlation_length=2.0, seed=1)
+        smooth = GaussianRandomField(region, correlation_length=25.0, seed=1)
+
+        def roughness(f):
+            v = f._grid.sample_data.values
+            return np.abs(np.diff(v, axis=0)).mean()
+
+        assert roughness(rough) > 2.0 * roughness(smooth)
+
+    def test_validation(self):
+        region = BoundingBox.square(10.0)
+        with pytest.raises(ValueError):
+            GaussianRandomField(region, correlation_length=0.0)
+        with pytest.raises(ValueError):
+            GaussianRandomField(region, grid_resolution=4)
+
+    def test_evaluation_in_region(self):
+        region = BoundingBox.square(30.0)
+        f = GaussianRandomField(region, seed=2)
+        q = np.random.default_rng(0).uniform(0, 30, size=(40, 2))
+        out = f(q[:, 0], q[:, 1])
+        assert out.shape == (40,)
+        assert np.isfinite(out).all()

@@ -1,0 +1,123 @@
+"""Tests for CSV trace IO (round-trip and malformed-input handling)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import GridSample
+from repro.fields.trace_io import GridTrace, read_trace_csv, write_trace_csv
+
+
+def make_trace():
+    xs = np.linspace(0.0, 2.0, 3)
+    ys = np.linspace(0.0, 2.0, 3)
+    frames = [
+        GridSample(xs=xs, ys=ys, values=np.arange(9, dtype=float).reshape(3, 3)),
+        GridSample(xs=xs, ys=ys, values=np.arange(9, dtype=float).reshape(3, 3) + 10),
+    ]
+    return GridTrace(times=np.array([0.0, 5.0]), frames=frames)
+
+
+class TestGridTrace:
+    def test_validation(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            GridTrace(times=np.array([0.0]), frames=trace.frames)
+        with pytest.raises(ValueError):
+            GridTrace(times=np.empty(0), frames=[])
+
+    def test_mismatched_frames(self):
+        xs = np.linspace(0, 1, 2)
+        small = GridSample(xs=xs, ys=xs, values=np.zeros((2, 2)))
+        big = GridSample(
+            xs=np.linspace(0, 1, 3), ys=np.linspace(0, 1, 3),
+            values=np.zeros((3, 3)),
+        )
+        with pytest.raises(ValueError):
+            GridTrace(times=np.array([0.0, 1.0]), frames=[small, big])
+
+    def test_frame_at(self):
+        trace = make_trace()
+        assert trace.frame_at(0.1) is trace.frames[0]
+        assert trace.frame_at(4.9) is trace.frames[1]
+
+    def test_as_field_interpolates(self):
+        trace = make_trace()
+        field = trace.as_field()
+        v0 = field(1.0, 1.0, 0.0)
+        v1 = field(1.0, 1.0, 5.0)
+        mid = field(1.0, 1.0, 2.5)
+        assert np.isclose(mid, 0.5 * (v0 + v1))
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path)
+        assert np.allclose(loaded.times, trace.times)
+        for a, b in zip(loaded.frames, trace.frames):
+            assert np.allclose(a.values, b.values)
+            assert np.allclose(a.xs, b.xs)
+
+    def test_greenorbs_round_trip(self, tmp_path, greenorbs_field):
+        trace = greenorbs_field.make_trace([600.0, 615.0], resolution=9)
+        path = tmp_path / "go.csv"
+        write_trace_csv(trace, path)
+        loaded = read_trace_csv(path)
+        assert np.allclose(
+            loaded.frames[1].values, trace.frames[1].values, atol=1e-6
+        )
+
+
+class TestMalformedInput:
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.csv"
+        path.write_text(text)
+        return path
+
+    def test_missing_header(self, tmp_path):
+        path = self.write(tmp_path, "0,0,0,1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "t,x,y,z\n")
+        with pytest.raises(ValueError, match="no data"):
+            read_trace_csv(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = self.write(tmp_path, "t,x,y,z\n0,0,0\n")
+        with pytest.raises(ValueError, match="4 columns"):
+            read_trace_csv(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = self.write(tmp_path, "t,x,y,z\n0,0,zero,1\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_trace_csv(path)
+
+    def test_incomplete_grid(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "t,x,y,z\n0,0,0,1\n0,1,0,2\n0,0,1,3\n",  # missing (1,1)
+        )
+        with pytest.raises(ValueError, match="complete grid"):
+            read_trace_csv(path)
+
+    def test_inconsistent_axes_between_frames(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "t,x,y,z\n"
+            "0,0,0,1\n0,1,0,1\n0,0,1,1\n0,1,1,1\n"
+            "5,0,0,1\n5,2,0,1\n5,0,1,1\n5,2,1,1\n",
+        )
+        with pytest.raises(ValueError, match="different grid"):
+            read_trace_csv(path)
+
+    def test_duplicate_cells(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "t,x,y,z\n0,0,0,1\n0,0,0,2\n0,1,0,1\n0,0,1,1\n",
+        )
+        with pytest.raises(ValueError):
+            read_trace_csv(path)

@@ -1,0 +1,150 @@
+"""Tests for the incremental Bowyer-Watson Delaunay triangulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.delaunay import (
+    DelaunayTriangulation,
+    DuplicatePointError,
+    Triangle,
+)
+from repro.geometry.predicates import orientation
+
+
+class TestTriangle:
+    def test_edges(self):
+        t = Triangle(0, 1, 2)
+        assert frozenset((0, 1)) in t.edges()
+        assert frozenset((1, 2)) in t.edges()
+        assert frozenset((2, 0)) in t.edges()
+
+    def test_has_vertex(self):
+        t = Triangle(3, 5, 9)
+        assert t.has_vertex(5)
+        assert not t.has_vertex(4)
+
+
+class TestBasics:
+    def test_empty(self):
+        dt = DelaunayTriangulation()
+        assert dt.n_points == 0
+        assert dt.triangles == []
+        assert dt.simplices.shape == (0, 3)
+
+    def test_single_triangle(self):
+        dt = DelaunayTriangulation([(0, 0), (10, 0), (0, 10)])
+        assert dt.n_points == 3
+        assert len(dt.triangles) == 1
+        tri = dt.triangles[0]
+        pts = dt.points
+        assert orientation(pts[tri.a], pts[tri.b], pts[tri.c]) == 1  # CCW
+
+    def test_square_two_triangles(self):
+        dt = DelaunayTriangulation([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert len(dt.triangles) == 2
+        assert len(dt.edges()) == 5  # 4 sides + 1 diagonal
+
+    def test_duplicate_raises(self):
+        dt = DelaunayTriangulation([(0, 0), (1, 0)])
+        with pytest.raises(DuplicatePointError):
+            dt.insert((0, 0))
+
+    def test_skip_duplicates(self):
+        dt = DelaunayTriangulation(skip_duplicates=True)
+        i = dt.insert((0, 0))
+        j = dt.insert((0, 0))
+        assert i == j == 0
+        assert dt.n_points == 1
+
+    def test_point_accessor(self):
+        dt = DelaunayTriangulation([(1, 2), (3, 4)])
+        assert tuple(dt.point(0)) == (1.0, 2.0)
+        with pytest.raises(IndexError):
+            dt.point(2)
+
+    def test_out_of_span_raises(self):
+        dt = DelaunayTriangulation(span=10.0)
+        with pytest.raises(ValueError):
+            dt.insert((1e9, 1e9))
+
+    def test_repr(self):
+        dt = DelaunayTriangulation([(0, 0), (1, 0), (0, 1)])
+        assert "n_points=3" in repr(dt)
+
+
+class TestDelaunayProperty:
+    def test_random_points_are_delaunay(self, rng):
+        pts = rng.uniform(0, 100, size=(40, 2))
+        dt = DelaunayTriangulation(pts)
+        assert dt.is_delaunay(eps=1e-5)
+
+    def test_grid_points(self):
+        # Cocircular grid points: any valid Delaunay triangulation is fine.
+        pts = [(float(x), float(y)) for x in range(5) for y in range(5)]
+        dt = DelaunayTriangulation(pts)
+        assert dt.n_points == 25
+        # Euler: for n points with h on the hull, triangles = 2n - h - 2.
+        assert len(dt.triangles) == 2 * 25 - 16 - 2
+
+    def test_scipy_triangle_count(self, rng):
+        from scipy.spatial import Delaunay as SciDT
+
+        pts = rng.uniform(0, 100, size=(80, 2))
+        ours = DelaunayTriangulation(pts)
+        theirs = SciDT(pts)
+        assert len(ours.triangles) == len(theirs.simplices)
+
+    def test_scipy_edge_sets_match(self, rng):
+        from scipy.spatial import Delaunay as SciDT
+
+        pts = rng.uniform(0, 100, size=(50, 2))
+        ours = DelaunayTriangulation(pts)
+        theirs = SciDT(pts)
+        sci_edges = set()
+        for simplex in theirs.simplices:
+            a, b, c = sorted(int(v) for v in simplex)
+            sci_edges |= {(a, b), (b, c), (a, c)}
+        assert set(ours.edges()) == sci_edges
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=3,
+            max_size=25,
+            unique=True,
+        )
+    )
+    def test_property_all_inputs_delaunay(self, pts):
+        dt = DelaunayTriangulation(skip_duplicates=True)
+        for p in pts:
+            dt.insert(p)
+        assert dt.is_delaunay(eps=1e-4)
+
+    def test_incremental_matches_batch(self, rng):
+        pts = rng.uniform(0, 50, size=(30, 2))
+        batch = DelaunayTriangulation(pts)
+        incremental = DelaunayTriangulation()
+        for p in pts:
+            incremental.insert(p)
+        assert set(batch.edges()) == set(incremental.edges())
+
+
+class TestLocate:
+    def test_inside(self):
+        dt = DelaunayTriangulation([(0, 0), (10, 0), (0, 10)])
+        tri = dt.locate((2, 2))
+        assert tri is not None
+
+    def test_outside_hull(self):
+        dt = DelaunayTriangulation([(0, 0), (10, 0), (0, 10)])
+        assert dt.locate((50, 50)) is None
+
+    def test_on_vertex(self):
+        dt = DelaunayTriangulation([(0, 0), (10, 0), (0, 10), (10, 10)])
+        assert dt.locate((0, 0)) is not None

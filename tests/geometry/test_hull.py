@@ -1,0 +1,99 @@
+"""Tests for convex hull and hull projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hull import (
+    convex_hull,
+    hull_area,
+    point_in_convex_polygon,
+    project_onto_convex_polygon,
+    project_onto_segment,
+)
+from repro.geometry.predicates import orientation
+from repro.geometry.primitives import Point2
+
+# Coordinates are quantised to 1e-6: the library targets metre-scale
+# regions, and subnormal-magnitude inputs (1e-213) make any epsilon-based
+# orientation test inconsistent between hull construction and containment.
+coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False).map(
+    lambda v: round(v, 6)
+)
+points_strategy = st.lists(st.tuples(coord, coord), min_size=1, max_size=40)
+
+
+class TestConvexHull:
+    def test_square(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point2(1, 1) not in hull
+
+    def test_collinear_input(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert hull == [Point2(0, 0), Point2(3, 3)]
+
+    def test_duplicates_removed(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (1, 0), (0, 1)])
+        assert len(hull) == 3
+
+    def test_small_inputs(self):
+        assert convex_hull([(1, 2)]) == [Point2(1, 2)]
+        assert len(convex_hull([(1, 2), (3, 4)])) == 2
+
+    @settings(max_examples=50)
+    @given(points_strategy)
+    def test_hull_is_convex_and_contains_all(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        # Counter-clockwise convexity.
+        n = len(hull)
+        for i in range(n):
+            assert orientation(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]) >= 0
+        for p in pts:
+            assert point_in_convex_polygon(p, hull, eps=1e-6)
+
+    def test_scipy_cross_validation(self, rng):
+        from scipy.spatial import ConvexHull as SciHull
+
+        pts = rng.uniform(0, 100, size=(60, 2))
+        ours = convex_hull(pts)
+        sci = SciHull(pts)
+        assert len(ours) == len(sci.vertices)
+        assert np.isclose(hull_area(ours), sci.volume)
+
+
+class TestProjection:
+    def test_project_onto_segment(self):
+        assert project_onto_segment((1, 1), (0, 0), (2, 0)) == Point2(1, 0)
+        assert project_onto_segment((-5, 3), (0, 0), (2, 0)) == Point2(0, 0)
+        assert project_onto_segment((9, -2), (0, 0), (2, 0)) == Point2(2, 0)
+        assert project_onto_segment((3, 3), (1, 1), (1, 1)) == Point2(1, 1)
+
+    def test_inside_unchanged(self):
+        hull = [Point2(0, 0), Point2(4, 0), Point2(4, 4), Point2(0, 4)]
+        assert project_onto_convex_polygon((2, 2), hull) == Point2(2, 2)
+
+    def test_outside_projects_to_edge(self):
+        hull = [Point2(0, 0), Point2(4, 0), Point2(4, 4), Point2(0, 4)]
+        assert project_onto_convex_polygon((2, -3), hull) == Point2(2, 0)
+        assert project_onto_convex_polygon((7, 7), hull) == Point2(4, 4)
+
+    def test_empty_hull_raises(self):
+        with pytest.raises(ValueError):
+            project_onto_convex_polygon((0, 0), [])
+
+    def test_degenerate_hulls(self):
+        assert project_onto_convex_polygon((5, 5), [(1, 1)]) == Point2(1, 1)
+        assert project_onto_convex_polygon((5, 5), [(0, 0), (2, 0)]) == Point2(2, 0)
+
+
+class TestHullArea:
+    def test_unit_square(self):
+        assert hull_area([(0, 0), (1, 0), (1, 1), (0, 1)]) == 1.0
+
+    def test_degenerate(self):
+        assert hull_area([(0, 0), (1, 1)]) == 0.0

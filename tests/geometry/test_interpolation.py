@@ -1,0 +1,154 @@
+"""Tests for piecewise-linear surface evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.interpolation import (
+    LinearSurfaceInterpolator,
+    barycentric_coordinates,
+)
+
+
+def plane(x, y):
+    return 2.0 * x - 3.0 * y + 1.0
+
+
+class TestBarycentric:
+    def test_centroid(self):
+        w = barycentric_coordinates((1, 1), (0, 0), (3, 0), (0, 3))
+        assert np.allclose(w, (1 / 3, 1 / 3, 1 / 3))
+
+
+class TestExactness:
+    def test_reproduces_plane_exactly(self, rng):
+        pts = rng.uniform(0, 10, size=(20, 2))
+        values = plane(pts[:, 0], pts[:, 1])
+        interp = LinearSurfaceInterpolator(pts, values)
+        # Query inside the hull.
+        q = rng.uniform(2, 8, size=(50, 2))
+        assert np.allclose(interp(q[:, 0], q[:, 1]), plane(q[:, 0], q[:, 1]))
+
+    def test_interpolates_vertices_exactly(self, rng):
+        pts = rng.uniform(0, 10, size=(15, 2))
+        values = rng.normal(size=15)
+        interp = LinearSurfaceInterpolator(pts, values)
+        assert np.allclose(interp(pts[:, 0], pts[:, 1]), values, atol=1e-9)
+
+    def test_scalar_query(self):
+        interp = LinearSurfaceInterpolator(
+            np.array([[0, 0], [2, 0], [0, 2]]), np.array([0.0, 2.0, 2.0])
+        )
+        out = interp(1.0, 0.5)
+        assert isinstance(out, float)
+        assert np.isclose(out, 1.5)
+
+    def test_scipy_cross_validation(self, rng):
+        from scipy.interpolate import LinearNDInterpolator
+
+        pts = rng.uniform(0, 100, size=(40, 2))
+        values = np.sin(pts[:, 0] / 10) + np.cos(pts[:, 1] / 7)
+        ours = LinearSurfaceInterpolator(pts, values, extrapolate="nan")
+        theirs = LinearNDInterpolator(pts, values)
+        q = rng.uniform(10, 90, size=(200, 2))
+        a = ours(q[:, 0], q[:, 1])
+        b = theirs(q[:, 0], q[:, 1])
+        both = ~(np.isnan(a) | np.isnan(b))
+        assert both.mean() > 0.9
+        assert np.allclose(a[both], b[both], atol=1e-6)
+
+
+class TestExtrapolation:
+    def test_nan_mode(self):
+        interp = LinearSurfaceInterpolator(
+            np.array([[0, 0], [2, 0], [0, 2]]),
+            np.array([1.0, 1.0, 1.0]),
+            extrapolate="nan",
+        )
+        assert np.isnan(interp(10.0, 10.0))
+
+    def test_clamp_mode_is_finite_everywhere(self, rng):
+        pts = rng.uniform(40, 60, size=(10, 2))
+        interp = LinearSurfaceInterpolator(pts, rng.normal(size=10))
+        grid = interp.evaluate_grid(np.linspace(0, 100, 21), np.linspace(0, 100, 21))
+        assert np.isfinite(grid).all()
+
+    def test_clamp_constant_surface(self, rng):
+        pts = rng.uniform(40, 60, size=(10, 2))
+        interp = LinearSurfaceInterpolator(pts, np.full(10, 7.0))
+        assert np.isclose(interp(0.0, 0.0), 7.0)
+        assert np.isclose(interp(99.0, 1.0), 7.0)
+
+    def test_clamp_continuous_at_hull(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        interp = LinearSurfaceInterpolator(pts, np.array([0.0, 10.0, 20.0]))
+        inside = interp(5.0, 0.0)
+        just_outside = interp(5.0, -1e-6)
+        assert np.isclose(inside, just_outside, atol=1e-3)
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            LinearSurfaceInterpolator(
+                np.zeros((3, 2)), np.zeros(3), extrapolate="wild"
+            )
+
+
+class TestDegenerateInputs:
+    def test_single_point_nearest(self):
+        interp = LinearSurfaceInterpolator(np.array([[5.0, 5.0]]), np.array([3.0]))
+        assert interp(0.0, 0.0) == 3.0
+
+    def test_collinear_points_nearest(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        interp = LinearSurfaceInterpolator(pts, np.array([1.0, 2.0, 3.0]))
+        assert interp(2.1, 2.1) == 3.0
+
+    def test_duplicate_points_collapsed(self):
+        pts = np.array([[0, 0], [0, 0], [4, 0], [0, 4]], dtype=float)
+        vals = np.array([1.0, 99.0, 2.0, 3.0])
+        interp = LinearSurfaceInterpolator(pts, vals)
+        # First value wins for the duplicate.
+        assert np.isclose(interp(0.0, 0.0), 1.0)
+
+    def test_zero_samples_raises(self):
+        with pytest.raises(ValueError):
+            LinearSurfaceInterpolator(np.empty((0, 2)), np.empty(0))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            LinearSurfaceInterpolator(np.zeros((3, 2)), np.zeros(4))
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            LinearSurfaceInterpolator(
+                np.zeros((3, 2)), np.zeros(3), triangulation=np.array([[0, 1, 7]])
+            )
+
+
+class TestGridEvaluation:
+    def test_grid_shape_and_orientation(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]])
+        values = pts[:, 1]  # z = y
+        interp = LinearSurfaceInterpolator(pts, values)
+        xs = np.linspace(0, 10, 5)
+        ys = np.linspace(0, 10, 3)
+        grid = interp.evaluate_grid(xs, ys)
+        assert grid.shape == (3, 5)
+        assert np.allclose(grid[0], 0.0)   # first row = ys[0] = 0
+        assert np.allclose(grid[-1], 10.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=30))
+    def test_grid_matches_pointwise(self, n):
+        rng = np.random.default_rng(n)
+        pts = rng.uniform(0, 20, size=(n, 2))
+        values = rng.normal(size=n)
+        interp = LinearSurfaceInterpolator(pts, values)
+        xs = np.linspace(0, 20, 7)
+        ys = np.linspace(0, 20, 6)
+        grid = interp.evaluate_grid(xs, ys)
+        for iy, y in enumerate(ys):
+            for ix, x in enumerate(xs):
+                assert np.isclose(grid[iy, ix], interp(x, y), atol=1e-9)

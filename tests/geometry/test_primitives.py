@@ -1,0 +1,134 @@
+"""Unit tests for geometric primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import (
+    BoundingBox,
+    Point2,
+    Point3,
+    distance,
+    distance_squared,
+    midpoint,
+    pairwise_distances,
+    unit_vector,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPoint2:
+    def test_iteration_and_coercion(self):
+        p = Point2(1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+        assert Point2.of((3, 4)) == Point2(3.0, 4.0)
+        assert Point2.of(np.array([5.0, 6.0])) == Point2(5.0, 6.0)
+        assert Point2.of(p) is p
+
+    def test_arithmetic(self):
+        a, b = Point2(1, 2), Point2(3, 5)
+        assert a + b == Point2(4, 7)
+        assert b - a == Point2(2, 3)
+        assert 2 * a == Point2(2, 4)
+        assert a * 2 == Point2(2, 4)
+        assert b / 2 == Point2(1.5, 2.5)
+        assert -a == Point2(-1, -2)
+
+    def test_dot_cross(self):
+        a, b = Point2(1, 0), Point2(0, 1)
+        assert a.dot(b) == 0.0
+        assert a.cross(b) == 1.0
+        assert b.cross(a) == -1.0
+
+    def test_norm_and_normalized(self):
+        assert Point2(3, 4).norm() == 5.0
+        n = Point2(3, 4).normalized()
+        assert math.isclose(n.norm(), 1.0)
+        assert Point2(0, 0).normalized() == Point2(0, 0)
+
+    def test_distance_to(self):
+        assert Point2(0, 0).distance_to(Point2(3, 4)) == 5.0
+
+    def test_as_array(self):
+        arr = Point2(1, 2).as_array()
+        assert arr.dtype == float
+        assert arr.tolist() == [1.0, 2.0]
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point2(x1, y1), Point2(x2, y2)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_squared_consistent(self, x1, y1, x2, y2):
+        d = distance((x1, y1), (x2, y2))
+        d2 = distance_squared((x1, y1), (x2, y2))
+        assert math.isclose(d * d, d2, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestPoint3:
+    def test_projection(self):
+        p = Point3(1, 2, 3)
+        assert p.projection() == Point2(1, 2)
+        assert tuple(p) == (1.0, 2.0, 3.0)
+        assert p.as_array().tolist() == [1.0, 2.0, 3.0]
+
+
+class TestBoundingBox:
+    def test_square(self):
+        box = BoundingBox.square(100.0)
+        assert box.width == box.height == 100.0
+        assert box.area == 10000.0
+        assert box.center == Point2(50.0, 50.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BoundingBox.square(0)
+        with pytest.raises(ValueError):
+            BoundingBox.square(-5)
+
+    def test_contains_and_clamp(self):
+        box = BoundingBox.square(10.0)
+        assert box.contains((5, 5))
+        assert box.contains((0, 0))
+        assert not box.contains((11, 5))
+        assert box.contains((10.5, 5), tol=1.0)
+        assert box.clamp((15, -3)) == Point2(10.0, 0.0)
+        assert box.clamp((5, 5)) == Point2(5.0, 5.0)
+
+    def test_corners_ccw(self):
+        c = BoundingBox.square(2.0).corners()
+        assert c == (Point2(0, 0), Point2(2, 0), Point2(2, 2), Point2(0, 2))
+
+    def test_around(self):
+        box = BoundingBox.around([(1, 2), (5, -1), (3, 4)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (1, -1, 5, 4)
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point2(1, 2)
+
+    def test_unit_vector(self):
+        assert unit_vector((0, 0), (0, 7)) == Point2(0, 1)
+        assert unit_vector((1, 1), (1, 1)) == Point2(0, 0)
+
+    def test_pairwise_distances(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        d = pairwise_distances(pts)
+        assert d.shape == (3, 3)
+        assert np.allclose(np.diag(d), 0.0)
+        assert math.isclose(d[0, 1], 5.0)
+        assert np.allclose(d, d.T)
+
+    def test_pairwise_distances_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((3, 3)))

@@ -1,0 +1,69 @@
+"""Tests for unit-disk graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.geometric import (
+    closest_pair_between,
+    component_positions,
+    graph_from_positions,
+    unit_disk_graph,
+)
+
+
+class TestUnitDiskGraph:
+    def test_edges_at_threshold(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [21.0, 0.0]])
+        g = unit_disk_graph(pts, 10.0)
+        assert g.has_edge(0, 1)  # exactly Rc counts
+        assert not g.has_edge(1, 2)
+        assert g.weight(0, 1) == 10.0
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph(np.zeros((2, 2)), 0.0)
+
+    def test_empty_and_single(self):
+        assert unit_disk_graph(np.empty((0, 2)), 5.0).n_vertices == 0
+        assert unit_disk_graph(np.array([[1.0, 1.0]]), 5.0).n_edges == 0
+
+    def test_grid_degree(self):
+        pts = np.array(
+            [[float(x), float(y)] for x in range(3) for y in range(3)]
+        ) * 10.0
+        g = unit_disk_graph(pts, 10.0)
+        # Center of 3x3 grid has exactly 4 neighbours at spacing = Rc.
+        center = 4
+        assert g.degree(center) == 4
+
+    def test_from_positions_wrapper(self):
+        g = graph_from_positions([(0, 0), (1, 1)], 5.0)
+        assert g.has_edge(0, 1)
+
+    def test_weights_are_distances(self, rng):
+        pts = rng.uniform(0, 20, size=(10, 2))
+        g = unit_disk_graph(pts, 8.0)
+        for u, v, w in g.edges():
+            assert np.isclose(w, np.linalg.norm(pts[u] - pts[v]))
+            assert w <= 8.0
+
+
+class TestComponents:
+    def test_two_clusters(self):
+        pts = np.array([[0, 0], [1, 0], [50, 50], [51, 50]], dtype=float)
+        groups = component_positions(pts, 5.0)
+        assert len(groups) == 2
+        assert sorted(len(g) for g in groups) == [2, 2]
+
+
+class TestClosestPair:
+    def test_known(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[5.0, 0.0], [3.0, 0.0]])
+        i, j, d = closest_pair_between(a, b)
+        assert (i, j) == (1, 1)
+        assert d == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            closest_pair_between(np.empty((0, 2)), np.array([[0.0, 0.0]]))

@@ -1,0 +1,98 @@
+"""Tests for the adjacency-list graph."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_add_vertex(self):
+        g = Graph(2)
+        assert g.add_vertex() == 2
+        assert g.n_vertices == 3
+
+
+class TestEdges:
+    def test_add_and_query(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.5)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.weight(0, 1) == 2.5
+        assert g.n_edges == 1
+
+    def test_reweight(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 9.0)
+        assert g.weight(0, 1) == 9.0
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+        with pytest.raises(IndexError):
+            g.neighbors(9)
+
+    def test_remove_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_missing_weight_raises(self):
+        g = Graph(2)
+        with pytest.raises(KeyError):
+            g.weight(0, 1)
+
+    def test_neighbors_sorted(self):
+        g = Graph(4)
+        g.add_edge(0, 3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        assert g.neighbors(0) == [1, 2, 3]
+        assert g.degree(0) == 3
+
+    def test_edges_iteration(self):
+        g = Graph(3)
+        g.add_edge(0, 2, 5.0)
+        g.add_edge(0, 1, 3.0)
+        assert list(g.edges()) == [(0, 1, 3.0), (0, 2, 5.0)]
+
+
+class TestSubgraphCopy:
+    def test_subgraph(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        g.add_edge(2, 3, 3.0)
+        sub, mapping = g.subgraph([1, 2, 3])
+        assert mapping == [1, 2, 3]
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 2
+        assert sub.weight(0, 1) == 2.0  # old (1,2)
+
+    def test_copy_independent(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        dup = g.copy()
+        dup.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not dup.has_edge(0, 1)

@@ -1,0 +1,91 @@
+"""Tests for Prim and Kruskal minimum spanning trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.mst import kruskal_mst, prim_mst, total_weight
+
+
+def random_graph(rng, n, p=0.3):
+    g = Graph(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j, float(rng.uniform(0.1, 10.0)))
+    return g
+
+
+class TestKnownCases:
+    def test_triangle(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        g.add_edge(0, 2, 3.0)
+        for algo in (prim_mst, kruskal_mst):
+            mst = algo(g)
+            assert len(mst) == 2
+            assert total_weight(mst) == 3.0
+            assert (0, 2, 3.0) not in mst
+
+    def test_empty_and_singleton(self):
+        assert prim_mst(Graph(0)) == []
+        assert prim_mst(Graph(1)) == []
+        assert kruskal_mst(Graph(1)) == []
+
+    def test_forest_on_disconnected(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 2.0)
+        for algo in (prim_mst, kruskal_mst):
+            mst = algo(g)
+            assert len(mst) == 2  # one edge per component
+            assert total_weight(mst) == 3.0
+
+
+class TestCrossValidation:
+    def test_prim_equals_kruskal_weight(self, rng):
+        for trial in range(10):
+            g = random_graph(rng, 15)
+            assert np.isclose(
+                total_weight(prim_mst(g)), total_weight(kruskal_mst(g))
+            )
+
+    def test_networkx_weight(self, rng):
+        import networkx as nx
+
+        g = random_graph(rng, 20)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(20))
+        for u, v, w in g.edges():
+            nxg.add_edge(u, v, weight=w)
+        nx_weight = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_edges(nxg, data=True)
+        )
+        assert np.isclose(total_weight(prim_mst(g)), nx_weight)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 10_000))
+    def test_mst_edge_count(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n, p=0.5)
+        from repro.graphs.traversal import connected_components
+
+        n_components = len(connected_components(g))
+        mst = prim_mst(g)
+        assert len(mst) == n - n_components
+
+    def test_mst_spans(self, rng):
+        g = random_graph(rng, 12, p=0.6)
+        mst_edges = prim_mst(g)
+        spanning = Graph(12)
+        for u, v, w in mst_edges:
+            spanning.add_edge(u, v, w)
+        from repro.graphs.traversal import connected_components
+
+        assert len(connected_components(spanning)) == len(
+            connected_components(g)
+        )

@@ -1,0 +1,115 @@
+"""Tests for relay placement (FRA's L(G,r) / P(G,i) primitives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.relay import (
+    count_required_relays,
+    plan_relays,
+    relays_for_gap,
+)
+from repro.graphs.traversal import is_connected
+
+
+class TestRelaysForGap:
+    def test_no_relay_within_radius(self):
+        assert relays_for_gap(5.0, 10.0) == 0
+        assert relays_for_gap(10.0, 10.0) == 0
+
+    def test_one_relay(self):
+        assert relays_for_gap(15.0, 10.0) == 1
+        assert relays_for_gap(20.0, 10.0) == 1  # exactly 2 hops
+
+    def test_many_relays(self):
+        assert relays_for_gap(35.0, 10.0) == 3
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            relays_for_gap(5.0, 0.0)
+
+
+class TestCountRequired:
+    def test_connected_needs_none(self):
+        pts = np.array([[0, 0], [5, 0], [10, 0]], dtype=float)
+        assert count_required_relays(pts, 10.0) == 0
+
+    def test_two_islands(self):
+        pts = np.array([[0, 0], [25, 0]], dtype=float)
+        assert count_required_relays(pts, 10.0) == 2  # 25m gap -> 2 relays
+
+    def test_three_islands_mst(self):
+        pts = np.array([[0, 0], [15, 0], [30, 0]], dtype=float)
+        # Two 15m gaps along the MST, one relay each.
+        assert count_required_relays(pts, 10.0) == 2
+
+    def test_trivial_inputs(self):
+        assert count_required_relays(np.empty((0, 2)), 10.0) == 0
+        assert count_required_relays(np.array([[1.0, 1.0]]), 10.0) == 0
+
+
+class TestPlanRelays:
+    def test_full_plan_connects(self):
+        pts = np.array([[0, 0], [25, 0], [0, 40]], dtype=float)
+        plan = plan_relays(pts, 10.0)
+        assert plan.connected
+        combined = np.vstack([pts, plan.positions])
+        assert is_connected(unit_disk_graph(combined, 10.0))
+        assert len(plan.positions) == plan.required
+
+    def test_relay_spacing_within_radius(self):
+        pts = np.array([[0, 0], [37, 0]], dtype=float)
+        plan = plan_relays(pts, 10.0)
+        chain = np.vstack([pts[:1], plan.positions, pts[1:]])
+        order = np.argsort(chain[:, 0])
+        hops = np.diff(chain[order, 0])
+        assert (hops <= 10.0 + 1e-9).all()
+
+    def test_budget_zero(self):
+        pts = np.array([[0, 0], [25, 0]], dtype=float)
+        plan = plan_relays(pts, 10.0, budget=0)
+        assert len(plan.positions) == 0
+        assert not plan.connected
+        assert plan.components_after == 2
+
+    def test_partial_budget_cheapest_first(self):
+        # Component A-B gap needs 1 relay, A-C needs 3; budget 1 joins A-B.
+        pts = np.array([[0, 0], [18, 0], [0, 38]], dtype=float)
+        plan = plan_relays(pts, 10.0, budget=1)
+        assert len(plan.positions) == 1
+        assert plan.components_after == 2
+        assert not plan.connected
+
+    def test_already_connected(self):
+        pts = np.array([[0, 0], [5, 0]], dtype=float)
+        plan = plan_relays(pts, 10.0)
+        assert plan.connected
+        assert plan.required == 0
+        assert len(plan.positions) == 0
+
+    def test_empty_input(self):
+        plan = plan_relays(np.empty((0, 2)), 10.0)
+        assert plan.connected
+        assert plan.components_before == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=15), st.integers(0, 9999))
+    def test_full_plan_always_connects(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(n, 2))
+        rc = 12.0
+        plan = plan_relays(pts, rc)
+        assert plan.connected
+        combined = np.vstack([pts, plan.positions])
+        assert is_connected(unit_disk_graph(combined, rc))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 9999))
+    def test_count_matches_plan(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 80, size=(n, 2))
+        assert count_required_relays(pts, 10.0) == plan_relays(pts, 10.0).required

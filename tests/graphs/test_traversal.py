@@ -1,0 +1,98 @@
+"""Tests for BFS, connected components and hop paths."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_order,
+    connected_components,
+    is_connected,
+    shortest_hop_path,
+)
+
+
+def path_graph(n):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestBFS:
+    def test_order_from_source(self):
+        g = path_graph(4)
+        assert bfs_order(g, 0) == [0, 1, 2, 3]
+        assert bfs_order(g, 2) == [2, 1, 3, 0]
+
+    def test_unreachable_excluded(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        assert bfs_order(g, 0) == [0, 1]
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(path_graph(5)) == [[0, 1, 2, 3, 4]]
+
+    def test_multiple_components(self):
+        g = Graph(5)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert connected_components(g) == [[0, 1], [2, 3], [4]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph(0)) == []
+
+    def test_networkx_cross_validation(self, rng):
+        import networkx as nx
+
+        g = Graph(30)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(30))
+        for _ in range(40):
+            u, v = rng.integers(0, 30, size=2)
+            if u != v:
+                g.add_edge(int(u), int(v))
+                nxg.add_edge(int(u), int(v))
+        ours = sorted(tuple(c) for c in connected_components(g))
+        theirs = sorted(tuple(sorted(c)) for c in nx.connected_components(nxg))
+        assert ours == theirs
+
+
+class TestIsConnected:
+    def test_trivial_cases(self):
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+        assert not is_connected(Graph(2))
+
+    def test_path_connected(self):
+        assert is_connected(path_graph(6))
+
+    def test_disconnection_detected(self):
+        g = path_graph(6)
+        g.remove_edge(2, 3)
+        assert not is_connected(g)
+
+
+class TestShortestHopPath:
+    def test_direct(self):
+        g = path_graph(4)
+        assert shortest_hop_path(g, 0, 3) == [0, 1, 2, 3]
+
+    def test_self(self):
+        g = path_graph(2)
+        assert shortest_hop_path(g, 1, 1) == [1]
+
+    def test_unreachable(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert shortest_hop_path(g, 0, 2) is None
+
+    def test_prefers_fewer_hops(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 3)
+        g.add_edge(0, 2)
+        g.add_edge(2, 3)
+        g.add_edge(0, 3)
+        assert shortest_hop_path(g, 0, 3) == [0, 3]

@@ -1,0 +1,72 @@
+"""Tests for the disjoint-set forest."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert len(uf) == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.n_components == 3
+        assert not uf.union(0, 1)  # already merged
+        assert uf.n_components == 3
+
+    def test_connected_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_out_of_range(self):
+        uf = UnionFind(2)
+        with pytest.raises(IndexError):
+            uf.find(5)
+
+    def test_components_map(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(v) for v in uf.components().values())
+        assert groups == [[0, 1], [2, 3], [4]]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60
+        )
+    )
+    def test_component_count_invariant(self, unions):
+        """n_components always equals the count from a naive recomputation."""
+        uf = UnionFind(20)
+        for a, b in unions:
+            uf.union(a, b)
+        roots = {uf.find(i) for i in range(20)}
+        assert uf.n_components == len(roots)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40
+        )
+    )
+    def test_find_idempotent(self, unions):
+        uf = UnionFind(15)
+        for a, b in unions:
+            uf.union(a, b)
+        for i in range(15):
+            assert uf.find(i) == uf.find(uf.find(i))

@@ -1,0 +1,96 @@
+"""Tests for the centralized-dispatch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import OSTDProblem
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.sim.centralized import (
+    CentralizedSimulation,
+    cma_message_count,
+)
+from repro.sim.engine import MobileSimulation
+
+
+def make_problem(k=16, duration=4.0, side=40.0):
+    field = GreenOrbsLightField(side=side, seed=3, freeze_sun_at=600.0)
+    return OSTDProblem(
+        k=k, rc=10.0, rs=5.0, region=field.region, field=field,
+        speed=1.0, t0=600.0, duration=duration,
+    )
+
+
+class TestSetup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentralizedSimulation(make_problem(), delay_rounds=-1)
+        with pytest.raises(ValueError):
+            CentralizedSimulation(make_problem(), replan_every=0)
+        with pytest.raises(ValueError):
+            CentralizedSimulation(
+                make_problem(), initial_positions=np.zeros((3, 2))
+            )
+
+    def test_default_init_matches_engine(self):
+        central = CentralizedSimulation(make_problem(), resolution=41)
+        engine = MobileSimulation(make_problem(), resolution=41)
+        assert np.allclose(central.positions, engine.positions)
+
+
+class TestRounds:
+    def test_run_shape(self):
+        result = CentralizedSimulation(
+            make_problem(), replan_every=2, solver_iterations=5, resolution=41
+        ).run()
+        assert len(result.rounds) == 4
+        assert result.deltas.shape == (4,)
+        assert result.times.tolist() == [600.0, 601.0, 602.0, 603.0]
+
+    def test_speed_cap(self):
+        sim = CentralizedSimulation(
+            make_problem(), replan_every=1, solver_iterations=5, resolution=41
+        )
+        prev = sim.positions.copy()
+        sim.step()
+        moved = np.linalg.norm(sim.positions - prev, axis=1)
+        assert (moved <= 1.0 + 1e-9).all()
+
+    def test_messages_counted_on_replan_rounds_only(self):
+        sim = CentralizedSimulation(
+            make_problem(), replan_every=3, solver_iterations=3, resolution=41
+        )
+        records = [sim.step() for _ in range(4)]
+        assert records[0].n_messages > 0
+        assert records[1].n_messages == 0
+        assert records[2].n_messages == 0
+        assert records[3].n_messages > 0
+
+    def test_information_age_tracks_delay(self):
+        sim = CentralizedSimulation(
+            make_problem(), delay_rounds=4, replan_every=10,
+            solver_iterations=3, resolution=41,
+        )
+        first = sim.step()
+        second = sim.step()
+        assert first.information_age == 4
+        assert second.information_age == 5
+
+    def test_run_validation(self):
+        sim = CentralizedSimulation(make_problem(), resolution=41)
+        with pytest.raises(ValueError):
+            sim.run(n_rounds=0)
+
+    def test_total_messages_accumulates(self):
+        result = CentralizedSimulation(
+            make_problem(), replan_every=2, solver_iterations=3, resolution=41
+        ).run()
+        assert result.total_messages == sum(r.n_messages for r in result.rounds)
+
+
+class TestCmaMessageCount:
+    def test_counts_beacons_and_tells(self):
+        result = MobileSimulation(make_problem(), resolution=41).run()
+        count = cma_message_count(result)
+        n_alive_total = sum(r.n_alive for r in result.rounds)
+        assert count >= n_alive_total  # at least one beacon per node-round
+        assert count == n_alive_total + sum(r.n_moved for r in result.rounds)

@@ -1,0 +1,53 @@
+"""Tests for failure-injection models."""
+
+import pytest
+
+from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+
+
+class TestMessageLoss:
+    def test_zero_probability_always_delivers(self):
+        model = MessageLossModel(0.0)
+        assert all(model.delivered() for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageLossModel(1.0)
+        with pytest.raises(ValueError):
+            MessageLossModel(-0.1)
+
+    def test_deterministic_given_seed(self):
+        a = MessageLossModel(0.5, seed=3)
+        b = MessageLossModel(0.5, seed=3)
+        assert [a.delivered() for _ in range(50)] == [
+            b.delivered() for _ in range(50)
+        ]
+
+    def test_loss_rate(self):
+        model = MessageLossModel(0.25, seed=0)
+        outcomes = [model.delivered() for _ in range(4000)]
+        rate = 1.0 - sum(outcomes) / len(outcomes)
+        assert 0.2 < rate < 0.3
+
+
+class TestNodeFailureSchedule:
+    def test_fires_once(self):
+        sched = NodeFailureSchedule(at={10.0: [1, 2]})
+        assert sched.failures_due(5.0) == []
+        assert sorted(sched.failures_due(10.0)) == [1, 2]
+        assert sched.failures_due(11.0) == []
+
+    def test_late_poll_catches_up(self):
+        sched = NodeFailureSchedule(at={10.0: [0]})
+        assert sched.failures_due(100.0) == [0]
+
+    def test_multiple_times(self):
+        sched = NodeFailureSchedule(at={5.0: [0], 10.0: [1]})
+        assert sched.failures_due(7.0) == [0]
+        assert sched.failures_due(12.0) == [1]
+
+    def test_reset(self):
+        sched = NodeFailureSchedule(at={5.0: [0]})
+        sched.failures_due(6.0)
+        sched.reset()
+        assert sched.failures_due(6.0) == [0]

@@ -1,0 +1,38 @@
+"""Tests for the tell-message structure."""
+
+import numpy as np
+
+from repro.core.cma import NeighborObservation
+from repro.sim.messages import TellMessage
+
+
+def make_tell():
+    table = [
+        NeighborObservation(3, np.array([1.0, 2.0]), 0.5),
+        NeighborObservation(7, np.array([4.0, 5.0]), 1.5),
+    ]
+    return TellMessage(
+        sender_id=1, destination=np.array([0.0, 0.0]), neighbor_table=table
+    )
+
+
+class TestTellMessage:
+    def test_bridge_positions(self):
+        tell = make_tell()
+        bridges = tell.bridge_positions()
+        assert len(bridges) == 2
+        assert np.allclose(bridges[0], [1.0, 2.0])
+        assert np.allclose(bridges[1], [4.0, 5.0])
+
+    def test_index_of(self):
+        tell = make_tell()
+        assert tell.index_of(3) == 0
+        assert tell.index_of(7) == 1
+        assert tell.index_of(99) is None
+
+    def test_empty_table(self):
+        tell = TellMessage(
+            sender_id=0, destination=np.zeros(2), neighbor_table=[]
+        )
+        assert tell.bridge_positions() == []
+        assert tell.index_of(0) is None

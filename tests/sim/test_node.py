@@ -1,0 +1,26 @@
+"""Tests for per-node state."""
+
+import numpy as np
+
+from repro.sim.node import NodeState
+
+
+class TestNodeState:
+    def test_move_accumulates_distance(self):
+        node = NodeState(node_id=0, position=np.array([0.0, 0.0]))
+        step = node.move_to(np.array([3.0, 4.0]))
+        assert step == 5.0
+        node.move_to(np.array([3.0, 10.0]))
+        assert node.distance_travelled == 11.0
+
+    def test_kill_idempotent(self):
+        node = NodeState(node_id=1, position=np.zeros(2))
+        node.kill(5.0)
+        node.kill(9.0)
+        assert not node.alive
+        assert node.died_at == 5.0
+
+    def test_position_coerced(self):
+        node = NodeState(node_id=0, position=[1, 2])
+        assert node.position.dtype == float
+        assert node.position.shape == (2,)

@@ -1,0 +1,147 @@
+"""Tests for the disk sensing model and trace sampler."""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import PlaneField
+from repro.fields.base import sample_grid
+from repro.fields.dynamic import StaticAsDynamic
+from repro.geometry.primitives import BoundingBox
+from repro.sim.sensing import DiskSensor, TraceSampler
+
+
+@pytest.fixture
+def snapshot(bump_field):
+    return sample_grid(bump_field, BoundingBox.square(100.0), 101)
+
+
+class TestDiskSensor:
+    def test_sample_count_matches_paper(self, snapshot):
+        """m = floor(pi * Rs^2) on the 1 m grid (within grid quantisation)."""
+        sensor = DiskSensor(snapshot, rs=5.0)
+        reading = sensor.read(np.array([50.0, 50.0]))
+        assert abs(reading.m - int(np.pi * 25)) <= 5
+
+    def test_all_samples_in_disk(self, snapshot):
+        sensor = DiskSensor(snapshot, rs=5.0)
+        center = np.array([30.0, 60.0])
+        reading = sensor.read(center)
+        dists = np.linalg.norm(reading.positions - center, axis=1)
+        assert (dists <= 5.0 + 1e-9).all()
+
+    def test_values_match_snapshot(self, snapshot, bump_field):
+        sensor = DiskSensor(snapshot, rs=3.0)
+        reading = sensor.read(np.array([40.0, 40.0]))
+        expected = bump_field(reading.positions[:, 0], reading.positions[:, 1])
+        assert np.allclose(reading.values, expected, atol=1e-9)
+
+    def test_corner_clipping(self, snapshot):
+        sensor = DiskSensor(snapshot, rs=5.0)
+        reading = sensor.read(np.array([0.0, 0.0]))
+        assert 0 < reading.m < int(np.pi * 25)
+
+    def test_outside_region_empty(self, snapshot):
+        sensor = DiskSensor(snapshot, rs=2.0)
+        reading = sensor.read(np.array([500.0, 500.0]))
+        assert reading.m == 0
+
+    def test_curvature_peaks_near_bump(self, snapshot, bump_field):
+        sensor = DiskSensor(snapshot, rs=5.0)
+        bump = bump_field.bumps[0]
+        at_bump = sensor.read(np.array([bump.cx, bump.cy]))
+        far = sensor.read(np.array([5.0, 95.0]))
+        assert at_bump.curvatures.max() > 5.0 * max(far.curvatures.max(), 1e-12)
+
+    def test_smoothing_reduces_noise_curvature(self, rng):
+        noisy = rng.normal(size=(101, 101)) * 0.5
+        gs = sample_grid(
+            PlaneField(), BoundingBox.square(100.0), 101
+        )
+        from repro.fields.base import GridSample
+
+        noisy_gs = GridSample(xs=gs.xs, ys=gs.ys, values=noisy)
+        raw = DiskSensor(noisy_gs, rs=5.0, smooth_sigma=0.0)
+        smooth = DiskSensor(noisy_gs, rs=5.0, smooth_sigma=2.0)
+        p = np.array([50.0, 50.0])
+        assert smooth.read(p).curvatures.mean() < raw.read(p).curvatures.mean()
+
+    def test_validation(self, snapshot):
+        with pytest.raises(ValueError):
+            DiskSensor(snapshot, rs=0.0)
+        with pytest.raises(ValueError):
+            DiskSensor(snapshot, rs=5.0, smooth_sigma=-1.0)
+
+    def test_signed_mode(self, snapshot):
+        unsigned = DiskSensor(snapshot, rs=5.0, signed=False)
+        reading = unsigned.read(np.array([50.0, 50.0]))
+        assert (reading.curvatures >= 0).all()
+
+
+class TestSensorNoise:
+    def test_noise_perturbs_values(self, snapshot):
+        import numpy as np
+
+        clean = DiskSensor(snapshot, rs=5.0).read(np.array([50.0, 50.0]))
+        noisy = DiskSensor(
+            snapshot, rs=5.0, noise_std=0.5,
+            noise_rng=np.random.default_rng(0),
+        ).read(np.array([50.0, 50.0]))
+        diff = noisy.values - clean.values
+        assert 0.3 < float(np.std(diff)) < 0.7
+
+    def test_noise_requires_rng(self, snapshot):
+        import numpy as np
+
+        # Without an RNG the noise setting is inert (engine always passes one).
+        sensor = DiskSensor(snapshot, rs=5.0, noise_std=0.5, noise_rng=None)
+        clean = DiskSensor(snapshot, rs=5.0).read(np.array([50.0, 50.0]))
+        out = sensor.read(np.array([50.0, 50.0]))
+        assert np.allclose(out.values, clean.values)
+
+    def test_noise_validation(self, snapshot):
+        with pytest.raises(ValueError):
+            DiskSensor(snapshot, rs=5.0, noise_std=-0.1)
+
+    def test_engine_noise_option(self):
+        import numpy as np
+
+        from repro.core.problem import OSTDProblem
+        from repro.fields.greenorbs import GreenOrbsLightField
+        from repro.sim.engine import MobileSimulation
+
+        field = GreenOrbsLightField(side=40.0, seed=1, freeze_sun_at=600.0)
+        problem = OSTDProblem(
+            k=16, rc=10.0, rs=5.0, region=field.region, field=field,
+            speed=1.0, t0=600.0, duration=2.0,
+        )
+        clean = MobileSimulation(problem, resolution=41).run()
+        noisy = MobileSimulation(
+            problem, resolution=41, sensor_noise_std=0.5
+        ).run()
+        assert not np.allclose(clean.final_positions, noisy.final_positions)
+        with pytest.raises(ValueError):
+            MobileSimulation(problem, resolution=41, sensor_noise_std=-1.0)
+
+
+class TestTraceSampler:
+    def test_sample_count(self):
+        sampler = TraceSampler(samples_per_move=3)
+        field = StaticAsDynamic(PlaneField(a=1.0))
+        pts, vals = sampler.sample_path(
+            field, np.array([0.0, 0.0]), np.array([4.0, 0.0]), t=0.0
+        )
+        assert len(pts) == 3
+        assert np.allclose(pts[:, 0], [1.0, 2.0, 3.0])
+        assert np.allclose(vals, [1.0, 2.0, 3.0])
+
+    def test_no_move_no_samples(self):
+        sampler = TraceSampler()
+        field = StaticAsDynamic(PlaneField())
+        pts, vals = sampler.sample_path(
+            field, np.array([1.0, 1.0]), np.array([1.0, 1.0]), t=0.0
+        )
+        assert len(pts) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceSampler(samples_per_move=0)

@@ -1,0 +1,58 @@
+"""Tests for grid curvature against analytic ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import PlaneField, SaddleField
+from repro.fields.base import sample_grid
+from repro.geometry.primitives import BoundingBox
+from repro.surfaces.curvature import grid_curvatures, grid_gaussian_curvature
+
+
+class TestKnownSurfaces:
+    def test_plane_zero_curvature(self):
+        gs = sample_grid(PlaneField(a=2.0, b=-1.0, c=3.0), BoundingBox.square(10.0), 21)
+        curv = grid_curvatures(gs)
+        assert np.allclose(curv.gaussian, 0.0, atol=1e-9)
+        assert np.allclose(curv.mean, 0.0, atol=1e-9)
+
+    def test_saddle_negative_gaussian(self):
+        # z = s*x*y has K = -s^2 / (1 + s^2(x^2+y^2))^2 < 0 everywhere.
+        s = 0.1
+        gs = sample_grid(
+            SaddleField(scale=s, center=(5.0, 5.0)), BoundingBox.square(10.0), 41
+        )
+        curv = grid_gaussian_curvature(gs)
+        interior = curv[5:-5, 5:-5]
+        assert (interior < 0).all()
+        # At the saddle center: K = -s^2.
+        assert np.isclose(curv[20, 20], -(s**2), rtol=0.05)
+
+    def test_gaussian_bump_curvature(self, bump_field, unit_region):
+        gs = sample_grid(bump_field, unit_region, 101)
+        curv = grid_gaussian_curvature(gs)
+        # At a bump center: fxx = fyy = -amp/sigma^2, fxy = 0, gradient 0,
+        # so K = amp^2/sigma^4 > 0.
+        bump = bump_field.bumps[0]
+        ix = int(round(bump.cx))
+        iy = int(round(bump.cy))
+        expected = (bump.amplitude / bump.sigma**2) ** 2
+        assert np.isclose(curv[iy, ix], expected, rtol=0.1)
+
+    def test_analytic_cross_validation(self, bump_field, unit_region):
+        """FD curvature matches the closed-form Monge-patch formula."""
+        gs = sample_grid(bump_field, unit_region, 201)
+        curv = grid_gaussian_curvature(gs)
+        xs, ys = gs.xs, gs.ys
+        xx, yy = np.meshgrid(xs, ys)
+        gx, gy = bump_field.gradient(xx, yy)
+        hxx, hxy, hyy = bump_field.hessian(xx, yy)
+        expected = (hxx * hyy - hxy**2) / (1 + gx**2 + gy**2) ** 2
+        interior = (slice(5, -5), slice(5, -5))
+        assert np.allclose(curv[interior], expected[interior], atol=2e-4)
+
+    def test_abs_gaussian(self, bump_field, unit_region):
+        gs = sample_grid(bump_field, unit_region, 51)
+        curv = grid_curvatures(gs)
+        assert (curv.abs_gaussian >= 0).all()
+        assert np.allclose(curv.abs_gaussian, np.abs(curv.gaussian))

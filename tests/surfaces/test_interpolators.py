@@ -1,0 +1,116 @@
+"""Tests for the alternative reconstruction interpolators."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import sample_grid
+from repro.fields.analytic import PlaneField
+from repro.geometry.primitives import BoundingBox
+from repro.surfaces.interpolators import (
+    IDWInterpolator,
+    NearestNeighborInterpolator,
+    make_interpolator,
+    reconstruct_with,
+)
+
+REGION = BoundingBox.square(10.0)
+
+
+@pytest.fixture
+def samples(rng):
+    pts = rng.uniform(0, 10, size=(12, 2))
+    values = rng.normal(size=12)
+    return pts, values
+
+
+class TestNearestNeighbor:
+    def test_exact_at_samples(self, samples):
+        pts, values = samples
+        interp = NearestNeighborInterpolator(pts, values)
+        assert np.allclose(interp(pts[:, 0], pts[:, 1]), values)
+
+    def test_piecewise_constant(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        interp = NearestNeighborInterpolator(pts, np.array([1.0, 5.0]))
+        assert interp(2.0, 0.0) == 1.0
+        assert interp(8.0, 0.0) == 5.0
+
+    def test_scalar_and_grid(self, samples):
+        pts, values = samples
+        interp = NearestNeighborInterpolator(pts, values)
+        assert isinstance(interp(1.0, 1.0), float)
+        grid = interp.evaluate_grid(np.linspace(0, 10, 5), np.linspace(0, 10, 4))
+        assert grid.shape == (4, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NearestNeighborInterpolator(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            NearestNeighborInterpolator(np.empty((0, 2)), np.empty(0))
+
+
+class TestIDW:
+    def test_exact_at_samples(self, samples):
+        pts, values = samples
+        interp = IDWInterpolator(pts, values)
+        out = interp(pts[:, 0], pts[:, 1])
+        assert np.allclose(out, values)
+        assert np.isfinite(out).all()
+
+    def test_bounded_by_sample_range(self, samples):
+        pts, values = samples
+        interp = IDWInterpolator(pts, values)
+        q = np.random.default_rng(1).uniform(0, 10, size=(100, 2))
+        out = interp(q[:, 0], q[:, 1])
+        assert out.min() >= values.min() - 1e-9
+        assert out.max() <= values.max() + 1e-9
+
+    def test_power_controls_locality(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        values = np.array([0.0, 10.0])
+        soft = IDWInterpolator(pts, values, power=1.0)
+        sharp = IDWInterpolator(pts, values, power=8.0)
+        # Near the first sample, high power hugs the local value harder.
+        assert sharp(2.0, 0.0) < soft(2.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IDWInterpolator(np.zeros((2, 2)), np.zeros(2), power=0.0)
+
+
+class TestFactoryAndScoring:
+    def test_factory_methods(self, samples):
+        pts, values = samples
+        for method in ("delaunay", "nearest", "idw"):
+            interp = make_interpolator(method, pts, values)
+            assert np.isfinite(interp(5.0, 5.0))
+        with pytest.raises(ValueError):
+            make_interpolator("kriging", pts, values)
+
+    def test_reconstruct_with_plane(self):
+        plane = PlaneField(a=1.0, b=1.0)
+        reference = sample_grid(plane, REGION, 21)
+        pts = np.array([(0, 0), (10, 0), (10, 10), (0, 10), (5, 5)], dtype=float)
+        values = plane(pts[:, 0], pts[:, 1])
+        dt = reconstruct_with("delaunay", reference, pts, values)
+        nn = reconstruct_with("nearest", reference, pts, values)
+        # Linear surface: DT is exact, piecewise-constant NN cannot be.
+        assert dt.delta < 1e-6
+        assert nn.delta > 1.0
+
+    def test_delaunay_dominates_on_smooth_field(self, bump_reference):
+        from repro.fields.grid import GridField
+
+        rng = np.random.default_rng(2)
+        pts = np.vstack(
+            [
+                np.array([(0, 0), (100, 0), (100, 100), (0, 100)], dtype=float),
+                rng.uniform(0, 100, size=(40, 2)),
+            ]
+        )
+        values = GridField(bump_reference).sample(pts)
+        deltas = {
+            m: reconstruct_with(m, bump_reference, pts, values).delta
+            for m in ("delaunay", "nearest", "idw")
+        }
+        assert deltas["delaunay"] <= min(deltas["nearest"], deltas["idw"])

@@ -1,0 +1,71 @@
+"""Tests for the FRA local-error array and argmax selection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.interpolation import LinearSurfaceInterpolator
+from repro.surfaces.local_error import argmax_grid, local_error_grid
+
+
+class TestLocalErrorGrid:
+    def test_zero_at_sample_vertices(self, bump_reference):
+        ref = bump_reference
+        corners = np.array(
+            [
+                [ref.xs[0], ref.ys[0]],
+                [ref.xs[-1], ref.ys[0]],
+                [ref.xs[-1], ref.ys[-1]],
+                [ref.xs[0], ref.ys[-1]],
+            ]
+        )
+        values = np.array(
+            [
+                ref.values[0, 0],
+                ref.values[0, -1],
+                ref.values[-1, -1],
+                ref.values[-1, 0],
+            ]
+        )
+        interp = LinearSurfaceInterpolator(corners, values)
+        err = local_error_grid(ref, interp)
+        assert err.shape == ref.values.shape
+        assert np.isclose(err[0, 0], 0.0, atol=1e-9)
+        assert np.isclose(err[-1, -1], 0.0, atol=1e-9)
+        assert err.max() > 0.1  # the bumps are not planar
+
+    def test_error_nonnegative(self, bump_reference):
+        ref = bump_reference
+        pts = np.array([[10.0, 10.0], [90.0, 10.0], [50.0, 90.0]])
+        from repro.fields.grid import GridField
+
+        interp = LinearSurfaceInterpolator(pts, GridField(ref).sample(pts))
+        err = local_error_grid(ref, interp)
+        assert (err >= 0).all()
+
+
+class TestArgmax:
+    def test_basic(self):
+        err = np.zeros((3, 4))
+        err[2, 1] = 5.0
+        assert argmax_grid(err) == (1, 2)
+
+    def test_tie_breaks_row_major(self):
+        err = np.ones((2, 2))
+        assert argmax_grid(err) == (0, 0)
+
+    def test_exclusion(self):
+        err = np.zeros((2, 2))
+        err[0, 0] = 5.0
+        err[1, 1] = 3.0
+        exclude = np.zeros((2, 2), dtype=bool)
+        exclude[0, 0] = True
+        assert argmax_grid(err, exclude=exclude) == (1, 1)
+
+    def test_all_excluded_raises(self):
+        err = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            argmax_grid(err, exclude=np.ones((2, 2), dtype=bool))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            argmax_grid(np.ones((2, 2)), exclude=np.zeros((3, 3), dtype=bool))

@@ -1,0 +1,95 @@
+"""Tests for the δ metric and friends (Theorem 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import GridSample
+from repro.surfaces.metrics import (
+    max_absolute_error,
+    normalized_delta,
+    rmse,
+    volume_difference,
+    volume_difference_union_intersection,
+    volume_under_surface,
+)
+
+
+def grid(values, side=10.0):
+    values = np.asarray(values, dtype=float)
+    xs = np.linspace(0, side, values.shape[1])
+    ys = np.linspace(0, side, values.shape[0])
+    return GridSample(xs=xs, ys=ys, values=values)
+
+
+class TestVolume:
+    def test_constant_surface(self):
+        gs = grid(np.full((11, 11), 2.0))
+        # 121 cells x area 1 each x height 2.
+        assert np.isclose(volume_under_surface(gs), 242.0)
+
+
+class TestDelta:
+    def test_identical_surfaces(self):
+        a = grid(np.random.default_rng(0).normal(size=(5, 5)))
+        assert volume_difference(a, a) == 0.0
+
+    def test_constant_offset(self):
+        a = grid(np.zeros((5, 5)))
+        b = grid(np.full((5, 5), 3.0))
+        # 25 cells x (10/4)^2 area x 3.
+        assert np.isclose(volume_difference(a, b), 25 * 6.25 * 3.0)
+
+    def test_symmetry(self, rng):
+        a = grid(rng.normal(size=(6, 6)))
+        b = grid(rng.normal(size=(6, 6)))
+        assert np.isclose(volume_difference(a, b), volume_difference(b, a))
+
+    def test_triangle_inequality(self, rng):
+        a = grid(rng.normal(size=(6, 6)))
+        b = grid(rng.normal(size=(6, 6)))
+        c = grid(rng.normal(size=(6, 6)))
+        assert volume_difference(a, c) <= (
+            volume_difference(a, b) + volume_difference(b, c) + 1e-9
+        )
+
+    def test_theorem_31_equivalence(self, rng):
+        """Eqn. 2 (abs integral) equals Eqn. 3 (union minus intersection)."""
+        a = grid(rng.normal(size=(8, 8)))
+        b = grid(rng.normal(size=(8, 8)))
+        assert np.isclose(
+            volume_difference(a, b),
+            volume_difference_union_intersection(a, b),
+        )
+
+    def test_different_grids_rejected(self):
+        a = grid(np.zeros((5, 5)))
+        b = grid(np.zeros((6, 6)))
+        with pytest.raises(ValueError):
+            volume_difference(a, b)
+
+    def test_different_extent_rejected(self):
+        a = grid(np.zeros((5, 5)), side=10.0)
+        b = grid(np.zeros((5, 5)), side=20.0)
+        with pytest.raises(ValueError):
+            volume_difference(a, b)
+
+
+class TestOtherMetrics:
+    def test_rmse(self):
+        a = grid(np.zeros((4, 4)))
+        b = grid(np.full((4, 4), 2.0))
+        assert rmse(a, b) == 2.0
+
+    def test_max_error(self, rng):
+        a = grid(np.zeros((4, 4)))
+        values = np.zeros((4, 4))
+        values[2, 3] = -7.0
+        b = grid(values)
+        assert max_absolute_error(a, b) == 7.0
+
+    def test_normalized_delta_is_mean_abs_error(self):
+        a = grid(np.zeros((11, 11)))
+        b = grid(np.full((11, 11), 3.0))
+        # Mean |err| is 3, up to the fencepost factor (n/(n-1))^2 of the
+        # point-sum Riemann integral: 121 points x 1 m^2 over a 100 m^2 box.
+        assert np.isclose(normalized_delta(a, b), 3.0 * 121 / 100)

@@ -1,0 +1,114 @@
+"""Tests for the on-node quadric least-squares curvature estimator."""
+
+import numpy as np
+import pytest
+
+from repro.surfaces.quadric import (
+    QuadricFit,
+    QuadricFitMode,
+    fit_quadric,
+    gaussian_curvature_from_quadric,
+    principal_curvatures,
+)
+
+
+def disk_samples(center, radius, spacing=1.0):
+    """Grid positions within a disk, like the sensing model produces."""
+    cx, cy = center
+    xs = np.arange(cx - radius, cx + radius + spacing / 2, spacing)
+    ys = np.arange(cy - radius, cy + radius + spacing / 2, spacing)
+    xx, yy = np.meshgrid(xs, ys)
+    mask = (xx - cx) ** 2 + (yy - cy) ** 2 <= radius**2
+    return np.column_stack([xx[mask], yy[mask]])
+
+
+class TestPrincipalCurvatures:
+    def test_eqn_12_13(self):
+        g1, g2 = principal_curvatures(2.0, 0.0, 1.0)
+        # a+c = 3, sqrt((a-c)^2+b^2) = 1 -> g1=2, g2=4.
+        assert (g1, g2) == (2.0, 4.0)
+
+    def test_symmetric_case(self):
+        g1, g2 = principal_curvatures(1.0, 0.0, 1.0)
+        assert g1 == g2 == 2.0
+
+
+class TestExactQuadrics:
+    def test_recovers_pure_quadric(self):
+        pts = disk_samples((0.0, 0.0), 5.0)
+        a, b, c = 0.3, -0.2, 0.5
+        z = a * pts[:, 0] ** 2 + b * pts[:, 0] * pts[:, 1] + c * pts[:, 1] ** 2
+        for mode in QuadricFitMode:
+            fit = fit_quadric(pts, z, center=(0.0, 0.0), mode=mode)
+            assert np.isclose(fit.a, a, atol=1e-9)
+            assert np.isclose(fit.b, b, atol=1e-9)
+            assert np.isclose(fit.c, c, atol=1e-9)
+            assert fit.residual < 1e-9
+
+    def test_centered_mode_translation_invariant(self):
+        center = (40.0, 60.0)
+        pts = disk_samples(center, 5.0)
+        dx = pts[:, 0] - center[0]
+        dy = pts[:, 1] - center[1]
+        z = 0.2 * dx**2 + 0.1 * dx * dy - 0.3 * dy**2 + 2.0 * dx + 7.0
+        fit = fit_quadric(pts, z, center=center, mode=QuadricFitMode.CENTERED)
+        assert np.isclose(fit.a, 0.2, atol=1e-9)
+        assert np.isclose(fit.b, 0.1, atol=1e-9)
+        assert np.isclose(fit.c, -0.3, atol=1e-9)
+        assert np.isclose(fit.d, 2.0, atol=1e-9)
+        assert np.isclose(fit.f, 7.0, atol=1e-9)
+
+    def test_plane_has_zero_curvature_centered(self):
+        pts = disk_samples((10.0, 10.0), 5.0)
+        z = 3.0 * pts[:, 0] - 2.0 * pts[:, 1] + 5.0
+        g = gaussian_curvature_from_quadric(
+            pts, z, center=(10.0, 10.0), mode=QuadricFitMode.CENTERED
+        )
+        assert np.isclose(g, 0.0, atol=1e-12)
+
+    def test_paper_mode_biased_on_tilted_plane(self):
+        """The documented flaw of the literal Eqn. 11 formulation."""
+        pts = disk_samples((10.0, 10.0), 5.0)
+        z = 3.0 * pts[:, 0] - 2.0 * pts[:, 1] + 5.0
+        g = gaussian_curvature_from_quadric(
+            pts, z, center=(10.0, 10.0), mode=QuadricFitMode.PAPER
+        )
+        assert g > 1e-4  # spurious curvature
+
+
+class TestGaussianCurvature:
+    def test_bump_center_estimate(self, bump_field):
+        bump = bump_field.bumps[0]
+        pts = disk_samples((bump.cx, bump.cy), 5.0)
+        z = bump_field(pts[:, 0], pts[:, 1])
+        g = gaussian_curvature_from_quadric(
+            pts, z, center=(bump.cx, bump.cy), mode=QuadricFitMode.CENTERED
+        )
+        expected = (bump.amplitude / bump.sigma**2) ** 2
+        assert np.isclose(g, expected, rtol=0.25)
+
+    def test_signed_flag(self):
+        pts = disk_samples((0.0, 0.0), 5.0)
+        z = 0.1 * pts[:, 0] * pts[:, 1]  # saddle: negative K
+        signed = gaussian_curvature_from_quadric(pts, z, signed=True)
+        unsigned = gaussian_curvature_from_quadric(pts, z, signed=False)
+        assert signed < 0
+        assert unsigned == -signed
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        pts = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            fit_quadric(pts, np.zeros(2), mode=QuadricFitMode.PAPER)
+        with pytest.raises(ValueError):
+            fit_quadric(np.zeros((5, 2)), np.zeros(5), mode=QuadricFitMode.CENTERED)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_quadric(np.zeros((6, 2)), np.zeros(5))
+
+    def test_quadric_fit_methods(self):
+        fit = QuadricFit(a=1.0, b=0.0, c=1.0, d=0, e=0, f=0, residual=0.0)
+        assert fit.principal_curvatures() == (2.0, 2.0)
+        assert fit.gaussian_curvature() == 4.0

@@ -1,0 +1,71 @@
+"""Tests for end-to-end surface reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import PlaneField
+from repro.fields.base import sample_grid
+from repro.fields.grid import GridField
+from repro.geometry.primitives import BoundingBox
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+class TestReconstruction:
+    def test_plane_is_exact(self):
+        plane = PlaneField(a=1.0, b=2.0, c=3.0)
+        ref = sample_grid(plane, BoundingBox.square(10.0), 11)
+        pts = np.array([[0, 0], [10, 0], [10, 10], [0, 10], [5, 5]], dtype=float)
+        recon = reconstruct_surface(ref, pts, field=plane)
+        assert recon.delta < 1e-6
+        assert recon.rmse < 1e-9
+        assert recon.n_samples == 5
+
+    def test_more_samples_reduce_delta(self, bump_reference, bump_field):
+        region = bump_reference.region
+        rng = np.random.default_rng(1)
+
+        def delta_for(k):
+            pts = np.vstack(
+                [
+                    np.array([(0, 0), (100, 0), (100, 100), (0, 100)], dtype=float),
+                    rng.uniform(0, 100, size=(k, 2)),
+                ]
+            )
+            return reconstruct_surface(bump_reference, pts, field=bump_field).delta
+
+        assert delta_for(200) < delta_for(10)
+
+    def test_values_and_field_mutually_exclusive(self, bump_reference, bump_field):
+        pts = np.array([[1.0, 1.0]])
+        with pytest.raises(ValueError):
+            reconstruct_surface(bump_reference, pts)
+        with pytest.raises(ValueError):
+            reconstruct_surface(
+                bump_reference, pts, values=np.array([1.0]), field=bump_field
+            )
+
+    def test_length_mismatch(self, bump_reference):
+        with pytest.raises(ValueError):
+            reconstruct_surface(
+                bump_reference, np.zeros((2, 2)), values=np.zeros(3)
+            )
+
+    def test_zero_samples(self, bump_reference):
+        with pytest.raises(ValueError):
+            reconstruct_surface(
+                bump_reference, np.empty((0, 2)), values=np.empty(0)
+            )
+
+    def test_surface_on_reference_grid(self, bump_reference, bump_field):
+        pts = np.array([[20.0, 20.0], [80.0, 30.0], [50.0, 70.0]])
+        recon = reconstruct_surface(bump_reference, pts, field=bump_field)
+        assert recon.surface.values.shape == bump_reference.values.shape
+        assert np.array_equal(recon.surface.xs, bump_reference.xs)
+
+    def test_values_path_matches_field_path(self, bump_reference, bump_field):
+        pts = np.array([[25.0, 25.0], [75.0, 25.0], [50.0, 75.0], [10.0, 90.0]])
+        via_field = reconstruct_surface(bump_reference, pts, field=bump_field)
+        via_values = reconstruct_surface(
+            bump_reference, pts, values=bump_field.sample(pts)
+        )
+        assert np.isclose(via_field.delta, via_values.delta)

@@ -1,0 +1,72 @@
+"""Numerical-analysis checks: δ converges as the evaluation grid refines.
+
+The δ integral is approximated by a grid sum; its value must stabilise as
+the grid refines, or every experiment's numbers would be resolution
+artefacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fields.analytic import GaussianBump, GaussianMixtureField, PlaneField
+from repro.fields.base import sample_grid
+from repro.geometry.primitives import BoundingBox
+from repro.surfaces.reconstruction import reconstruct_surface
+
+REGION = BoundingBox.square(100.0)
+
+
+@pytest.fixture(scope="module")
+def smooth_field():
+    return GaussianMixtureField(
+        [
+            GaussianBump(cx=30.0, cy=40.0, sigma=10.0, amplitude=5.0),
+            GaussianBump(cx=70.0, cy=65.0, sigma=14.0, amplitude=3.0),
+        ],
+        baseline=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sample_positions():
+    rng = np.random.default_rng(3)
+    corners = np.array([(0, 0), (100, 0), (100, 100), (0, 100)], dtype=float)
+    return np.vstack([corners, rng.uniform(5, 95, size=(30, 2))])
+
+
+class TestDeltaConvergence:
+    def deltas_at(self, field, positions, resolutions):
+        out = []
+        for res in resolutions:
+            reference = sample_grid(field, REGION, res)
+            recon = reconstruct_surface(reference, positions, field=field)
+            out.append(recon.delta)
+        return out
+
+    def test_delta_stabilises(self, smooth_field, sample_positions):
+        d51, d101, d201 = self.deltas_at(
+            smooth_field, sample_positions, (51, 101, 201)
+        )
+        # Successive refinements must agree progressively better.
+        assert abs(d101 - d201) < abs(d51 - d201) + 1e-9
+        assert abs(d101 - d201) / d201 < 0.05
+
+    def test_plane_zero_at_all_resolutions(self, sample_positions):
+        plane = PlaneField(a=0.3, b=-0.2, c=5.0)
+        for res in (31, 71, 141):
+            reference = sample_grid(plane, REGION, res)
+            recon = reconstruct_surface(
+                reference, sample_positions, field=plane
+            )
+            assert recon.delta < 1e-6
+
+    def test_rmse_also_converges(self, smooth_field, sample_positions):
+        rmses = []
+        for res in (51, 201):
+            reference = sample_grid(smooth_field, REGION, res)
+            rmses.append(
+                reconstruct_surface(
+                    reference, sample_positions, field=smooth_field
+                ).rmse
+            )
+        assert abs(rmses[0] - rmses[1]) / rmses[1] < 0.1

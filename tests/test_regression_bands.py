@@ -1,0 +1,84 @@
+"""Regression bands: key headline numbers must stay in known-good ranges.
+
+These are deliberately wide bands around the full-scale results recorded
+in EXPERIMENTS.md, evaluated here at reduced scale so the suite stays
+fast. They catch silent regressions in algorithm quality — a refactor
+that leaves every unit test green but doubles δ fails here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import random_placement, uniform_grid_placement
+from repro.core.fra import solve_osd
+from repro.core.problem import OSDProblem, OSTDProblem
+from repro.fields.base import sample_grid
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.fields.grid import GridField
+from repro.sim.engine import MobileSimulation
+from repro.surfaces.reconstruction import reconstruct_surface
+
+
+@pytest.fixture(scope="module")
+def canonical():
+    """The canonical field at reduced resolution (seed 7, as EXPERIMENTS.md)."""
+    field = GreenOrbsLightField(seed=7)
+    reference = sample_grid(field, field.region, 51, t=600.0)
+    return field, reference
+
+
+class TestStationaryBands:
+    def test_fra_k100_quality_band(self, canonical):
+        _, reference = canonical
+        result = solve_osd(OSDProblem(k=100, rc=10.0, reference=reference))
+        # Full-scale result is ~1966 at res 101; at res 51 the integral is
+        # computed on a 4x coarser grid but the per-area error is similar.
+        assert 800 < result.delta < 4000
+        assert result.connected
+        assert result.meta["n_relays"] <= 10
+
+    def test_fra_vs_random_margin_k100(self, canonical):
+        _, reference = canonical
+        fra = solve_osd(OSDProblem(k=100, rc=10.0, reference=reference))
+        gf = GridField(reference)
+        rnd_deltas = []
+        for seed in range(3):
+            pts = random_placement(reference.region, 100, seed=seed)
+            rnd_deltas.append(
+                reconstruct_surface(reference, pts, values=gf.sample(pts)).delta
+            )
+        # EXPERIMENTS.md: random/FRA ≈ 1.8 at k=100. Guard at >= 1.2.
+        assert float(np.mean(rnd_deltas)) / fra.delta > 1.2
+
+    def test_fra_improves_with_budget(self, canonical):
+        _, reference = canonical
+        d30 = solve_osd(OSDProblem(k=30, rc=10.0, reference=reference)).delta
+        d100 = solve_osd(OSDProblem(k=100, rc=10.0, reference=reference)).delta
+        # EXPERIMENTS.md: 4317 -> 1966 (2.2x). Guard at >= 1.5x.
+        assert d30 / d100 > 1.5
+
+
+class TestMobileBands:
+    @pytest.fixture(scope="class")
+    def run(self):
+        field = GreenOrbsLightField(seed=7, freeze_sun_at=600.0)
+        problem = OSTDProblem(
+            k=100, rc=10.0, rs=5.0, region=field.region, field=field,
+            speed=1.0, t0=600.0, duration=15.0,
+        )
+        return MobileSimulation(problem, resolution=51).run()
+
+    def test_cma_improves_on_initial_grid(self, run):
+        # EXPERIMENTS.md: 2519 -> dip 2337 (-7%). Guard: any improvement.
+        assert run.deltas.min() < run.deltas[0]
+
+    def test_cma_never_blows_up(self, run):
+        # The historical failure mode was delta tripling mid-run.
+        assert run.deltas.max() < 1.5 * run.deltas[0]
+
+    def test_cma_connectivity_band(self, run):
+        assert run.always_connected
+
+    def test_movement_decays(self, run):
+        moved = [r.n_moved for r in run.rounds]
+        assert moved[-1] < moved[0]

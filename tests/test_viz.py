@@ -1,0 +1,118 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.fields.base import GridSample
+from repro.geometry.primitives import BoundingBox
+from repro.viz.ascii import (
+    render_field,
+    render_series,
+    render_topology,
+    render_triangulation,
+)
+
+
+def grid(values):
+    values = np.asarray(values, dtype=float)
+    return GridSample(
+        xs=np.linspace(0, 10, values.shape[1]),
+        ys=np.linspace(0, 10, values.shape[0]),
+        values=values,
+    )
+
+
+class TestRenderField:
+    def test_dimensions(self):
+        out = render_field(grid(np.random.default_rng(0).normal(size=(20, 20))),
+                           width=30, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+    def test_constant_field_uniform_chars(self):
+        out = render_field(grid(np.full((5, 5), 3.0)), width=10, height=5)
+        assert len(set(out.replace("\n", ""))) == 1
+
+    def test_high_values_darker(self):
+        values = np.zeros((10, 10))
+        values[:, 5:] = 10.0
+        out = render_field(grid(values), width=10, height=5)
+        first_line = out.splitlines()[0]
+        assert first_line[0] == " "
+        assert first_line[-1] == "@"
+
+    def test_origin_bottom_left(self):
+        values = np.zeros((10, 10))
+        values[0, 0] = 10.0  # y=0, x=0 -> bottom-left
+        out = render_field(grid(values), width=10, height=5)
+        assert out.splitlines()[-1][0] == "@"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_field(grid(np.zeros((3, 3))), width=1)
+
+
+class TestRenderTopology:
+    REGION = BoundingBox.square(10.0)
+
+    def test_nodes_marked(self):
+        out = render_topology(
+            np.array([[5.0, 5.0]]), self.REGION, width=11, height=11
+        )
+        assert out.count("o") == 1
+
+    def test_links_drawn(self):
+        out = render_topology(
+            np.array([[0.0, 5.0], [10.0, 5.0]]), self.REGION, rc=20.0,
+            width=21, height=11,
+        )
+        assert "." in out
+        assert out.count("o") == 2
+
+    def test_no_links_without_rc(self):
+        out = render_topology(
+            np.array([[0.0, 5.0], [10.0, 5.0]]), self.REGION,
+            width=21, height=11,
+        )
+        assert "." not in out
+
+
+class TestRenderSeries:
+    def test_marks_and_header(self):
+        out = render_series([0, 1, 2], [5.0, 7.0, 6.0], width=20, height=5,
+                            label="demo")
+        assert out.startswith("demo")
+        assert out.count("*") == 3
+
+    def test_empty(self):
+        assert render_series([], []) == "(empty series)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1.0])
+
+
+class TestRenderTriangulation:
+    REGION = BoundingBox.square(10.0)
+
+    def test_vertices_and_edges(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 10.0]])
+        tris = np.array([[0, 1, 2]])
+        out = render_triangulation(pts, tris, self.REGION, width=21, height=11)
+        assert out.count("o") == 3
+        assert "." in out
+
+    def test_empty_triangulation(self):
+        pts = np.array([[5.0, 5.0]])
+        out = render_triangulation(
+            pts, np.empty((0, 3), dtype=int), self.REGION, width=11, height=5
+        )
+        assert out.count("o") == 1
+        assert "." not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_triangulation(
+                np.zeros((1, 2)), np.empty((0, 3)), self.REGION, width=1
+            )
