@@ -1,0 +1,121 @@
+"""Benchmarks proving the instrumentation layer's overhead claims.
+
+The contract (ISSUE 1): instrumentation is off by default and a disabled
+``Instrumentation`` must add ≤ 2% to ``MobileSimulation.step``. A step
+makes a bounded number of instrumentation touches — 7 no-op spans, a few
+``enabled`` checks — so the proof is direct: measure the per-step cost of
+exactly those touches, measure a real step, and bound the ratio. The
+margin is orders of magnitude (microseconds vs tens of milliseconds),
+so the assertion stays robust on noisy CI boxes.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.core.problem import OSTDProblem
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.obs import Instrumentation, MemorySink
+from repro.sim.engine import MobileSimulation
+
+
+def make_sim(obs=None, k=100, resolution=101):
+    field = GreenOrbsLightField(seed=7, freeze_sun_at=600.0)
+    problem = OSTDProblem(
+        k=k, rc=10.0, rs=5.0, region=field.region, field=field,
+        speed=1.0, t0=600.0, duration=45.0,
+    )
+    return MobileSimulation(problem, resolution=resolution, obs=obs)
+
+
+def noop_step_touches(obs):
+    """The exact instrumentation sequence one disabled step executes:
+
+    an outer ``step`` span, six phase spans, the ``enabled`` guards in
+    ``step``/``_lcm_pass``, and one ambient lookup in reconstruction.
+    """
+    with obs.span("step"):
+        with obs.span("sense"):
+            pass
+        with obs.span("exchange"):
+            pass
+        with obs.span("plan"):
+            pass
+        with obs.span("constrain_move"):
+            pass
+        with obs.span("lcm"):
+            pass
+        if obs.enabled:  # _lcm_pass per-pass emit guard
+            pass
+        with obs.span("measure"):
+            with obs.span("reconstruct"):
+                pass
+        if obs.enabled:  # reconstruct metrics guard
+            pass
+    if obs.enabled:  # round-event guard
+        pass
+
+
+def test_disabled_overhead_below_two_percent():
+    sim = make_sim()
+    assert sim.obs.enabled is False
+    sim.step()  # warm caches (field grids, interpolator paths)
+
+    start = perf_counter()
+    sim.step()
+    step_seconds = perf_counter() - start
+
+    obs = sim.obs
+    n = 20_000
+    start = perf_counter()
+    for _ in range(n):
+        noop_step_touches(obs)
+    touch_seconds = (perf_counter() - start) / n
+
+    overhead = touch_seconds / step_seconds
+    assert overhead <= 0.02, (
+        f"disabled instrumentation costs {touch_seconds * 1e6:.2f}µs/step, "
+        f"{overhead:.2%} of a {step_seconds * 1e3:.1f}ms step "
+        f"(budget: 2%)"
+    )
+
+
+def test_bench_noop_instrumentation_touches(benchmark):
+    """Absolute cost of a disabled step's instrumentation touches."""
+    sim = make_sim(k=25, resolution=41)
+    benchmark(noop_step_touches, sim.obs)
+
+
+def test_bench_step_instrumented_memory_sink(benchmark):
+    """A fully instrumented step (in-memory sink) for comparison with
+    ``test_bench_cma_round`` in test_bench_micro.py."""
+    obs = Instrumentation.in_memory()
+    sim = make_sim(obs=obs)
+    record = benchmark.pedantic(sim.step, rounds=3, iterations=1,
+                                warmup_rounds=0)
+    assert record.n_alive == 100
+    assert any(e.name == "round" for e in obs.memory_events())
+
+
+def test_bench_event_emit(benchmark):
+    """Cost of one enabled emit reaching a memory sink."""
+    obs = Instrumentation(sinks=[MemorySink()], enabled=True)
+    benchmark(obs.emit, "tick", a=1.0, b=2)
+
+
+@pytest.mark.parametrize("enabled", [False, True])
+def test_bench_span_enter_exit(benchmark, enabled):
+    """Span cost in both modes; the disabled one is the hot-path budget."""
+    obs = (
+        Instrumentation(sinks=[MemorySink()], enabled=True)
+        if enabled
+        else Instrumentation.disabled()
+    )
+
+    def one_span():
+        with obs.span("phase"):
+            pass
+
+    benchmark(one_span)

@@ -31,7 +31,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
 
-from repro import core, fields, geometry, graphs, sim, surfaces, viz
+from repro import core, fields, geometry, graphs, obs, sim, surfaces, viz
 
 __version__ = "1.0.0"
 
@@ -40,6 +40,7 @@ __all__ = [
     "fields",
     "geometry",
     "graphs",
+    "obs",
     "sim",
     "surfaces",
     "viz",

@@ -42,6 +42,7 @@ from repro.geometry.interpolation import LinearSurfaceInterpolator
 from repro.graphs.geometric import unit_disk_graph
 from repro.graphs.relay import count_required_relays, plan_relays
 from repro.graphs.traversal import is_connected
+from repro.obs.instrument import Instrumentation, get_instrumentation
 from repro.surfaces.curvature import grid_gaussian_curvature
 from repro.surfaces.local_error import argmax_grid
 from repro.surfaces.reconstruction import reconstruct_surface
@@ -183,6 +184,7 @@ def foresighted_refinement(
     k: int,
     rc: float,
     config: Optional[FRAConfig] = None,
+    obs: Optional[Instrumentation] = None,
 ) -> FRAResult:
     """Run FRA: place ``k`` nodes against the referential surface.
 
@@ -191,12 +193,19 @@ def foresighted_refinement(
     final unit-disk graph is connected; with very small ``k`` over a large
     region it may not be achievable, in which case the largest components
     are joined first and the flag is False.
+
+    When instrumentation is enabled (``obs`` or the ambient instance from
+    :func:`repro.obs.use_instrumentation`), every refinement iteration
+    emits a ``fra_refine`` event (inserted point, max local error
+    before/after, remaining budget) and the loop's exit emits ``fra_stop``
+    with the foresight budget state.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if rc <= 0:
         raise ValueError(f"Rc must be positive, got {rc}")
     cfg = config or FRAConfig()
+    obs = obs if obs is not None else get_instrumentation()
     rng = np.random.default_rng(cfg.seed)
 
     tracker = _ErrorTracker(reference, incremental=cfg.incremental)
@@ -242,12 +251,28 @@ def foresighted_refinement(
         window = (grid_x - x) ** 2 + (grid_y - y) ** 2 <= rc * rc
         np.logical_or(reachable, window, out=reachable)
 
-    def commit(ix: int, iy: int) -> None:
+    def commit(ix: int, iy: int, kind: str = "refine") -> None:
         x, y = float(xs[ix]), float(ys[iy])
+        if obs.enabled:
+            err_cell = float(tracker.err[iy, ix])
+            err_before = float(tracker.err.max())
         tracker.insert(x, y, reference.value_at_index(ix, iy))
         used[iy, ix] = True
         selected.append((x, y))
         mark_reachable(x, y)
+        if obs.enabled:
+            obs.emit(
+                "fra_refine",
+                i=len(selected),
+                x=x,
+                y=y,
+                kind=kind,
+                err_cell=err_cell,
+                err_before=err_before,
+                err_after=float(tracker.err.max()),
+                budget=budget,
+            )
+            obs.counter("fra.inserts").inc()
         if cfg.record_history:
             current = np.asarray(selected, dtype=float)
             rec = reconstruct_surface(
@@ -264,43 +289,63 @@ def foresighted_refinement(
             return 0
         return count_required_relays(arr, rc)
 
-    while budget > 0:
-        required_now = relays_after(None)
-        if budget <= required_now:
-            break
+    stop_reason = "budget_exhausted"
+    with obs.span("fra_refine_loop"):
+        while budget > 0:
+            required_now = relays_after(None)
+            if budget <= required_now:
+                stop_reason = "foresight"
+                break
 
-        score = _selection_score(tracker.err, curvature_weight, cfg.selection, rng)
-        if cfg.cost_aware_selection and selected:
-            score = score / (1.0 + _relay_cost_grid(grid_x, grid_y, selected, rc))
-        ix, iy = argmax_grid(score, exclude=used)
-        x, y = float(xs[ix]), float(ys[iy])
-        if relays_after((x, y)) <= budget - 1:
-            commit(ix, iy)
-            budget -= 1
-            continue
-
-        # Foresight veto: the best cell is unaffordable. Fall back to the
-        # best cell already within radio reach of the network (joining an
-        # existing component never increases the relay requirement).
-        fallback_exclude = used | ~reachable
-        if selected and not fallback_exclude.all():
-            fx, fy = argmax_grid(score, exclude=fallback_exclude)
-            cand = (float(xs[fx]), float(ys[fy]))
-            if relays_after(cand) <= budget - 1:
-                commit(fx, fy)
+            score = _selection_score(
+                tracker.err, curvature_weight, cfg.selection, rng
+            )
+            if cfg.cost_aware_selection and selected:
+                score = score / (
+                    1.0 + _relay_cost_grid(grid_x, grid_y, selected, rc)
+                )
+            ix, iy = argmax_grid(score, exclude=used)
+            x, y = float(xs[ix]), float(ys[iy])
+            if relays_after((x, y)) <= budget - 1:
+                commit(ix, iy)
                 budget -= 1
                 continue
-        break
+
+            # Foresight veto: the best cell is unaffordable. Fall back to
+            # the best cell already within radio reach of the network
+            # (joining an existing component never increases the relay
+            # requirement).
+            fallback_exclude = used | ~reachable
+            if selected and not fallback_exclude.all():
+                fx, fy = argmax_grid(score, exclude=fallback_exclude)
+                cand = (float(xs[fx]), float(ys[fy]))
+                if relays_after(cand) <= budget - 1:
+                    commit(fx, fy, kind="fallback")
+                    budget -= 1
+                    continue
+            stop_reason = "unaffordable"
+            break
+    if obs.enabled:
+        obs.emit(
+            "fra_stop",
+            reason=stop_reason,
+            budget=budget,
+            n_selected=len(selected),
+            relays_required=relays_after(None),
+        )
 
     # Spend whatever remains on relays joining the components.
     pts = np.asarray(selected, dtype=float).reshape(-1, 2)
     if budget > 0 and len(pts) >= 2:
-        plan = plan_relays(pts, rc, budget=budget)
+        with obs.span("fra_relay_plan"):
+            plan = plan_relays(pts, rc, budget=budget)
         for rx, ry in plan.positions:
             relay_positions.append((float(rx), float(ry)))
             mark_reachable(float(rx), float(ry))
         n_relays = len(plan.positions)
         budget -= n_relays
+        if obs.enabled:
+            obs.emit("fra_relays", n_relays=n_relays, budget_after=budget)
 
     # Leftover budget (rare: the relay plan could not consume everything,
     # or no relays were needed at the veto point): grow the network with
@@ -311,7 +356,7 @@ def foresighted_refinement(
         if exclude.all():
             exclude = used
         ix, iy = argmax_grid(score, exclude=exclude)
-        commit(ix, iy)
+        commit(ix, iy, kind="leftover")
         budget -= 1
         n_leftover += 1
 
@@ -378,11 +423,15 @@ def _grid_values(reference: GridSample, positions: np.ndarray) -> np.ndarray:
     return GridField(reference).sample(positions)
 
 
-def solve_osd(problem: OSDProblem, config: Optional[FRAConfig] = None) -> PlacementResult:
+def solve_osd(
+    problem: OSDProblem,
+    config: Optional[FRAConfig] = None,
+    obs: Optional[Instrumentation] = None,
+) -> PlacementResult:
     """Solve an :class:`OSDProblem` with FRA and evaluate the layout."""
     cfg = config or FRAConfig()
     result = foresighted_refinement(
-        problem.reference, problem.k, problem.rc, config=cfg
+        problem.reference, problem.k, problem.rc, config=cfg, obs=obs
     )
     recon_points = result.positions
     if cfg.anchors_in_reconstruction and len(result.anchor_positions):

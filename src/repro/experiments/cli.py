@@ -2,10 +2,12 @@
 
 Usage::
 
-    repro-exp list                 # show registered experiments
-    repro-exp run fig7             # run one (full parameters)
-    repro-exp run fig10 --fast     # scaled-down variant
-    repro-exp all [--fast]         # run everything
+    repro-exp list                       # show registered experiments
+    repro-exp run fig7                   # run one (full parameters)
+    repro-exp run fig10 --fast           # scaled-down variant
+    repro-exp run fig10 --obs-log r.jsonl  # instrumented run -> event log
+    repro-exp all [--fast]               # run everything
+    repro-exp obs summarize r.jsonl      # phase timings + round aggregates
 """
 
 from __future__ import annotations
@@ -37,6 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--csv", metavar="PATH", help="also write the rows to a CSV file"
     )
+    run_p.add_argument(
+        "--obs-log", metavar="PATH",
+        help="run instrumented; write the JSONL event log to PATH",
+    )
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fast", action="store_true", help="scaled-down runs")
@@ -47,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", metavar="PATH",
         help="also write a Markdown report of every experiment",
     )
+
+    obs_p = sub.add_parser(
+        "obs", help="observability: inspect instrumented run logs"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    summarize_p = obs_sub.add_parser(
+        "summarize",
+        help="aggregate a JSONL run log into phase timings and round "
+        "metrics (no rerun needed)",
+    )
+    summarize_p.add_argument("log", help="path to a JSONL event log")
     return parser
 
 
@@ -58,7 +75,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         try:
-            result = run_experiment(args.experiment_id, fast=args.fast)
+            result = run_experiment(
+                args.experiment_id, fast=args.fast, obs_log=args.obs_log
+            )
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -67,6 +86,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.experiments.export import write_csv
 
             print(f"wrote {write_csv(result, args.csv)}")
+        if args.obs_log:
+            print(f"wrote event log {args.obs_log}")
         return 0
     if args.command == "all":
         if args.markdown:
@@ -78,6 +99,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
         print(run_all(fast=args.fast, show_artifacts=args.artifacts))
         return 0
+    if args.command == "obs":
+        if args.obs_command == "summarize":
+            from repro.obs import format_summary, summarize_run_log
+
+            try:
+                summary = summarize_run_log(args.log)
+            except (OSError, ValueError) as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            print(format_summary(summary, title=args.log))
+            return 0
     return 2
 
 

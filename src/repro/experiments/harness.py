@@ -3,19 +3,37 @@
 from __future__ import annotations
 
 import time
-from typing import List
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.experiments.registry import (
     ExperimentResult,
     all_experiments,
     get_experiment,
 )
+from repro.obs import Instrumentation, use_instrumentation
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
-    """Run one registered experiment by id."""
+def run_experiment(
+    experiment_id: str,
+    fast: bool = False,
+    obs_log: Optional[Union[str, Path]] = None,
+) -> ExperimentResult:
+    """Run one registered experiment by id.
+
+    ``obs_log`` turns instrumentation on for the run and writes the JSONL
+    event log there (phase spans, per-round and per-FRA-iteration
+    events); summarise it afterwards with ``repro-exp obs summarize``.
+    """
     spec = get_experiment(experiment_id)
-    return spec.runner(fast)
+    if obs_log is None:
+        return spec.runner(fast)
+    obs = Instrumentation.to_jsonl(obs_log)
+    try:
+        with use_instrumentation(obs):
+            return spec.runner(fast)
+    finally:
+        obs.close()
 
 
 def format_table(result: ExperimentResult) -> str:
@@ -57,9 +75,11 @@ def run_all(fast: bool = False, show_artifacts: bool = False) -> str:
     """Run every registered experiment; returns the combined report."""
     reports = []
     for spec in all_experiments():
-        start = time.time()
+        # perf_counter, not time.time(): wall-clock is not monotonic, so a
+        # clock adjustment mid-experiment would corrupt the elapsed time.
+        start = time.perf_counter()
         result = spec.runner(fast)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         reports.append(format_result(result, show_artifacts=show_artifacts))
         reports.append(f"(ran in {elapsed:.1f}s)")
         reports.append("")

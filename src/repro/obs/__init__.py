@@ -1,0 +1,71 @@
+"""Observability: structured run events, metrics, and phase profiling.
+
+The instrumentation substrate every perf / scaling PR measures against:
+
+* :mod:`.events` — a process-local :class:`EventBus` of typed,
+  timestamped events,
+* :mod:`.metrics` — counters, gauges and quantile summaries in a
+  :class:`MetricsRegistry`,
+* :mod:`.timing` — nestable phase spans built on ``perf_counter``,
+* :mod:`.sinks` — JSONL file sink (the replayable run log), in-memory
+  sink for tests, null sink for the disabled default,
+* :mod:`.instrument` — the :class:`Instrumentation` bundle, off by
+  default with a near-zero-overhead fast path, plus the ambient
+  ``use_instrumentation`` context,
+* :mod:`.report` — aggregate a run log into per-phase wall-time shares
+  and round-level metric aggregates, no rerun needed.
+
+Quick start::
+
+    from repro.obs import Instrumentation, use_instrumentation
+
+    obs = Instrumentation.to_jsonl("run.jsonl")
+    with use_instrumentation(obs):
+        MobileSimulation(problem).run()
+    obs.close()
+
+    # later, or from another process:
+    #   repro-exp obs summarize run.jsonl
+"""
+
+from repro.obs.events import Event, EventBus
+from repro.obs.instrument import (
+    DISABLED,
+    Instrumentation,
+    get_instrumentation,
+    use_instrumentation,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Summary
+from repro.obs.report import (
+    RunSummary,
+    format_summary,
+    load_run_log,
+    summarize_events,
+    summarize_run_log,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.timing import PhaseTimer, Span
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Instrumentation",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PhaseTimer",
+    "RunSummary",
+    "Sink",
+    "Span",
+    "Summary",
+    "format_summary",
+    "get_instrumentation",
+    "load_run_log",
+    "summarize_events",
+    "summarize_run_log",
+    "use_instrumentation",
+]

@@ -1,0 +1,103 @@
+"""A process-local event bus emitting typed, timestamped run events.
+
+Everything the instrumentation layer records flows through one
+:class:`EventBus`: phase-span durations from :mod:`repro.obs.timing`,
+per-round simulation records, FRA refinement iterations, reconstruction
+timings. Sinks (:mod:`repro.obs.sinks`) subscribe to the bus and persist
+the stream — the JSONL sink yields a replayable run log that
+:mod:`repro.obs.report` can summarise without rerunning anything.
+
+The bus is deliberately tiny: an event is a name, a monotonic timestamp
+(seconds since the bus was created, from ``perf_counter``), and a flat
+field mapping. There is no buffering, no threads, no global registry —
+a disabled bus (``enabled=False``) drops events before they are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List
+
+__all__ = ["Event", "EventBus"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence on the bus.
+
+    ``t`` is monotonic seconds since the owning bus was created (wall-clock
+    is not monotonic, so it is never used for durations or ordering).
+    """
+
+    name: str
+    t: float
+    fields: Dict[str, Any] = dataclass_field(default_factory=dict)
+
+    #: Keys owned by the envelope; colliding field names get prefixed.
+    RESERVED = frozenset({"event", "t"})
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form — what the JSONL sink writes, one per line.
+
+        Field names colliding with the envelope keys (``event``, ``t``)
+        are prefixed with ``field_`` rather than silently clobbering the
+        bus timestamp.
+        """
+        out: Dict[str, Any] = {"event": self.name, "t": self.t}
+        for key, value in self.fields.items():
+            out[f"field_{key}" if key in self.RESERVED else key] = value
+        return out
+
+
+class EventBus:
+    """Fan events out to the attached sinks.
+
+    A sink is anything with a ``write(event)`` method (see
+    :class:`repro.obs.sinks.Sink`). ``emit`` is the hot path: when the bus
+    is disabled it returns before the :class:`Event` is even constructed,
+    so instrumented code may emit unconditionally.
+    """
+
+    __slots__ = ("sinks", "enabled", "_clock", "_t0")
+
+    def __init__(
+        self,
+        sinks: Iterable[Any] = (),
+        enabled: bool = True,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        self.sinks: List[Any] = list(sinks)
+        self.enabled = bool(enabled)
+        self._clock = clock
+        self._t0 = clock()
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach another sink; it sees only events emitted afterwards."""
+        self.sinks.append(sink)
+
+    def now(self) -> float:
+        """Monotonic seconds since the bus was created."""
+        return self._clock() - self._t0
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Publish one event to every sink (no-op while disabled)."""
+        if not self.enabled:
+            return
+        event = Event(name=name, t=self._clock() - self._t0, fields=fields)
+        for sink in self.sinks:
+            sink.write(event)
+
+    def flush(self) -> None:
+        """Flush sinks that buffer (file sinks); safe to call any time."""
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close(self) -> None:
+        """Close sinks that own resources (idempotent)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

@@ -1,0 +1,157 @@
+"""The instrumentation bundle and the ambient-current mechanism.
+
+:class:`Instrumentation` ties one :class:`~repro.obs.events.EventBus`,
+one :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.timing.PhaseTimer` together behind the three calls the
+hot paths make: ``obs.span(name)``, ``obs.emit(name, **fields)`` and the
+``obs.enabled`` guard for anything whose *arguments* are expensive to
+build.
+
+Instrumentation is **off by default**: the module-level default is a
+disabled instance whose ``span`` returns a shared no-op context manager
+and whose ``emit`` returns immediately, so uninstrumented runs pay a few
+attribute loads per phase and nothing else (the micro-benchmark in
+``benchmarks/test_bench_obs.py`` pins this under 2% of a simulation
+step).
+
+Two ways to turn it on:
+
+* pass an enabled :class:`Instrumentation` to the component (the engine
+  and FRA take an ``obs=`` argument), or
+* install one ambiently for a region of code::
+
+      obs = Instrumentation.to_jsonl("run.jsonl")
+      with use_instrumentation(obs):
+          MobileSimulation(problem).run()
+      obs.close()
+
+  Components that default to ``obs=None`` pick up the ambient instance
+  at construction time via :func:`get_instrumentation`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Union
+
+from contextlib import contextmanager
+
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.timing import NULL_SPAN, PhaseTimer
+
+__all__ = [
+    "Instrumentation",
+    "get_instrumentation",
+    "use_instrumentation",
+    "DISABLED",
+]
+
+
+class Instrumentation:
+    """Bus + metrics + timers behind one switch.
+
+    ``enabled`` is fixed at construction: flipping it mid-run would let
+    half-open spans mispair, and a fresh instance is cheap.
+    """
+
+    __slots__ = ("enabled", "bus", "metrics", "timer")
+
+    def __init__(
+        self,
+        sinks: Optional[List[Sink]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.bus = EventBus(
+            sinks if sinks is not None else [], enabled=self.enabled
+        )
+        self.metrics = MetricsRegistry()
+        self.timer = PhaseTimer(bus=self.bus, registry=self.metrics)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def to_jsonl(cls, path: Union[str, Path]) -> "Instrumentation":
+        """Enabled instrumentation writing the run log to ``path``."""
+        return cls(sinks=[JsonlSink(path)], enabled=True)
+
+    @classmethod
+    def in_memory(cls) -> "Instrumentation":
+        """Enabled instrumentation capturing events in a MemorySink."""
+        return cls(sinks=[MemorySink()], enabled=True)
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        """A switched-off instance (what uninstrumented code runs with)."""
+        return cls(sinks=[NullSink()], enabled=False)
+
+    # -- the three hot-path calls --------------------------------------
+    def span(self, name: str):
+        """Time a phase: ``with obs.span("sense"): ...`` (no-op if off)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.timer.span(name)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Publish an event (no-op if off)."""
+        if not self.enabled:
+            return
+        self.bus.emit(name, **fields)
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def summary(self, name: str):
+        return self.metrics.summary(name)
+
+    # -- lifecycle ------------------------------------------------------
+    def memory_events(self) -> List[Any]:
+        """Events captured by the first MemorySink (for tests/analysis)."""
+        for sink in self.bus.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events
+        return []
+
+    def flush(self) -> None:
+        self.bus.flush()
+
+    def close(self) -> None:
+        """Flush the metrics snapshot as a final event, then close sinks."""
+        if self.enabled:
+            self.bus.emit("metrics", snapshot=self.metrics.snapshot())
+        self.bus.close()
+
+    def __enter__(self) -> "Instrumentation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: The default, switched-off instrumentation every component falls back to.
+DISABLED = Instrumentation.disabled()
+
+_current: List[Instrumentation] = []
+
+
+def get_instrumentation() -> Instrumentation:
+    """The ambient instrumentation (the disabled default if none set)."""
+    return _current[-1] if _current else DISABLED
+
+
+@contextmanager
+def use_instrumentation(obs: Instrumentation) -> Iterator[Instrumentation]:
+    """Install ``obs`` as the ambient instrumentation for a code region.
+
+    Components constructed inside the ``with`` body that default to
+    ``obs=None`` will bind to it. Nesting is allowed; the innermost wins.
+    """
+    _current.append(obs)
+    try:
+        yield obs
+    finally:
+        _current.pop()

@@ -1,0 +1,159 @@
+"""Counters, gauges and quantile summaries in a named registry.
+
+Metrics answer the aggregate questions ("how many LCM repair moves total",
+"what was the p95 reconstruction time") that individual events answer only
+after a full log scan. The registry is process-local and unsynchronised —
+the simulation loop is single-threaded — and a snapshot is plain dicts, so
+it serialises straight onto the event bus or into a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Summary", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot inc by {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Summary:
+    """Streaming distribution summary: count/total/min/max plus quantiles.
+
+    Exact values are kept up to ``max_samples`` observations, after which a
+    deterministic reservoir sample stands in — quantiles stay approximate
+    but bounded-memory on million-round runs. ``count`` and ``total`` are
+    always exact.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_max_samples", "_rng")
+
+    def __init__(self, name: str, max_samples: int = 2048) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._max_samples = int(max_samples)
+        self._rng = np.random.default_rng(0)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+        else:
+            # Vitter's algorithm R: keep each of the n seen values in the
+            # reservoir with probability max_samples / n.
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self._max_samples:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile of the observed distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        return float(np.quantile(np.asarray(self._samples), q))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    asking for ``counter("x")`` after ``gauge("x")`` is an error rather
+    than a silent shadow.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls: type, **kwargs: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def summary(self, name: str, max_samples: int = 2048) -> Summary:
+        return self._get(name, Summary, max_samples=max_samples)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of every metric — JSON-ready."""
+        out: Dict[str, Any] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Summary):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out

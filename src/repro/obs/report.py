@@ -1,0 +1,296 @@
+"""Aggregate a JSONL run log into a human-readable summary.
+
+This is the read side of the instrumentation layer: everything here works
+from the event stream alone — no simulation objects, no rerun. Feed it
+the file a :class:`~repro.obs.sinks.JsonlSink` wrote (or the dict stream
+from a :class:`~repro.obs.sinks.MemorySink`) and it answers the questions
+the ROADMAP cares about: where did the wall time go, how did δ evolve,
+how many repair moves did connectivity cost.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "PhaseStat",
+    "RoundAggregates",
+    "FRAAggregates",
+    "RunSummary",
+    "load_run_log",
+    "summarize_events",
+    "summarize_run_log",
+    "format_summary",
+]
+
+
+@dataclass
+class PhaseStat:
+    """Wall-time totals for one span path (e.g. ``step/sense``)."""
+
+    path: str
+    depth: int
+    count: int
+    total_s: float
+    #: Fraction of the root phases' total wall time (0..1).
+    share: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class RoundAggregates:
+    """Round-level metric aggregates from the ``round`` events."""
+
+    n_rounds: int
+    delta_first: float
+    delta_final: float
+    delta_min: float
+    delta_mean: float
+    rmse_final: float
+    components_max: int
+    components_final: int
+    n_disconnected_rounds: int
+    moves_total: int
+    lcm_moves_total: int
+    alive_final: int
+    trace_samples_total: int
+
+
+@dataclass
+class FRAAggregates:
+    """Refinement-loop aggregates from the ``fra_*`` events."""
+
+    n_iterations: int
+    err_first: float
+    err_last: float
+    relays_planned: int
+    budget_final: int
+    stop_reason: str
+
+
+@dataclass
+class RunSummary:
+    """Everything :func:`summarize_events` extracts from one log."""
+
+    n_events: int
+    duration_s: float
+    phases: List[PhaseStat] = dataclass_field(default_factory=list)
+    rounds: Optional[RoundAggregates] = None
+    fra: Optional[FRAAggregates] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def load_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL run log into event dicts (blank lines skipped).
+
+    A log cut off mid-write (the process died before finishing the last
+    line) is still loaded: an unparseable *final* line is dropped, since
+    that is exactly the failure JSONL exists to survive. Garbage anywhere
+    else is an error.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last_content_lineno = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == last_content_lineno and events:
+                break  # crash-truncated tail: keep the intact prefix
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(row, dict) or "event" not in row:
+            raise ValueError(
+                f"{path}:{lineno}: not an event row (missing 'event')"
+            )
+        events.append(row)
+    return events
+
+
+def _mean(values: List[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else float("nan")
+
+
+def _min(values: List[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    return min(finite) if finite else float("nan")
+
+
+def _phase_stats(spans: List[Dict[str, Any]]) -> List[PhaseStat]:
+    totals: Dict[str, List[float]] = {}
+    depths: Dict[str, int] = {}
+    for row in spans:
+        path = str(row.get("path", row.get("phase", "?")))
+        totals.setdefault(path, []).append(float(row.get("dur_s", 0.0)))
+        depths[path] = int(row.get("depth", path.count("/")))
+    root_total = sum(
+        sum(durs) for path, durs in totals.items() if depths[path] == 0
+    )
+    stats = [
+        PhaseStat(
+            path=path,
+            depth=depths[path],
+            count=len(durs),
+            total_s=sum(durs),
+            share=(sum(durs) / root_total) if root_total > 0 else 0.0,
+        )
+        for path, durs in totals.items()
+    ]
+    # Tree order: by path, so children sort under their parent.
+    stats.sort(key=lambda s: s.path)
+    return stats
+
+
+def _round_aggregates(rounds: List[Dict[str, Any]]) -> RoundAggregates:
+    deltas = [float(r.get("delta", float("nan"))) for r in rounds]
+    components = [int(r.get("n_components", 0)) for r in rounds]
+    return RoundAggregates(
+        n_rounds=len(rounds),
+        delta_first=deltas[0],
+        delta_final=deltas[-1],
+        delta_min=_min(deltas),
+        delta_mean=_mean(deltas),
+        rmse_final=float(rounds[-1].get("rmse", float("nan"))),
+        components_max=max(components),
+        components_final=components[-1],
+        n_disconnected_rounds=sum(
+            1 for r in rounds if not r.get("connected", True)
+        ),
+        moves_total=sum(int(r.get("n_moved", 0)) for r in rounds),
+        lcm_moves_total=sum(int(r.get("n_lcm_moves", 0)) for r in rounds),
+        alive_final=int(rounds[-1].get("n_alive", 0)),
+        trace_samples_total=sum(
+            int(r.get("n_trace_samples", 0)) for r in rounds
+        ),
+    )
+
+
+def _fra_aggregates(events: List[Dict[str, Any]]) -> Optional[FRAAggregates]:
+    refines = [e for e in events if e["event"] == "fra_refine"]
+    if not refines:
+        return None
+    stops = [e for e in events if e["event"] == "fra_stop"]
+    relays = [e for e in events if e["event"] == "fra_relays"]
+    return FRAAggregates(
+        n_iterations=len(refines),
+        err_first=float(refines[0].get("err_before", float("nan"))),
+        err_last=float(refines[-1].get("err_after", float("nan"))),
+        relays_planned=sum(int(e.get("n_relays", 0)) for e in relays),
+        budget_final=int(stops[-1]["budget"]) if stops else 0,
+        stop_reason=str(stops[-1]["reason"]) if stops else "",
+    )
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> RunSummary:
+    """Aggregate an event-dict stream (log rows or MemorySink dicts)."""
+    rows = list(events)
+    times = [float(r["t"]) for r in rows if "t" in r]
+    summary = RunSummary(
+        n_events=len(rows),
+        duration_s=(max(times) - min(times)) if times else 0.0,
+    )
+    summary.phases = _phase_stats([r for r in rows if r["event"] == "span"])
+    rounds = [r for r in rows if r["event"] == "round"]
+    if rounds:
+        summary.rounds = _round_aggregates(rounds)
+    summary.fra = _fra_aggregates(rows)
+    metrics = [r for r in rows if r["event"] == "metrics"]
+    if metrics:
+        summary.metrics = metrics[-1].get("snapshot")
+    return summary
+
+
+def summarize_run_log(path: Union[str, Path]) -> RunSummary:
+    """Load and aggregate one JSONL run log."""
+    return summarize_events(load_run_log(path))
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1e3:.2f}ms" if s < 1.0 else f"{s:.2f}s"
+
+
+def format_summary(summary: RunSummary, title: str = "run") -> str:
+    """Render a :class:`RunSummary` for the terminal."""
+    lines = [
+        f"== obs summary: {title} ==",
+        f"events: {summary.n_events}   "
+        f"log span: {_fmt_seconds(summary.duration_s)}",
+    ]
+    if summary.phases:
+        lines.append("")
+        lines.append("-- phase wall time --")
+        width = max(len(s.path) for s in summary.phases) + 2
+        lines.append(
+            f"{'phase'.ljust(width)}{'total':>10}{'%':>7}{'count':>8}"
+            f"{'mean':>11}"
+        )
+        for stat in summary.phases:
+            lines.append(
+                f"{stat.path.ljust(width)}"
+                f"{_fmt_seconds(stat.total_s):>10}"
+                f"{stat.share * 100:>6.1f}%"
+                f"{stat.count:>8}"
+                f"{_fmt_seconds(stat.mean_s):>11}"
+            )
+    if summary.rounds is not None:
+        r = summary.rounds
+        lines.append("")
+        lines.append("-- rounds --")
+        lines.append(
+            f"rounds: {r.n_rounds}   alive at end: {r.alive_final}   "
+            f"disconnected rounds: {r.n_disconnected_rounds}"
+        )
+        lines.append(
+            f"delta: first={r.delta_first:.4g} final={r.delta_final:.4g} "
+            f"min={r.delta_min:.4g} mean={r.delta_mean:.4g}   "
+            f"rmse final={r.rmse_final:.4g}"
+        )
+        lines.append(
+            f"components: max={r.components_max} final={r.components_final}"
+        )
+        lines.append(
+            f"moves: {r.moves_total}   lcm repair moves: "
+            f"{r.lcm_moves_total}   trace samples: {r.trace_samples_total}"
+        )
+    if summary.fra is not None:
+        f = summary.fra
+        lines.append("")
+        lines.append("-- fra --")
+        lines.append(
+            f"refinement iterations: {f.n_iterations}   "
+            f"local error: {f.err_first:.4g} -> {f.err_last:.4g}"
+        )
+        lines.append(
+            f"relays planned: {f.relays_planned}   "
+            f"budget at stop: {f.budget_final}"
+            + (f"   stop: {f.stop_reason}" if f.stop_reason else "")
+        )
+    if summary.metrics:
+        lines.append("")
+        lines.append("-- metrics --")
+        for name in sorted(summary.metrics):
+            value = summary.metrics[name]
+            if isinstance(value, dict):
+                mean = value.get("mean", 0.0)
+                lines.append(
+                    f"{name}: count={value.get('count', 0)} "
+                    f"mean={mean:.4g} p95={value.get('p95', 0.0):.4g}"
+                )
+            else:
+                lines.append(f"{name}: {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Event sinks: where the bus stream ends up.
+
+* :class:`JsonlSink` — one JSON object per line, the replayable run log
+  consumed by ``repro-exp obs summarize``.
+* :class:`MemorySink` — keeps events in a list; for tests and in-process
+  analysis.
+* :class:`NullSink` — drops everything; the disabled-instrumentation
+  default, so hot paths never branch on sink identity.
+
+Values crossing into JSON are normalised first (numpy scalars → Python
+scalars, arrays → lists) so instrumented code can pass whatever it has.
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.events import Event
+
+__all__ = ["Sink", "JsonlSink", "MemorySink", "NullSink"]
+
+
+def json_safe(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and nested containers) to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "ndim", None) in (0, None):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(value)
+
+
+class Sink(abc.ABC):
+    """Receives every event the bus emits."""
+
+    @abc.abstractmethod
+    def write(self, event: Event) -> None:
+        """Persist (or drop) one event."""
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        """Push buffered events to durable storage (default: nothing)."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release owned resources (default: nothing)."""
+
+
+class NullSink(Sink):
+    """Discards every event — the zero-overhead default."""
+
+    def write(self, event: Event) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Accumulates events in memory; ``events`` is the list itself."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def dicts(self) -> List[Dict[str, Any]]:
+        """The captured stream in JSONL-row form."""
+        return [e.as_dict() for e in self.events]
+
+
+class JsonlSink(Sink):
+    """Append events to a JSONL file — one JSON object per line.
+
+    The file handle stays open between writes (opening per event would
+    dominate the cost); call ``close`` (or use the owning instrumentation
+    as a context manager) when the run ends. Lines are self-contained, so
+    a log truncated by a crash is still parseable up to the last newline.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[io.TextIOWrapper] = self.path.open(
+            "w", encoding="utf-8"
+        )
+
+    def write(self, event: Event) -> None:
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._fh.write(json.dumps(json_safe(event.as_dict())))
+        self._fh.write("\n")
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

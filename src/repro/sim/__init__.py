@@ -29,8 +29,10 @@ from repro.sim.recorders import (
     ConnectivityRecorder,
     DeltaRecorder,
     ForceRecorder,
+    MetricsRecorder,
     Recorder,
     TrajectoryRecorder,
+    record_round,
 )
 
 __all__ = [
@@ -41,6 +43,7 @@ __all__ = [
     "DiskSensor",
     "ForceRecorder",
     "MessageLossModel",
+    "MetricsRecorder",
     "MobileSimulation",
     "NodeFailureSchedule",
     "Radio",
@@ -51,4 +54,5 @@ __all__ = [
     "TraceSampler",
     "TrajectoryRecorder",
     "cma_message_count",
+    "record_round",
 ]

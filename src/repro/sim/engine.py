@@ -34,12 +34,13 @@ from repro.core.lcm import lcm_adjustment
 from repro.core.problem import OSTDProblem
 from repro.core.baselines import uniform_grid_placement
 from repro.fields.base import sample_grid
+from repro.obs.instrument import Instrumentation, get_instrumentation
 from repro.graphs.geometric import unit_disk_graph
 from repro.graphs.traversal import connected_components
 from repro.sim.failures import MessageLossModel, NodeFailureSchedule
 from repro.sim.node import NodeState
 from repro.sim.radio import Radio
-from repro.sim.recorders import Recorder
+from repro.sim.recorders import Recorder, record_round
 from repro.sim.sensing import DiskSensor, TraceSampler
 from repro.surfaces.reconstruction import reconstruct_surface
 
@@ -149,6 +150,7 @@ class MobileSimulation:
         energy_budget: Optional[float] = None,
         sensor_noise_std: float = 0.0,
         sensor_noise_seed: int = 0,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.problem = problem
         self.params = params or CMAParams(
@@ -162,6 +164,10 @@ class MobileSimulation:
         self.resolution = int(resolution)
         self.radio = Radio(problem.rc, loss=message_loss)
         self.failure_schedule = failure_schedule
+        #: Instrumentation for phase spans and per-round events; defaults
+        #: to the ambient instance (a disabled no-op unless the caller
+        #: installed one with :func:`repro.obs.use_instrumentation`).
+        self.obs = obs if obs is not None else get_instrumentation()
         self.trace_sampler = trace_sampler
         self.recorders = list(recorders)
         if energy_budget is not None and energy_budget <= 0:
@@ -208,6 +214,21 @@ class MobileSimulation:
     # ------------------------------------------------------------------
     def step(self) -> RoundRecord:
         """Advance one round; returns the round's measurements."""
+        obs = self.obs
+        with obs.span("step"):
+            record = self._step_phases(obs)
+
+        if obs.enabled:
+            record_round(obs, record)
+
+        for recorder in self.recorders:
+            recorder.on_round(record)
+        self.t += self.problem.dt
+        self.round_index += 1
+        return record
+
+    def _step_phases(self, obs) -> RoundRecord:
+        """The six phases of one round, each under its own span."""
         # 0. scheduled failures fire at the start of the round; nodes that
         # have exhausted their movement-energy budget die too.
         if self.failure_schedule is not None:
@@ -219,98 +240,112 @@ class MobileSimulation:
                 if node.alive and node.distance_travelled >= self.energy_budget:
                     node.kill(self.t)
 
-        snapshot = sample_grid(
-            self.problem.field, self.problem.region, self.resolution, t=self.t
-        )
-        sensor = DiskSensor(
-            snapshot,
-            self.problem.rs,
-            noise_std=self.sensor_noise_std,
-            noise_rng=self._sensor_rng,
-        )
-        alive_ids = [n.node_id for n in self.nodes if n.alive]
+        with obs.span("sense"):
+            snapshot = sample_grid(
+                self.problem.field, self.problem.region, self.resolution,
+                t=self.t,
+            )
+            sensor = DiskSensor(
+                snapshot,
+                self.problem.rs,
+                noise_std=self.sensor_noise_std,
+                noise_rng=self._sensor_rng,
+            )
+            alive_ids = [n.node_id for n in self.nodes if n.alive]
 
-        # 1.-2. sense + own-curvature estimation. Weights are normalised by
-        # a *deployment-time* calibration constant (the fleet's mean sensed
-        # |curvature| at t0, a one-shot broadcast during initialisation):
-        # this makes them dimensionless and comparable to the metre-valued
-        # repulsion while preserving the spatial contrast between feature
-        # curvature and background noise. Weights are capped so one sharp
-        # edge cannot produce an unbounded force.
-        raw_sensings = {}
-        for node_id in alive_ids:
-            node = self.nodes[node_id]
-            raw_sensings[node_id] = sensor.read(node.position)
-        if self._curvature_scale is None:
-            all_curv = np.concatenate(
-                [s.curvatures for s in raw_sensings.values() if s.m]
-            ) if raw_sensings else np.empty(0)
-            mean_curv = float(np.mean(np.abs(all_curv))) if all_curv.size else 0.0
-            self._curvature_scale = mean_curv if mean_curv > 0.0 else 1.0
-
-        sensings = {}
-        for node_id in alive_ids:
-            node = self.nodes[node_id]
-            sensing = raw_sensings[node_id]
-            curvature = estimate_own_curvature(sensing, node.position, self.params)
-            if self.params.normalize_curvature:
-                cap = self.params.curvature_weight_cap
-                thr = self.params.curvature_threshold
-                curvature = float(
-                    np.clip(curvature / self._curvature_scale - thr, 0.0, cap)
+            # 1.-2. sense + own-curvature estimation. Weights are
+            # normalised by a *deployment-time* calibration constant (the
+            # fleet's mean sensed |curvature| at t0, a one-shot broadcast
+            # during initialisation): this makes them dimensionless and
+            # comparable to the metre-valued repulsion while preserving
+            # the spatial contrast between feature curvature and
+            # background noise. Weights are capped so one sharp edge
+            # cannot produce an unbounded force.
+            raw_sensings = {}
+            for node_id in alive_ids:
+                node = self.nodes[node_id]
+                raw_sensings[node_id] = sensor.read(node.position)
+            if self._curvature_scale is None:
+                all_curv = np.concatenate(
+                    [s.curvatures for s in raw_sensings.values() if s.m]
+                ) if raw_sensings else np.empty(0)
+                mean_curv = (
+                    float(np.mean(np.abs(all_curv))) if all_curv.size else 0.0
                 )
-                if sensing.m:
-                    sensing = LocalSensing(
-                        positions=sensing.positions,
-                        values=sensing.values,
-                        curvatures=np.clip(
-                            sensing.curvatures / self._curvature_scale - thr,
-                            0.0,
-                            cap,
-                        ),
+                self._curvature_scale = mean_curv if mean_curv > 0.0 else 1.0
+
+            sensings = {}
+            for node_id in alive_ids:
+                node = self.nodes[node_id]
+                sensing = raw_sensings[node_id]
+                curvature = estimate_own_curvature(
+                    sensing, node.position, self.params
+                )
+                if self.params.normalize_curvature:
+                    cap = self.params.curvature_weight_cap
+                    thr = self.params.curvature_threshold
+                    curvature = float(
+                        np.clip(
+                            curvature / self._curvature_scale - thr, 0.0, cap
+                        )
                     )
-            node.curvature = curvature
-            sensings[node_id] = sensing
+                    if sensing.m:
+                        sensing = LocalSensing(
+                            positions=sensing.positions,
+                            values=sensing.values,
+                            curvatures=np.clip(
+                                sensing.curvatures / self._curvature_scale
+                                - thr,
+                                0.0,
+                                cap,
+                            ),
+                        )
+                node.curvature = curvature
+                sensings[node_id] = sensing
 
         # 3. beacon exchange (dead nodes transmit nothing).
-        curvatures = [n.curvature for n in self.nodes]
-        inboxes = self.radio.exchange(
-            self.positions, curvatures, alive=self.alive_mask
-        )
+        with obs.span("exchange"):
+            curvatures = [n.curvature for n in self.nodes]
+            inboxes = self.radio.exchange(
+                self.positions, curvatures, alive=self.alive_mask
+            )
 
         # 4. plan.
-        plans: List[CMAPlan] = []
-        for node_id in alive_ids:
-            node = self.nodes[node_id]
-            plans.append(
-                plan_move(
-                    node_id,
-                    node.position,
-                    sensings[node_id],
-                    inboxes[node_id],
-                    self.params,
-                    self.problem.region,
+        with obs.span("plan"):
+            plans: List[CMAPlan] = []
+            for node_id in alive_ids:
+                node = self.nodes[node_id]
+                plans.append(
+                    plan_move(
+                        node_id,
+                        node.position,
+                        sensings[node_id],
+                        inboxes[node_id],
+                        self.params,
+                        self.problem.region,
+                    )
                 )
-            )
 
         # 5a. apply moves, clipped so no unbridged link is broken by the
         # mover itself (connectivity-preserving movement; the follower-side
         # LCM below repairs the rare residual breaks caused by two
         # neighbours moving in the same round).
-        n_moved = 0
-        force_norms: List[float] = []
-        for plan in plans:
-            node = self.nodes[plan.node_id]
-            if plan.breakdown is not None:
-                force_norms.append(plan.breakdown.magnitude)
-            if plan.moved:
-                destination = self._constrain_move(node, plan)
-                if float(np.linalg.norm(destination - node.position)) > 0.0:
-                    node.move_to(destination)
-                    n_moved += 1
+        with obs.span("constrain_move"):
+            n_moved = 0
+            force_norms: List[float] = []
+            for plan in plans:
+                node = self.nodes[plan.node_id]
+                if plan.breakdown is not None:
+                    force_norms.append(plan.breakdown.magnitude)
+                if plan.moved:
+                    destination = self._constrain_move(node, plan)
+                    if float(np.linalg.norm(destination - node.position)) > 0.0:
+                        node.move_to(destination)
+                        n_moved += 1
 
         # 5b. LCM pass: former neighbours of each mover check their link.
-        n_lcm_moves = self._lcm_pass(plans)
+        with obs.span("lcm"):
+            n_lcm_moves = self._lcm_pass(plans)
 
         # 5c. trace sampling: each node records the field along the path it
         # actually travelled this round (origin -> post-LCM position).
@@ -329,15 +364,11 @@ class MobileSimulation:
                     extra_values.append(vals)
 
         # 6. measure: reconstruct from the nodes' own samples.
-        record = self._measure(snapshot, extra_positions, extra_values)
+        with obs.span("measure"):
+            record = self._measure(snapshot, extra_positions, extra_values)
         record.n_moved = n_moved
         record.n_lcm_moves = n_lcm_moves
         record.mean_force = float(np.mean(force_norms)) if force_norms else 0.0
-
-        for recorder in self.recorders:
-            recorder.on_round(record)
-        self.t += self.problem.dt
-        self.round_index += 1
         return record
 
     #: Step fractions tried when clipping a move against link constraints.
@@ -393,21 +424,23 @@ class MobileSimulation:
         chases onto the mover's ``Rc`` circle. Bridge checks use the
         current beacon positions of the mover's announced table.
         """
+        obs = self.obs
         n_moves = 0
+        n_passes = 0
         for _ in range(self._LCM_MAX_PASSES):
             moves_this_pass = 0
             for plan in plans:
                 mover = self.nodes[plan.node_id]
                 if not mover.alive:
                     continue
-                for obs in plan.neighbor_table:
-                    follower = self.nodes[obs.node_id]
+                for nbr in plan.neighbor_table:
+                    follower = self.nodes[nbr.node_id]
                     if not follower.alive:
                         continue
                     bridges = [
                         self.nodes[o.node_id].position
                         for o in plan.neighbor_table
-                        if o.node_id != obs.node_id and self.nodes[o.node_id].alive
+                        if o.node_id != nbr.node_id and self.nodes[o.node_id].alive
                     ]
                     decision = lcm_adjustment(
                         follower.position, mover.position, bridges, self.problem.rc
@@ -419,8 +452,19 @@ class MobileSimulation:
                         follower.move_to(target)
                         moves_this_pass += 1
             n_moves += moves_this_pass
+            n_passes += 1
+            if obs.enabled:
+                obs.emit(
+                    "lcm_pass",
+                    round=self.round_index,
+                    pass_index=n_passes - 1,
+                    moves=moves_this_pass,
+                )
             if moves_this_pass == 0:
                 break
+        if obs.enabled:
+            obs.counter("lcm.passes").inc(n_passes)
+            obs.counter("lcm.moves").inc(n_moves)
         return n_moves
 
     def _measure(
@@ -430,7 +474,10 @@ class MobileSimulation:
         extra_values: List[np.ndarray],
     ) -> RoundRecord:
         alive = [n for n in self.nodes if n.alive]
-        pts = np.asarray([n.position for n in alive], dtype=float).reshape(-1, 2)
+        alive_positions = np.asarray(
+            [n.position for n in alive], dtype=float
+        ).reshape(-1, 2)
+        pts = alive_positions
         values = self.problem.field.sample(pts, self.t)
         n_trace = 0
         if extra_positions:
@@ -440,14 +487,15 @@ class MobileSimulation:
             n_trace = len(extras)
 
         if len(pts) == 0:
-            # The whole fleet is dead: there is no reconstruction to score.
+            # The whole fleet is dead: there is no reconstruction to score
+            # and no radio graph left — a dead fleet is not "connected".
             return RoundRecord(
                 round_index=self.round_index,
                 t=self.t,
                 positions=self.positions.copy(),
                 delta=float("nan"),
                 rmse=float("nan"),
-                connected=True,
+                connected=False,
                 n_components=0,
                 n_alive=0,
                 n_moved=0,
@@ -457,9 +505,6 @@ class MobileSimulation:
             )
 
         reconstruction = reconstruct_surface(snapshot, pts, values=values)
-        alive_positions = np.asarray(
-            [n.position for n in alive], dtype=float
-        ).reshape(-1, 2)
         graph = unit_disk_graph(alive_positions, self.problem.rc)
         components = connected_components(graph)
         return RoundRecord(

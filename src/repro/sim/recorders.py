@@ -13,6 +13,8 @@ from typing import TYPE_CHECKING, List
 
 import numpy as np
 
+from repro.obs.instrument import Instrumentation
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.engine import RoundRecord
 
@@ -91,3 +93,55 @@ class ForceRecorder(Recorder):
     def on_round(self, record: "RoundRecord") -> None:
         self.times.append(record.t)
         self.mean_force.append(record.mean_force)
+
+
+def record_round(obs: Instrumentation, record: "RoundRecord") -> None:
+    """Publish one :class:`RoundRecord` as a ``round`` event + metrics.
+
+    The single definition of the round-event schema — used both by the
+    engine (when built with instrumentation) and by
+    :class:`MetricsRecorder` (when instrumentation is attached from the
+    outside), so the two paths cannot drift apart.
+    """
+    if not obs.enabled:
+        return
+    obs.emit(
+        "round",
+        round=record.round_index,
+        sim_t=record.t,
+        delta=record.delta,
+        rmse=record.rmse,
+        connected=record.connected,
+        n_components=record.n_components,
+        n_alive=record.n_alive,
+        n_moved=record.n_moved,
+        n_lcm_moves=record.n_lcm_moves,
+        mean_force=record.mean_force,
+        n_trace_samples=record.n_trace_samples,
+    )
+    metrics = obs.metrics
+    if not np.isnan(record.delta):
+        metrics.summary("round.delta").observe(record.delta)
+    metrics.counter("round.moves").inc(record.n_moved)
+    metrics.counter("round.lcm_moves").inc(record.n_lcm_moves)
+    metrics.gauge("round.n_alive").set(record.n_alive)
+    metrics.gauge("round.n_components").set(record.n_components)
+
+
+class MetricsRecorder(Recorder):
+    """Bridges the :class:`Recorder` interface onto an observability bus.
+
+    Attach this when a simulation was built *without* an ``obs=`` argument
+    (or by code you don't control) and you still want its rounds on an
+    event bus: every :class:`RoundRecord` is re-emitted as a ``round``
+    event and folded into the instrumentation's metrics registry, exactly
+    as the engine itself would with instrumentation enabled. Do not attach
+    it to an engine that already carries the same enabled instrumentation
+    — the rounds would be emitted twice.
+    """
+
+    def __init__(self, obs: Instrumentation) -> None:
+        self.obs = obs
+
+    def on_round(self, record: "RoundRecord") -> None:
+        record_round(self.obs, record)

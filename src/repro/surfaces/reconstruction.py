@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.fields.base import Field, GridSample
 from repro.geometry.interpolation import LinearSurfaceInterpolator
+from repro.obs.instrument import get_instrumentation
 from repro.surfaces.metrics import (
     max_absolute_error,
     rmse,
@@ -61,12 +62,19 @@ def reconstruct_surface(
     if len(pts) == 0:
         raise ValueError("cannot reconstruct from zero samples")
 
-    interp = LinearSurfaceInterpolator(pts, vals)
-    surface = GridSample(
-        xs=reference.xs,
-        ys=reference.ys,
-        values=interp.evaluate_grid(reference.xs, reference.ys),
-    )
+    # Timed under the ambient instrumentation (a no-op span by default):
+    # triangulate + grid evaluation is the measurement hot path of every
+    # CMA round and FRA history point.
+    obs = get_instrumentation()
+    with obs.span("reconstruct"):
+        interp = LinearSurfaceInterpolator(pts, vals)
+        surface = GridSample(
+            xs=reference.xs,
+            ys=reference.ys,
+            values=interp.evaluate_grid(reference.xs, reference.ys),
+        )
+    if obs.enabled:
+        obs.summary("reconstruct.n_samples").observe(len(pts))
     return Reconstruction(
         sample_positions=pts,
         sample_values=vals,

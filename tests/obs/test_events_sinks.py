@@ -1,0 +1,129 @@
+"""Tests for the event bus and the sinks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Event, EventBus, JsonlSink, MemorySink, NullSink
+from repro.obs.sinks import json_safe
+
+
+class TestEvent:
+    def test_as_dict_flattens_fields(self):
+        event = Event(name="x", t=1.5, fields={"a": 1, "b": "two"})
+        assert event.as_dict() == {"event": "x", "t": 1.5, "a": 1, "b": "two"}
+
+    def test_reserved_keys_not_clobbered(self):
+        event = Event(name="x", t=1.5, fields={"t": 600.0, "event": "no"})
+        row = event.as_dict()
+        assert row["t"] == 1.5
+        assert row["event"] == "x"
+        assert row["field_t"] == 600.0
+        assert row["field_event"] == "no"
+
+
+class TestEventBus:
+    def test_emit_fans_out_to_all_sinks(self):
+        a, b = MemorySink(), MemorySink()
+        bus = EventBus([a, b])
+        bus.emit("tick", n=1)
+        assert len(a.events) == 1 and len(b.events) == 1
+        assert a.events[0].name == "tick"
+        assert a.events[0].fields == {"n": 1}
+
+    def test_disabled_bus_drops_events(self):
+        sink = MemorySink()
+        bus = EventBus([sink], enabled=False)
+        bus.emit("tick")
+        assert sink.events == []
+
+    def test_timestamps_are_monotonic(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        for _ in range(5):
+            bus.emit("tick")
+        times = [e.t for e in sink.events]
+        assert times == sorted(times)
+        assert all(t >= 0.0 for t in times)
+
+    def test_injected_clock(self):
+        ticks = iter([10.0, 11.5, 13.0])
+        sink = MemorySink()
+        bus = EventBus([sink], clock=lambda: next(ticks))
+        bus.emit("a")
+        bus.emit("b")
+        assert [e.t for e in sink.events] == [1.5, 3.0]
+
+    def test_add_sink_sees_later_events_only(self):
+        bus = EventBus()
+        bus.emit("before")
+        sink = MemorySink()
+        bus.add_sink(sink)
+        bus.emit("after")
+        assert [e.name for e in sink.events] == ["after"]
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_and_arrays(self):
+        assert json_safe(np.float64(1.5)) == 1.5
+        assert json_safe(np.int32(3)) == 3
+        assert json_safe(np.bool_(True)) is True
+        assert json_safe(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_nested_containers(self):
+        out = json_safe({"a": (np.int64(1), [np.float32(0.5)])})
+        assert out == {"a": [1, [0.5]]}
+        json.dumps(out)  # must be serialisable
+
+    def test_fallback_to_str(self):
+        class Weird:
+            def __repr__(self):
+                return "weird"
+
+        assert isinstance(json_safe(Weird()), str)
+
+
+class TestJsonlSink:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.write(Event("a", 0.1, {"x": np.float64(2.0)}))
+        sink.write(Event("b", 0.2, {"y": [1, 2]}))
+        sink.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == [
+            {"event": "a", "t": 0.1, "x": 2.0},
+            {"event": "b", "t": 0.2, "y": [1, 2]},
+        ]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.write(Event("a", 0.0))
+        sink.close()
+        assert path.exists()
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "run.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError):
+            sink.write(Event("a", 0.0))
+
+
+class TestMemorySink:
+    def test_dicts_and_clear(self):
+        sink = MemorySink()
+        sink.write(Event("a", 0.5, {"k": 1}))
+        assert sink.dicts() == [{"event": "a", "t": 0.5, "k": 1}]
+        sink.clear()
+        assert sink.events == []
+
+
+class TestNullSink:
+    def test_drops_everything(self):
+        sink = NullSink()
+        sink.write(Event("a", 0.0))  # no state to assert; must not raise
+        sink.flush()
+        sink.close()

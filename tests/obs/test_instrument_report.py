@@ -1,0 +1,212 @@
+"""Tests for the Instrumentation bundle, ambient context, and reporting."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DISABLED,
+    Instrumentation,
+    format_summary,
+    get_instrumentation,
+    load_run_log,
+    summarize_events,
+    summarize_run_log,
+    use_instrumentation,
+)
+
+
+class TestInstrumentation:
+    def test_disabled_by_default_ambient(self):
+        assert get_instrumentation() is DISABLED
+        assert DISABLED.enabled is False
+
+    def test_use_instrumentation_nests(self):
+        outer = Instrumentation.in_memory()
+        inner = Instrumentation.in_memory()
+        with use_instrumentation(outer):
+            assert get_instrumentation() is outer
+            with use_instrumentation(inner):
+                assert get_instrumentation() is inner
+            assert get_instrumentation() is outer
+        assert get_instrumentation() is DISABLED
+
+    def test_ambient_restored_on_exception(self):
+        obs = Instrumentation.in_memory()
+        with pytest.raises(RuntimeError):
+            with use_instrumentation(obs):
+                raise RuntimeError("x")
+        assert get_instrumentation() is DISABLED
+
+    def test_disabled_span_is_shared_noop(self):
+        obs = Instrumentation.disabled()
+        assert obs.span("a") is obs.span("b")
+        with obs.span("a"):
+            pass
+        obs.emit("dropped", x=1)
+        assert obs.memory_events() == []
+
+    def test_enabled_span_and_emit(self):
+        obs = Instrumentation.in_memory()
+        with obs.span("phase"):
+            obs.emit("tick", n=3)
+        names = [e.name for e in obs.memory_events()]
+        assert names == ["tick", "span"]
+        assert obs.metrics.summary("span.phase").count == 1
+
+    def test_close_flushes_metrics_snapshot(self):
+        obs = Instrumentation.in_memory()
+        obs.counter("c").inc(5)
+        obs.close()
+        last = obs.memory_events()[-1]
+        assert last.name == "metrics"
+        assert last.fields["snapshot"]["c"] == 5
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Instrumentation.to_jsonl(path) as obs:
+            obs.emit("tick")
+        rows = load_run_log(path)
+        assert [r["event"] for r in rows] == ["tick", "metrics"]
+
+
+class TestLoadRunLog:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "a", "t": 0.0}\n\n{"event": "b", "t": 1.0}\n')
+        assert [r["event"] for r in load_run_log(path)] == ["a", "b"]
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_run_log(path)
+
+    def test_rejects_non_event_rows(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"t": 0.0}\n')
+        with pytest.raises(ValueError, match="missing 'event'"):
+            load_run_log(path)
+
+    def test_tolerates_crash_truncated_final_line(self, tmp_path):
+        # A process dying mid-write leaves a partial last line; the
+        # intact prefix must still load.
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"event": "a", "t": 0.0}\n{"event": "b", "t": 1.0}\n'
+            '{"event": "c", "t"'
+        )
+        assert [r["event"] for r in load_run_log(path)] == ["a", "b"]
+
+    def test_rejects_garbage_mid_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "a", "t": 0.0}\nnot json\n{"event": "b"}\n')
+        with pytest.raises(ValueError, match="run.jsonl:2: not valid JSON"):
+            load_run_log(path)
+
+
+def synthetic_events():
+    events = []
+    for i in range(4):
+        events.append({
+            "event": "span", "t": 0.1 * i, "phase": "step",
+            "path": "step", "dur_s": 0.10, "depth": 0,
+        })
+        events.append({
+            "event": "span", "t": 0.1 * i, "phase": "sense",
+            "path": "step/sense", "dur_s": 0.06, "depth": 1,
+        })
+        events.append({
+            "event": "round", "t": 0.1 * i, "round": i, "sim_t": 600.0 + i,
+            "delta": 100.0 - i, "rmse": 1.0, "connected": i != 2,
+            "n_components": 2 if i == 2 else 1, "n_alive": 9,
+            "n_moved": 3, "n_lcm_moves": 1, "n_trace_samples": 2,
+        })
+    events.append({
+        "event": "fra_refine", "t": 0.5, "i": 5, "x": 1.0, "y": 2.0,
+        "kind": "refine", "err_before": 9.0, "err_after": 4.0, "budget": 7,
+    })
+    events.append({
+        "event": "fra_stop", "t": 0.6, "reason": "foresight", "budget": 3,
+        "n_selected": 5, "relays_required": 3,
+    })
+    events.append({"event": "fra_relays", "t": 0.7, "n_relays": 3,
+                   "budget_after": 0})
+    events.append({"event": "metrics", "t": 0.8,
+                   "snapshot": {"lcm.moves": 4.0,
+                                "round.delta": {"count": 4, "mean": 98.5,
+                                                "p95": 99.85}}})
+    return events
+
+
+class TestSummarize:
+    def test_phase_shares(self):
+        summary = summarize_events(synthetic_events())
+        by_path = {p.path: p for p in summary.phases}
+        assert by_path["step"].count == 4
+        assert by_path["step"].share == pytest.approx(1.0)
+        # Child share is measured against the root total.
+        assert by_path["step/sense"].share == pytest.approx(0.6)
+        assert by_path["step/sense"].mean_s == pytest.approx(0.06)
+
+    def test_round_aggregates(self):
+        rounds = summarize_events(synthetic_events()).rounds
+        assert rounds.n_rounds == 4
+        assert rounds.delta_first == 100.0
+        assert rounds.delta_final == 97.0
+        assert rounds.delta_min == 97.0
+        assert rounds.delta_mean == pytest.approx(98.5)
+        assert rounds.components_max == 2
+        assert rounds.n_disconnected_rounds == 1
+        assert rounds.moves_total == 12
+        assert rounds.lcm_moves_total == 4
+        assert rounds.trace_samples_total == 8
+        assert rounds.alive_final == 9
+
+    def test_nan_deltas_ignored_in_mean(self):
+        events = synthetic_events()
+        events[2]["delta"] = float("nan")
+        rounds = summarize_events(events).rounds
+        assert rounds.delta_mean == pytest.approx((99 + 98 + 97) / 3)
+
+    def test_fra_aggregates(self):
+        fra = summarize_events(synthetic_events()).fra
+        assert fra.n_iterations == 1
+        assert fra.err_first == 9.0
+        assert fra.err_last == 4.0
+        assert fra.relays_planned == 3
+        assert fra.budget_final == 3
+        assert fra.stop_reason == "foresight"
+
+    def test_no_rounds_no_fra(self):
+        summary = summarize_events([{"event": "span", "t": 0.0,
+                                     "path": "x", "dur_s": 0.1, "depth": 0}])
+        assert summary.rounds is None
+        assert summary.fra is None
+
+    def test_metrics_snapshot_surfaces(self):
+        summary = summarize_events(synthetic_events())
+        assert summary.metrics["lcm.moves"] == 4.0
+
+
+class TestFormatSummary:
+    def test_contains_percentages_and_aggregates(self):
+        text = format_summary(summarize_events(synthetic_events()),
+                              title="test-run")
+        assert "test-run" in text
+        assert "step/sense" in text
+        assert "60.0%" in text
+        assert "delta: first=100" in text
+        assert "components: max=2" in text
+        assert "lcm repair moves: 4" in text
+        assert "refinement iterations: 1" in text
+
+    def test_roundtrip_through_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with path.open("w") as fh:
+            for row in synthetic_events():
+                fh.write(json.dumps(row) + "\n")
+        summary = summarize_run_log(path)
+        assert summary.n_events == len(synthetic_events())
+        text = format_summary(summary)
+        assert "-- phase wall time --" in text

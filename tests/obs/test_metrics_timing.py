@@ -1,0 +1,146 @@
+"""Tests for the metrics registry and the phase timers."""
+
+import numpy as np
+import pytest
+
+from repro.obs import EventBus, MemorySink, MetricsRegistry, PhaseTimer
+from repro.obs.metrics import Summary
+from repro.obs.timing import NULL_SPAN
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(4.0)
+        gauge.set(-2)
+        assert gauge.value == -2.0
+
+
+class TestSummary:
+    def test_exact_stats(self):
+        summary = Summary("s")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            summary.observe(v)
+        assert summary.count == 4
+        assert summary.total == 10.0
+        assert summary.mean == 2.5
+        assert summary.min == 1.0
+        assert summary.max == 4.0
+        assert summary.quantile(0.5) == 2.5
+
+    def test_reservoir_bounds_memory(self):
+        summary = Summary("s", max_samples=16)
+        for v in range(1000):
+            summary.observe(float(v))
+        assert summary.count == 1000
+        assert len(summary._samples) == 16
+        assert summary.min == 0.0 and summary.max == 999.0
+        # The reservoir stays representative of the whole stream.
+        assert 100.0 < summary.quantile(0.5) < 900.0
+
+    def test_empty_snapshot(self):
+        snap = Summary("s").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Summary("s").quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.0)
+        reg.summary("s").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1.0
+        assert snap["s"]["count"] == 1
+        assert "a" not in reg and "c" in reg
+        assert len(reg) == 3
+
+
+class TestPhaseTimer:
+    def test_span_durations_recorded(self):
+        reg = MetricsRegistry()
+        timer = PhaseTimer(registry=reg)
+        with timer.span("work") as span:
+            pass
+        assert span.dur_s is not None and span.dur_s >= 0.0
+        assert reg.summary("span.work").count == 1
+
+    def test_nested_paths(self):
+        sink = MemorySink()
+        timer = PhaseTimer(bus=EventBus([sink]))
+        with timer.span("step"):
+            with timer.span("sense"):
+                pass
+            with timer.span("plan"):
+                with timer.span("forces"):
+                    pass
+        paths = [e.fields["path"] for e in sink.events]
+        # Inner spans close (and emit) before outer ones.
+        assert paths == ["step/sense", "step/plan/forces", "step/plan", "step"]
+        depths = [e.fields["depth"] for e in sink.events]
+        assert depths == [1, 2, 1, 0]
+
+    def test_current_path_tracks_stack(self):
+        timer = PhaseTimer()
+        assert timer.current_path == ""
+        with timer.span("a"):
+            with timer.span("b"):
+                assert timer.current_path == "a/b"
+            assert timer.current_path == "a"
+        assert timer.current_path == ""
+
+    def test_exception_still_closes_span(self):
+        reg = MetricsRegistry()
+        timer = PhaseTimer(registry=reg)
+        with pytest.raises(RuntimeError):
+            with timer.span("boom"):
+                raise RuntimeError("x")
+        assert timer.current_path == ""
+        assert reg.summary("span.boom").count == 1
+
+    def test_outer_span_covers_inner(self):
+        reg = MetricsRegistry()
+        timer = PhaseTimer(registry=reg)
+        with timer.span("outer"):
+            with timer.span("inner"):
+                x = np.arange(1000).sum()
+        assert x == 499500
+        outer = reg.summary("span.outer").snapshot()["total"]
+        inner = reg.summary("span.outer/inner").snapshot()["total"]
+        assert outer >= inner
+
+
+class TestNullSpan:
+    def test_null_span_is_reusable_noop(self):
+        with NULL_SPAN:
+            with NULL_SPAN:
+                pass

@@ -6,7 +6,8 @@ import pytest
 from repro.core.cma import CMAParams
 from repro.core.problem import OSTDProblem
 from repro.fields.greenorbs import GreenOrbsLightField
-from repro.sim.engine import MobileSimulation
+from repro.obs import Instrumentation, use_instrumentation
+from repro.sim.engine import MobileSimulation, SimulationResult
 from repro.sim.failures import MessageLossModel, NodeFailureSchedule
 from repro.sim.recorders import (
     ConnectivityRecorder,
@@ -167,6 +168,63 @@ class TestRecorders:
         assert len(traj_rec.positions) == 4
         assert conn_rec.always_connected == result.always_connected
         assert traj_rec.displacement().shape == (3,)
+
+
+class TestDeadFleet:
+    def test_fully_dead_fleet_is_not_connected(self):
+        # Regression: a dead fleet used to report connected=True, so
+        # always_connected claimed the run never partitioned.
+        schedule = NodeFailureSchedule(at={600.0: list(range(25))})
+        sim = make_sim(failure_schedule=schedule)
+        record = sim.step()
+        assert record.n_alive == 0
+        assert record.connected is False
+        assert record.n_components == 0
+        assert np.isnan(record.delta)
+        result = SimulationResult(rounds=[record])
+        assert not result.always_connected
+
+    def test_connectivity_recorder_sees_dead_fleet(self):
+        schedule = NodeFailureSchedule(at={600.0: list(range(25))})
+        conn_rec = ConnectivityRecorder()
+        sim = make_sim(failure_schedule=schedule, recorders=[conn_rec])
+        sim.step()
+        assert conn_rec.always_connected is False
+
+
+class TestInstrumentation:
+    def test_step_emits_phase_spans_and_round_event(self):
+        obs = Instrumentation.in_memory()
+        sim = make_sim(obs=obs)
+        record = sim.step()
+        names = [e.name for e in obs.memory_events()]
+        assert names.count("round") == 1
+        spans = [e for e in obs.memory_events() if e.name == "span"]
+        paths = {e.fields["path"] for e in spans}
+        for phase in ("sense", "exchange", "plan", "constrain_move",
+                      "lcm", "measure"):
+            assert f"step/{phase}" in paths
+        assert "step" in paths
+        # Round event carries the record's measurements.
+        (round_event,) = [e for e in obs.memory_events() if e.name == "round"]
+        assert round_event.fields["delta"] == record.delta
+        assert round_event.fields["n_moved"] == record.n_moved
+        assert obs.metrics.counter("round.moves").value == record.n_moved
+
+    def test_ambient_instrumentation_picked_up(self):
+        obs = Instrumentation.in_memory()
+        with use_instrumentation(obs):
+            sim = make_sim()
+        assert sim.obs is obs
+        sim.step()
+        assert any(e.name == "round" for e in obs.memory_events())
+
+    def test_disabled_by_default_and_deterministic(self):
+        sim = make_sim()
+        assert sim.obs.enabled is False
+        baseline = make_sim().run()
+        instrumented = make_sim(obs=Instrumentation.in_memory()).run()
+        assert np.allclose(baseline.deltas, instrumented.deltas)
 
 
 class TestConvergence:

@@ -1,0 +1,137 @@
+"""Unit tests for the round-loop recorders (no simulation needed)."""
+
+import numpy as np
+
+from repro.obs import Instrumentation
+from repro.sim.engine import RoundRecord
+from repro.sim.recorders import (
+    ConnectivityRecorder,
+    DeltaRecorder,
+    ForceRecorder,
+    MetricsRecorder,
+    TrajectoryRecorder,
+    record_round,
+)
+
+
+def make_record(i, positions=None, **overrides):
+    fields = dict(
+        round_index=i,
+        t=600.0 + i,
+        positions=(
+            positions
+            if positions is not None
+            else np.full((3, 2), float(i))
+        ),
+        delta=100.0 - i,
+        rmse=1.0,
+        connected=True,
+        n_components=1,
+        n_alive=3,
+        n_moved=2,
+        n_lcm_moves=1,
+        mean_force=0.5 * i,
+        n_trace_samples=0,
+    )
+    fields.update(overrides)
+    return RoundRecord(**fields)
+
+
+class TestDeltaRecorder:
+    def test_series_shape_and_values(self):
+        rec = DeltaRecorder()
+        for i in range(3):
+            rec.on_round(make_record(i))
+        series = rec.series()
+        assert series.shape == (3, 2)
+        assert series[:, 0].tolist() == [600.0, 601.0, 602.0]
+        assert series[:, 1].tolist() == [100.0, 99.0, 98.0]
+
+    def test_empty_series(self):
+        assert DeltaRecorder().series().shape == (0, 2)
+
+
+class TestForceRecorder:
+    def test_collects_mean_force_per_round(self):
+        rec = ForceRecorder()
+        for i in range(4):
+            rec.on_round(make_record(i))
+        assert rec.times == [600.0, 601.0, 602.0, 603.0]
+        assert rec.mean_force == [0.0, 0.5, 1.0, 1.5]
+
+    def test_empty(self):
+        rec = ForceRecorder()
+        assert rec.times == [] and rec.mean_force == []
+
+
+class TestConnectivityRecorder:
+    def test_always_connected_true(self):
+        rec = ConnectivityRecorder()
+        for i in range(3):
+            rec.on_round(make_record(i))
+        assert rec.always_connected is True
+        assert rec.n_components == [1, 1, 1]
+
+    def test_always_connected_false_after_partition(self):
+        rec = ConnectivityRecorder()
+        rec.on_round(make_record(0))
+        rec.on_round(make_record(1, connected=False, n_components=2))
+        rec.on_round(make_record(2))
+        assert rec.always_connected is False
+        assert rec.n_components == [1, 2, 1]
+
+    def test_vacuously_connected_when_empty(self):
+        assert ConnectivityRecorder().always_connected is True
+
+
+class TestTrajectoryRecorder:
+    def test_displacement_per_round(self):
+        rec = TrajectoryRecorder()
+        # Every node moves by (1, 0) each round: mean displacement 1.0.
+        for i in range(3):
+            rec.on_round(make_record(i))
+        moves = rec.displacement()
+        assert moves.shape == (2,)
+        assert np.allclose(moves, np.sqrt(2.0))
+
+    def test_displacement_needs_two_rounds(self):
+        rec = TrajectoryRecorder()
+        assert rec.displacement().shape == (0,)
+        rec.on_round(make_record(0))
+        assert rec.displacement().shape == (0,)
+
+    def test_positions_are_copies(self):
+        rec = TrajectoryRecorder()
+        record = make_record(0)
+        rec.on_round(record)
+        record.positions[:] = -1.0
+        assert (rec.positions[0] == 0.0).all()
+
+
+class TestMetricsRecorder:
+    def test_bridges_rounds_onto_bus(self):
+        obs = Instrumentation.in_memory()
+        rec = MetricsRecorder(obs)
+        for i in range(3):
+            rec.on_round(make_record(i))
+        rounds = [e for e in obs.memory_events() if e.name == "round"]
+        assert len(rounds) == 3
+        assert rounds[0].fields["delta"] == 100.0
+        assert rounds[0].fields["sim_t"] == 600.0
+        assert obs.metrics.counter("round.moves").value == 6
+        assert obs.metrics.counter("round.lcm_moves").value == 3
+        assert obs.metrics.summary("round.delta").count == 3
+
+    def test_disabled_instrumentation_is_noop(self):
+        obs = Instrumentation.disabled()
+        rec = MetricsRecorder(obs)
+        rec.on_round(make_record(0))
+        assert obs.memory_events() == []
+        assert len(obs.metrics) == 0
+
+    def test_nan_delta_not_observed(self):
+        obs = Instrumentation.in_memory()
+        record_round(obs, make_record(0, delta=float("nan")))
+        assert obs.metrics.summary("round.delta").count == 0
+        # The event itself still carries the NaN round.
+        assert len(obs.memory_events()) == 1
