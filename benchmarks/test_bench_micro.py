@@ -1,8 +1,12 @@
 """Micro-benchmarks of the hot substrate operations.
 
 These are the inner loops every experiment stands on: Delaunay insertion,
-vectorised surface evaluation, the δ metric, relay planning, on-node
-curvature estimation, and one full CMA simulation round.
+vectorised surface evaluation, full-surface reconstruction at several
+node counts, the δ metric, relay planning, on-node curvature estimation,
+and one full CMA simulation round.
+
+``tools/bench_compare.py`` diffs two ``--benchmark-json`` dumps of this
+suite; CI runs it against the committed ``BENCH_pr2.json`` snapshot.
 """
 
 from __future__ import annotations
@@ -68,6 +72,22 @@ def test_bench_quadric_fit(benchmark):
     z = 0.2 * pts[:, 0] ** 2 + 0.1 * pts[:, 1] ** 2 + rng.normal(0, 0.01, 78)
     fit = benchmark(fit_quadric, pts, z)
     assert fit.a > 0
+
+
+@pytest.mark.parametrize("k", [100, 400, 900])
+def test_bench_reconstruct_scaling(benchmark, reference, k):
+    """reconstruct_surface on the 101x101 reference at growing node counts.
+
+    The k=100 case is PR 2's headline acceptance number (>= 5x over the
+    seed); 400 and 900 pin how the triangulation build and the grid
+    evaluation scale as the Delaunay mesh outgrows the grid resolution.
+    """
+    rng = np.random.default_rng(k)
+    pts = rng.uniform(0, 100, size=(k, 2))
+    vals = np.sin(pts[:, 0] / 9.0) * np.cos(pts[:, 1] / 11.0)
+    recon = benchmark(reconstruct_surface, reference, pts, values=vals)
+    assert recon.surface.values.shape == (101, 101)
+    assert np.isfinite(recon.delta)
 
 
 def test_bench_fra_k30(benchmark, reference):

@@ -182,14 +182,22 @@ def plan_move(
     neighbors: Sequence[NeighborObservation],
     params: CMAParams,
     region: BoundingBox,
+    own_curvature: Optional[float] = None,
 ) -> CMAPlan:
     """Lines 6–18 of Table 2: forces, balance test, destination choice.
 
     The destination is along ``Fs``, at most ``min(v·dt, Rs)`` away
     (DESIGN.md §6.7), clamped into the region.
+
+    ``own_curvature`` lets a caller that already ran the quadric fit this
+    round (the engine's sense phase does, on the same samples) pass the
+    result in instead of re-fitting — the least-squares solve is the
+    single most expensive per-node operation in a round. When omitted it
+    is computed here, as before.
     """
     pos = np.asarray(position, dtype=float).reshape(2)
-    own_curvature = estimate_own_curvature(sensing, pos, params)
+    if own_curvature is None:
+        own_curvature = estimate_own_curvature(sensing, pos, params)
 
     peak_pos, peak_curv = sensing.peak()
     nbr_pos = (

@@ -154,13 +154,13 @@ class _ErrorTracker:
 
     def _update_window(self, new_index: int) -> None:
         """Re-evaluate |f − DT| only inside the retriangulated cavity."""
-        new_tris = [t for t in self.tri.triangles if t.has_vertex(new_index)]
-        if not new_tris:
+        simp = self.tri.simplices
+        new_tris = simp[(simp == new_index).any(axis=1)]
+        if len(new_tris) == 0:
             self._recompute_all()
             return
         pts = self.tri.points
-        vids = sorted({v for t in new_tris for v in t})
-        cavity = pts[vids]
+        cavity = pts[np.unique(new_tris)]
         xs, ys = self.reference.xs, self.reference.ys
         ix0 = int(np.searchsorted(xs, cavity[:, 0].min() - 1e-9))
         ix1 = int(np.searchsorted(xs, cavity[:, 0].max() + 1e-9))

@@ -21,7 +21,12 @@ from repro.experiments.registry import (
     experiment,
     get_experiment,
 )
-from repro.experiments.harness import format_result, run_experiment
+from repro.experiments.harness import (
+    collect_results,
+    format_result,
+    run_all,
+    run_experiment,
+)
 
 # Importing the experiment modules registers them.
 from repro.experiments import (  # noqa: F401  (registration side effect)
@@ -51,8 +56,10 @@ from repro.experiments import (  # noqa: F401  (registration side effect)
 __all__ = [
     "ExperimentResult",
     "all_experiments",
+    "collect_results",
     "experiment",
     "format_result",
     "get_experiment",
+    "run_all",
     "run_experiment",
 ]

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", metavar="PATH",
         help="also write a Markdown report of every experiment",
     )
+    all_p.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="fan the experiments out over N worker processes "
+        "(default: run sequentially in-process)",
+    )
 
     obs_p = sub.add_parser(
         "obs", help="observability: inspect instrumented run logs"
@@ -92,12 +97,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "all":
         if args.markdown:
             from repro.experiments.export import write_markdown_report
+            from repro.experiments.harness import collect_results
 
-            results = [spec.runner(args.fast) for spec in all_experiments()]
+            results = [
+                result
+                for result, _ in collect_results(
+                    fast=args.fast, processes=args.processes
+                )
+            ]
             path = write_markdown_report(results, args.markdown)
             print(f"wrote {path}")
             return 0
-        print(run_all(fast=args.fast, show_artifacts=args.artifacts))
+        print(
+            run_all(
+                fast=args.fast,
+                show_artifacts=args.artifacts,
+                processes=args.processes,
+            )
+        )
         return 0
     if args.command == "obs":
         if args.obs_command == "summarize":

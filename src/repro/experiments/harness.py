@@ -71,15 +71,55 @@ def format_result(result: ExperimentResult, show_artifacts: bool = True) -> str:
     return "\n".join(parts)
 
 
-def run_all(fast: bool = False, show_artifacts: bool = False) -> str:
-    """Run every registered experiment; returns the combined report."""
+def _run_one_timed(experiment_id: str, fast: bool) -> tuple:
+    """Worker for the process pool: run one experiment, time it.
+
+    Module-level (not a closure) so it pickles under every start method;
+    looks the experiment up by id in the child because the registry's
+    runner callables live in the parent.
+    """
+    spec = get_experiment(experiment_id)
+    # perf_counter, not time.time(): wall-clock is not monotonic, so a
+    # clock adjustment mid-experiment would corrupt the elapsed time.
+    start = time.perf_counter()
+    result = spec.runner(fast)
+    return result, time.perf_counter() - start
+
+
+def collect_results(
+    fast: bool = False, processes: Optional[int] = None
+) -> List[tuple]:
+    """Run every registered experiment, returning ``(result, elapsed)`` pairs.
+
+    ``processes`` opts into a :class:`~concurrent.futures.ProcessPoolExecutor`
+    fan-out: experiments are independent (separate fields, separate module
+    caches per worker), so they parallelise trivially. Results come back in
+    registration order either way, so reports are deterministic. The default
+    (``None`` or ``<= 1``) keeps the in-process sequential path — no pool,
+    no pickling, ambient instrumentation still visible to the runners.
+    """
+    ids = [spec.experiment_id for spec in all_experiments()]
+    if processes is None or processes <= 1:
+        return [_run_one_timed(eid, fast) for eid in ids]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        futures = [pool.submit(_run_one_timed, eid, fast) for eid in ids]
+        return [f.result() for f in futures]
+
+
+def run_all(
+    fast: bool = False,
+    show_artifacts: bool = False,
+    processes: Optional[int] = None,
+) -> str:
+    """Run every registered experiment; returns the combined report.
+
+    ``processes=N`` (N > 1) fans the experiments out over a process pool —
+    see :func:`collect_results`.
+    """
     reports = []
-    for spec in all_experiments():
-        # perf_counter, not time.time(): wall-clock is not monotonic, so a
-        # clock adjustment mid-experiment would corrupt the elapsed time.
-        start = time.perf_counter()
-        result = spec.runner(fast)
-        elapsed = time.perf_counter() - start
+    for result, elapsed in collect_results(fast=fast, processes=processes):
         reports.append(format_result(result, show_artifacts=show_artifacts))
         reports.append(f"(ran in {elapsed:.1f}s)")
         reports.append("")

@@ -4,17 +4,32 @@ The paper reconstructs the environment surface from the ``k`` sampled
 positions with a Delaunay triangulation (``z* = DT(x, y)``, Section 3.1) and
 FRA refines that triangulation one insertion at a time (Table 1). This
 module provides exactly that: a triangulation that supports *incremental*
-insertion so FRA's per-step re-triangulation is cheap, built from scratch on
-the predicates in :mod:`repro.geometry.predicates`.
+insertion, built from scratch on the predicates in
+:mod:`repro.geometry.predicates`.
 
 Implementation notes
 --------------------
 * A large super-triangle encloses all real points; triangles incident to its
   three synthetic vertices are hidden from the public API.
-* Cavity search is a linear scan of current triangles per insertion. For the
-  paper's scales (k <= a few hundred points, so <= ~2k triangles) this is
-  comfortably fast in practice and trivially robust; the test-suite
-  cross-validates the result against :mod:`scipy.spatial.Delaunay`.
+* Storage is struct-of-arrays: vertices and triangle vertex-index rows live
+  in growable numpy buffers (amortised doubling), with a per-slot liveness
+  mask instead of a Python dict. Dead slots are compacted away once they
+  outnumber the live ones, so scans stay O(live triangles).
+* The hot predicates — ``insert``'s bad-triangle scan, ``find_vertex`` and
+  ``locate`` — are evaluated as whole-array numpy expressions using *the
+  same floating-point formulas and epsilons* as the scalar predicates in
+  :mod:`repro.geometry.predicates`. IEEE-754 elementwise evaluation makes
+  the vectorised scan bit-compatible with a per-triangle scalar loop; the
+  scalar predicates remain the validation oracle (``is_delaunay`` still
+  calls them one triangle at a time) and the test-suite cross-validates
+  both against :mod:`scipy.spatial.Delaunay`.
+* Each live triangle caches its circumcircle ``(centre, r^2)`` plus the
+  threshold ``EPSILON / |2A|``; the bad-triangle scan then tests
+  ``r^2 - d^2 > threshold`` (five array passes) instead of the 18-pass
+  in-circle determinant. Queries inside a conservative rounding band
+  around the threshold re-run the exact determinant, so the decision is
+  always the scalar predicate's (see ``_bad_triangle_slots``); the
+  determinant-form scan is kept as ``_bad_triangle_slots_reference``.
 * Cocircular points (common on integer grids) make the Delaunay
   triangulation non-unique; ties in the in-circle predicate are resolved as
   "outside", which always yields *a* valid Delaunay triangulation.
@@ -22,11 +37,20 @@ Implementation notes
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro.geometry.predicates import incircle, orientation, point_in_triangle
+from repro.geometry.predicates import EPSILON, incircle, orientation
 from repro.geometry.primitives import Point2, PointLike
 
 
@@ -55,6 +79,16 @@ class DuplicatePointError(ValueError):
 
 #: Number of synthetic super-triangle vertices kept at internal indices 0..2.
 _N_SUPER = 3
+
+#: Initial capacity of the growable vertex / triangle buffers.
+_INITIAL_CAPACITY = 32
+
+#: Relative half-width of the uncertainty band of the cached in-circle
+#: test (see _bad_triangle_slots): ~1024 ulp, generous against the worst
+#: cancellation either the r^2-form or the determinant-form accumulates,
+#: yet narrow enough that real workloads essentially never hit the exact
+#: determinant fallback.
+_CC_BAND = 1024 * np.finfo(float).eps
 
 
 class DelaunayTriangulation:
@@ -86,18 +120,93 @@ class DelaunayTriangulation:
     ) -> None:
         self._dedup_tol = float(dedup_tol)
         self._skip_duplicates = bool(skip_duplicates)
+
+        # Vertex store: (capacity, 2) float buffer, first _nv rows valid,
+        # mirrored by a plain list of (x, y) tuples for the scalar paths
+        # (tuple unpacking is ~10x cheaper than numpy scalar indexing).
+        self._vert_buf = np.empty((_INITIAL_CAPACITY, 2), dtype=float)
+        self._vert_list: List[Tuple[float, float]] = []
+        self._nv = 0
         # Deliberately asymmetric super-triangle to dodge degeneracies with
         # axis-aligned / diagonal input.
-        self._verts: List[Tuple[float, float]] = [
+        for x, y in (
             (-3.17 * span, -2.89 * span),
             (3.61 * span, -3.07 * span),
             (0.13 * span, 3.79 * span),
-        ]
-        self._triangles: Dict[int, Triangle] = {0: Triangle(0, 1, 2)}
-        self._next_tri_id = 1
+        ):
+            self._append_vertex(x, y)
+
+        # Triangle store: slot-indexed parallel arrays, first _nt slots
+        # allocated, live ones flagged in _tri_live. _tri_orient caches the
+        # orientation sign of the *stored* vertex triple (+1 CCW, 0
+        # numerically flat) so the vectorised in-circle scan can reproduce
+        # the scalar predicate's degenerate-triangle handling exactly, and
+        # _tri_xy caches the six vertex coordinates per slot (one
+        # contiguous row per coordinate) so the scan needs no per-insert
+        # index gather.
+        self._tri_buf = np.zeros((_INITIAL_CAPACITY, 3), dtype=np.int64)
+        self._tri_live = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self._tri_orient = np.zeros(_INITIAL_CAPACITY, dtype=np.int8)
+        self._tri_xy = np.zeros((6, _INITIAL_CAPACITY), dtype=float)
+        # Cached circumcircle parameters per slot: centre x/y, radius^2, and
+        # the insideness threshold in (r^2 - d^2) units (see
+        # _bad_triangle_slots).
+        self._tri_cc = np.zeros((4, _INITIAL_CAPACITY), dtype=float)
+        self._nt = 0
+        self._n_live = 0
+        self._simplices_cache: Optional[np.ndarray] = None
+
+        self._add_triangle(0, 1, 2)
         if points is not None:
             for p in points:
                 self.insert(p)
+
+    # ------------------------------------------------------------------
+    # Growable storage
+    # ------------------------------------------------------------------
+    def _append_vertex(self, x: float, y: float) -> int:
+        x, y = float(x), float(y)
+        if self._nv == len(self._vert_buf):
+            grown = np.empty((2 * len(self._vert_buf), 2), dtype=float)
+            grown[: self._nv] = self._vert_buf[: self._nv]
+            self._vert_buf = grown
+        self._vert_buf[self._nv] = (x, y)
+        self._vert_list.append((x, y))
+        self._nv += 1
+        return self._nv - 1
+
+    def _pop_vertex(self) -> None:
+        self._nv -= 1
+        self._vert_list.pop()
+
+    def _new_slot(self) -> int:
+        if self._nt == len(self._tri_buf):
+            cap = 2 * len(self._tri_buf)
+            for name in ("_tri_buf", "_tri_live", "_tri_orient"):
+                old = getattr(self, name)
+                grown = np.zeros((cap,) + old.shape[1:], dtype=old.dtype)
+                grown[: self._nt] = old[: self._nt]
+                setattr(self, name, grown)
+            grown_xy = np.zeros((6, cap), dtype=float)
+            grown_xy[:, : self._nt] = self._tri_xy[:, : self._nt]
+            self._tri_xy = grown_xy
+            grown_cc = np.zeros((4, cap), dtype=float)
+            grown_cc[:, : self._nt] = self._tri_cc[:, : self._nt]
+            self._tri_cc = grown_cc
+        self._nt += 1
+        return self._nt - 1
+
+    def _compact(self) -> None:
+        """Drop dead triangle slots, preserving creation order of the rest."""
+        live = self._tri_live[: self._nt]
+        keep = np.flatnonzero(live)
+        self._tri_buf[: len(keep)] = self._tri_buf[keep]
+        self._tri_orient[: len(keep)] = self._tri_orient[keep]
+        self._tri_xy[:, : len(keep)] = self._tri_xy[:, keep]
+        self._tri_cc[:, : len(keep)] = self._tri_cc[:, keep]
+        self._tri_live[: len(keep)] = True
+        self._tri_live[len(keep) : self._nt] = False
+        self._nt = len(keep)
 
     # ------------------------------------------------------------------
     # Public views
@@ -105,39 +214,34 @@ class DelaunayTriangulation:
     @property
     def n_points(self) -> int:
         """Number of real (non-synthetic) vertices."""
-        return len(self._verts) - _N_SUPER
+        return self._nv - _N_SUPER
 
     @property
     def points(self) -> np.ndarray:
         """Real vertices as an ``(n, 2)`` float array (insertion order)."""
-        return np.asarray(self._verts[_N_SUPER:], dtype=float).reshape(-1, 2)
+        return self._vert_buf[_N_SUPER : self._nv].copy()
 
     @property
     def triangles(self) -> List[Triangle]:
         """Triangles not incident to the super-triangle, as *public* indices."""
-        out: List[Triangle] = []
-        for tri in self._triangles.values():
-            if tri.a < _N_SUPER or tri.b < _N_SUPER or tri.c < _N_SUPER:
-                continue
-            out.append(
-                Triangle(tri.a - _N_SUPER, tri.b - _N_SUPER, tri.c - _N_SUPER)
-            )
-        return out
+        return [Triangle(int(a), int(b), int(c)) for a, b, c in self.simplices]
 
     @property
     def simplices(self) -> np.ndarray:
         """Triangles as an ``(m, 3)`` int array (scipy-compatible view)."""
-        tris = self.triangles
-        if not tris:
-            return np.empty((0, 3), dtype=int)
-        return np.asarray(tris, dtype=int)
+        if self._simplices_cache is None:
+            tris = self._tri_buf[: self._nt][self._tri_live[: self._nt]]
+            real = (tris >= _N_SUPER).all(axis=1)
+            self._simplices_cache = (tris[real] - _N_SUPER).astype(int)
+            self._simplices_cache.setflags(write=False)
+        return self._simplices_cache
 
     def point(self, index: int) -> Point2:
         """The coordinates of public vertex ``index``."""
         if not 0 <= index < self.n_points:
             raise IndexError(f"vertex index {index} out of range")
-        x, y = self._verts[index + _N_SUPER]
-        return Point2(x, y)
+        x, y = self._vert_buf[index + _N_SUPER]
+        return Point2(float(x), float(y))
 
     # ------------------------------------------------------------------
     # Mutation
@@ -155,47 +259,151 @@ class DelaunayTriangulation:
                 return dup
             raise DuplicatePointError(f"point {p} duplicates vertex {dup}")
 
-        internal_index = len(self._verts)
-        self._verts.append((p.x, p.y))
+        if self._nt > 2 * _INITIAL_CAPACITY and 2 * self._n_live < self._nt:
+            self._compact()
 
-        bad_ids = [
-            tid
-            for tid, tri in self._triangles.items()
-            if incircle(
-                self._verts[tri.a], self._verts[tri.b], self._verts[tri.c], (p.x, p.y)
-            )
-            > 0
-        ]
-        if not bad_ids:
+        internal_index = self._append_vertex(p.x, p.y)
+        bad_slots = self._bad_triangle_slots(p.x, p.y)
+        if bad_slots.size == 0:
             # Point falls outside every circumcircle: numerically possible
             # only when it is outside the super-triangle.
-            self._verts.pop()
+            self._pop_vertex()
             raise ValueError(
                 f"point {p} is outside the triangulation's working area; "
                 "construct DelaunayTriangulation with a larger span"
             )
 
-        boundary = self._cavity_boundary(bad_ids)
-        for tid in bad_ids:
-            del self._triangles[tid]
+        boundary = self._cavity_boundary(bad_slots)
+        self._tri_live[bad_slots] = False
+        self._n_live -= len(bad_slots)
         for u, v in boundary:
             self._add_triangle(u, v, internal_index)
+        self._simplices_cache = None
         return internal_index - _N_SUPER
 
-    def _add_triangle(self, a: int, b: int, c: int) -> None:
-        if orientation(self._verts[a], self._verts[b], self._verts[c]) < 0:
-            a, b = b, a
-        self._triangles[self._next_tri_id] = Triangle(a, b, c)
-        self._next_tri_id += 1
+    def _bad_triangle_slots(self, px: float, py: float) -> np.ndarray:
+        """Slots whose circumcircle strictly contains ``(px, py)``.
 
-    def _cavity_boundary(self, bad_ids: Sequence[int]) -> List[Tuple[int, int]]:
+        Tests cached circumcircle parameters: the scalar in-circle
+        determinant satisfies ``orient_det * incircle_det = |2A| *
+        (r^2 - d^2)`` in exact arithmetic, so the predicate's
+        ``incircle_det > EPSILON`` rule (with its orientation adjustment)
+        becomes ``r^2 - d^2 > EPSILON / |2A|`` — five array passes instead
+        of the determinant's eighteen. The two formulations round
+        differently, so queries landing inside a conservative relative
+        error band around the threshold (``_CC_BAND`` scales with
+        ``r^2 + d^2``, the magnitudes the cached subtraction cancels
+        between) are re-tested with the exact determinant of the scalar
+        predicate — the decision is *always* the scalar predicate's, the
+        cache only filters the clear cases. The band matters: a query on
+        a chord of a super-triangle-sized circumcircle is inside by a
+        margin of ~1 against r^2 ~ 1e13, far below any fixed relative
+        fudge. Degenerate (orient == 0) slots store ``r^2 = -inf`` and so
+        never test bad — the cavity never grows through flat triangles.
+        """
+        n = self._nt
+        cc = self._tri_cc
+        dx = cc[0, :n] - px
+        dy = cc[1, :n] - py
+        d2 = dx * dx + dy * dy
+        lhs = cc[2, :n] - d2
+        thr = cc[3, :n]
+        band = _CC_BAND * (cc[2, :n] + d2)
+        live = self._tri_live[:n]
+        bad = live & (lhs > thr + band)
+        uncertain = live & ~bad & (lhs > thr - band)
+        if uncertain.any():
+            idx = np.flatnonzero(uncertain)
+            xy = self._tri_xy[:, idx]
+            adx, ady = xy[0] - px, xy[1] - py
+            bdx, bdy = xy[2] - px, xy[3] - py
+            cdx, cdy = xy[4] - px, xy[5] - py
+            det = (
+                (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+                - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+                + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady)
+            )
+            orient = self._tri_orient[idx]
+            bad[idx] = ((orient > 0) & (det > EPSILON)) | (
+                (orient < 0) & (-det > EPSILON)
+            )
+        return np.flatnonzero(bad)
+
+    def _bad_triangle_slots_reference(self, px: float, py: float) -> np.ndarray:
+        """Determinant-form bad-triangle scan (validation oracle).
+
+        Whole-array evaluation of the same determinant the scalar
+        :func:`repro.geometry.predicates.incircle` computes, term order
+        preserved so the two agree bitwise.
+        """
+        n = self._nt
+        xy = self._tri_xy
+        adx, ady = xy[0, :n] - px, xy[1, :n] - py
+        bdx, bdy = xy[2, :n] - px, xy[3, :n] - py
+        cdx, cdy = xy[4, :n] - px, xy[5, :n] - py
+        det = (
+            (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+            - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+            + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady)
+        )
+        orient = self._tri_orient[:n]
+        bad = self._tri_live[:n] & (
+            ((orient > 0) & (det > EPSILON)) | ((orient < 0) & (-det > EPSILON))
+        )
+        return np.flatnonzero(bad)
+
+    def _add_triangle(self, a: int, b: int, c: int) -> None:
+        # Inlined scalar orientation predicate (identical formula and
+        # EPSILON to predicates.orientation, minus the Point2 boxing —
+        # this runs ~6x per insert).
+        verts = self._vert_list
+        ax, ay = verts[a]
+        bx, by = verts[b]
+        cx, cy = verts[c]
+        det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+        if det < -EPSILON:
+            a, b = b, a
+            ax, ay, bx, by = bx, by, ax, ay
+            # Orientation of the *stored* (swapped) triple, recomputed:
+            # this is exactly what the scalar in-circle predicate would see.
+            det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+        slot = self._new_slot()
+        self._tri_buf[slot] = (a, b, c)
+        self._tri_live[slot] = True
+        self._tri_orient[slot] = (
+            1 if det > EPSILON else (-1 if det < -EPSILON else 0)
+        )
+        self._tri_xy[:, slot] = (ax, ay, bx, by, cx, cy)
+        if det > EPSILON or det < -EPSILON:
+            # Circumcircle parameters for the cached bad-triangle test:
+            # centre, radius^2, and the per-slot strictness threshold
+            # EPSILON / |2A| (the in-circle determinant divided by the
+            # doubled signed area equals r^2 - d^2 in exact arithmetic).
+            # Queries within the rounding band around the threshold fall
+            # back to the exact determinant — see _bad_triangle_slots.
+            asq = ax * ax + ay * ay
+            bsq = bx * bx + by * by
+            csq = cx * cx + cy * cy
+            d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+            ux = (asq * (by - cy) + bsq * (cy - ay) + csq * (ay - by)) / d
+            uy = (asq * (cx - bx) + bsq * (ax - cx) + csq * (bx - ax)) / d
+            r2 = (ax - ux) ** 2 + (ay - uy) ** 2
+            self._tri_cc[:, slot] = (ux, uy, r2, EPSILON / abs(det))
+        else:
+            # Degenerate triangle: no finite circumcircle; r^2 = -inf
+            # guarantees the cached test never reports it bad.
+            self._tri_cc[:, slot] = (0.0, 0.0, -np.inf, 0.0)
+        self._n_live += 1
+        self._simplices_cache = None
+
+    def _cavity_boundary(self, bad_slots: np.ndarray) -> List[Tuple[int, int]]:
         """Directed edges of the cavity border, interior on the left."""
-        count: Dict[FrozenSet[int], int] = {}
-        directed: Dict[FrozenSet[int], Tuple[int, int]] = {}
-        for tid in bad_ids:
-            tri = self._triangles[tid]
-            for u, v in ((tri.a, tri.b), (tri.b, tri.c), (tri.c, tri.a)):
-                key = frozenset((u, v))
+        count: Dict[Tuple[int, int], int] = {}
+        directed: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for row in self._tri_buf[bad_slots].tolist():
+            a, b, c = row
+            for u, v in ((a, b), (b, c), (c, a)):
+                key = (u, v) if u < v else (v, u)
                 count[key] = count.get(key, 0) + 1
                 directed[key] = (u, v)
         return [directed[k] for k, n in count.items() if n == 1]
@@ -206,40 +414,72 @@ class DelaunayTriangulation:
     def find_vertex(self, point: PointLike, tol: float = 1e-9) -> Optional[int]:
         """Public index of an existing vertex within ``tol``, else ``None``."""
         p = Point2.of(point)
-        for i, (x, y) in enumerate(self._verts[_N_SUPER:]):
-            if abs(x - p.x) <= tol and abs(y - p.y) <= tol:
-                if (x - p.x) ** 2 + (y - p.y) ** 2 <= tol * tol:
-                    return i
-        return None
+        real = self._vert_buf[_N_SUPER : self._nv]
+        if len(real) == 0:
+            return None
+        dx = np.abs(real[:, 0] - p.x)
+        dy = np.abs(real[:, 1] - p.y)
+        box = (dx <= tol) & (dy <= tol)
+        if not box.any():
+            return None
+        cand = np.flatnonzero(box)
+        hit = cand[dx[cand] ** 2 + dy[cand] ** 2 <= tol * tol]
+        if hit.size == 0:
+            return None
+        return int(hit[0])
 
     def locate(self, point: PointLike) -> Optional[Triangle]:
         """The real triangle containing ``point`` (boundary inclusive).
 
         Returns ``None`` when the point is outside the convex hull of the
-        real vertices.
+        real vertices. Evaluated as one whole-array orientation test per
+        edge, matching the scalar ``point_in_triangle`` predicate.
         """
         p = Point2.of(point)
-        for tri in self.triangles:
-            pa = self._verts[tri.a + _N_SUPER]
-            pb = self._verts[tri.b + _N_SUPER]
-            pc = self._verts[tri.c + _N_SUPER]
-            if point_in_triangle((p.x, p.y), pa, pb, pc):
-                return tri
-        return None
+        simp = self.simplices
+        if simp.size == 0:
+            return None
+        pts = self._vert_buf[_N_SUPER : self._nv]
+        a = pts[simp[:, 0]]
+        b = pts[simp[:, 1]]
+        c = pts[simp[:, 2]]
+
+        def orient_sign(ox, oy, tx, ty) -> np.ndarray:
+            det = (tx - ox) * (p.y - oy) - (ty - oy) * (p.x - ox)
+            return np.where(det > EPSILON, 1, np.where(det < -EPSILON, -1, 0))
+
+        o1 = orient_sign(a[:, 0], a[:, 1], b[:, 0], b[:, 1])
+        o2 = orient_sign(b[:, 0], b[:, 1], c[:, 0], c[:, 1])
+        o3 = orient_sign(c[:, 0], c[:, 1], a[:, 0], a[:, 1])
+        inside = ((o1 >= 0) & (o2 >= 0) & (o3 >= 0)) | (
+            (o1 <= 0) & (o2 <= 0) & (o3 <= 0)
+        )
+        idx = np.flatnonzero(inside)
+        if idx.size == 0:
+            return None
+        a_, b_, c_ = simp[idx[0]]
+        return Triangle(int(a_), int(b_), int(c_))
 
     def edges(self) -> List[Tuple[int, int]]:
         """Undirected edges between real vertices (public indices, sorted)."""
-        seen = set()
-        for tri in self.triangles:
-            for e in tri.edges():
-                seen.add(tuple(sorted(e)))
-        return sorted(seen)  # type: ignore[arg-type]
+        simp = self.simplices
+        if simp.size == 0:
+            return []
+        pairs = np.vstack(
+            [simp[:, (0, 1)], simp[:, (1, 2)], simp[:, (2, 0)]]
+        )
+        pairs.sort(axis=1)
+        unique = np.unique(pairs, axis=0)
+        return [(int(u), int(v)) for u, v in unique]
 
     def is_delaunay(self, eps: float = 1e-7) -> bool:
         """Verify the empty-circumcircle property over real triangles.
 
-        O(m·n) — intended for tests and assertions, not hot paths.
-        Cocircular configurations count as valid.
+        O(m·n) and deliberately evaluated with the *scalar* predicates one
+        triangle at a time — this is the validation oracle for the
+        vectorised insertion scan, so it must not share its code path.
+        Intended for tests and assertions, not hot paths. Cocircular
+        configurations count as valid.
         """
         pts = self.points
         for tri in self.triangles:
@@ -257,5 +497,5 @@ class DelaunayTriangulation:
     def __repr__(self) -> str:
         return (
             f"DelaunayTriangulation(n_points={self.n_points}, "
-            f"n_triangles={len(self.triangles)})"
+            f"n_triangles={len(self.simplices)})"
         )

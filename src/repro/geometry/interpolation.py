@@ -2,10 +2,30 @@
 
 The paper's quality metric (Theorem 3.1) integrates ``|f - DT|`` over the
 whole region, so ``DT`` must be evaluated at every grid cell — tens of
-thousands of queries per FRA step. The evaluator here is vectorised per
-triangle: each triangle rasterises its bounding box of grid points once,
-giving O(m) numpy operations instead of O(grid * m) Python-level point
-location.
+thousands of queries per FRA step and per CMA round.
+
+Kernel design
+-------------
+* :meth:`LinearSurfaceInterpolator.evaluate_grid` is a *grid-bucketed
+  rasteriser*: each triangle locates its bounding box in the sorted tensor
+  grid with two ``searchsorted`` calls per axis and evaluates barycentric
+  weights only on that bounding-box **slice** of the output, so total work
+  is O(Σ triangle-bbox areas) ≈ O(grid) instead of O(m · grid) full-grid
+  boolean masks per triangle.
+* Barycentric edge coefficients, determinants and vertex values are
+  precomputed once per interpolator as per-triangle arrays; the rasteriser
+  applies them with the same floating-point formula as
+  :func:`repro.geometry.predicates.barycentric_weights`, so the fast path
+  is bit-compatible with the per-triangle scan kept in
+  :meth:`_evaluate_reference` (the tests' oracle).
+* Out-of-hull extrapolation is evaluated as a chunked whole-array
+  broadcast over (triangle, query) pairs rather than a Python loop over
+  triangles. A hull-edge-only candidate set would be ~6x smaller but can
+  pick a *different* least-violated triangle for far queries (a large
+  interior triangle can out-score a boundary sliver), so exactness wins:
+  the dense-but-vectorised scan reproduces the sequential reference
+  bit-for-bit and the extrapolated point set (outside the sample hull) is
+  small in every workload.
 
 Outside the convex hull of the samples (possible under the random baseline)
 ``DT`` is undefined; per DESIGN.md we extrapolate with clamped barycentric
@@ -24,6 +44,37 @@ from repro.geometry.predicates import barycentric_weights
 
 #: Barycentric slack treated as "inside" to absorb rounding on shared edges.
 _INSIDE_TOL = 1e-9
+
+#: Target elements per broadcast chunk in the vectorised extrapolation.
+_EXTRAP_CHUNK_ELEMS = 500_000
+
+#: Queries per block in the pruned extrapolation winner search.
+_PRUNE_BLOCK = 16
+
+#: Below this (triangles x queries) size the dense scan is cheaper than
+#: setting up the block-pruned search.
+_DENSE_EXTRAP_MAX = 150_000
+
+
+def _morton_argsort(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """Order queries along a Z-curve over their bounding box.
+
+    Used to make consecutive query blocks spatially compact before the
+    block-pruned extrapolation search; 10 bits per axis (a 1024x1024
+    bucketing) is plenty for block sizes of tens of points.
+    """
+    def spread(v: np.ndarray) -> np.ndarray:
+        v = (v | (v << 8)) & 0x00FF00FF
+        v = (v | (v << 4)) & 0x0F0F0F0F
+        v = (v | (v << 2)) & 0x33333333
+        v = (v | (v << 1)) & 0x55555555
+        return v
+
+    spanx = max(float(px.max() - px.min()), 1e-300)
+    spany = max(float(py.max() - py.min()), 1e-300)
+    nx = ((px - px.min()) * (1023.0 / spanx)).astype(np.uint32)
+    ny = ((py - py.min()) * (1023.0 / spany)).astype(np.uint32)
+    return np.argsort(spread(nx) | (spread(ny) << 1), kind="stable")
 
 
 def barycentric_coordinates(
@@ -96,6 +147,9 @@ class LinearSurfaceInterpolator:
         if self.simplices.size and self.simplices.max() >= len(self.points):
             raise ValueError("triangle index out of range for the point set")
         self.simplices = self._drop_degenerate(self.simplices)
+        self._tables: Optional[Tuple[np.ndarray, ...]] = None
+        self._prune: Optional[Tuple[np.ndarray, ...]] = None
+        self._viol_table: Optional[np.ndarray] = None
 
     def _drop_degenerate(self, simplices: np.ndarray) -> np.ndarray:
         """Remove numerically degenerate (near-zero-area) triangles.
@@ -115,6 +169,35 @@ class LinearSurfaceInterpolator:
         ) * (a[:, 1] - c[:, 1])
         return simplices[np.abs(det) > 1e-9]
 
+    def _bary_tables(self) -> Tuple[np.ndarray, ...]:
+        """Per-triangle barycentric coefficients, built once, lazily.
+
+        The weight of vertex ``a`` at query ``(x, y)`` is
+        ``(ea1·(x − cx) + ea2·(y − cy)) / det`` — identical terms, in
+        identical order, to :func:`barycentric_weights`.
+        """
+        if self._tables is None:
+            simp = self.simplices
+            a = self.points[simp[:, 0]]
+            b = self.points[simp[:, 1]]
+            c = self.points[simp[:, 2]]
+            det = (b[:, 1] - c[:, 1]) * (a[:, 0] - c[:, 0]) + (
+                c[:, 0] - b[:, 0]
+            ) * (a[:, 1] - c[:, 1])
+            ea1, ea2 = b[:, 1] - c[:, 1], c[:, 0] - b[:, 0]
+            eb1, eb2 = c[:, 1] - a[:, 1], a[:, 0] - c[:, 0]
+            va = self.values[simp[:, 0]]
+            vb = self.values[simp[:, 1]]
+            vc = self.values[simp[:, 2]]
+            xs3 = np.stack([a[:, 0], b[:, 0], c[:, 0]])
+            ys3 = np.stack([a[:, 1], b[:, 1], c[:, 1]])
+            self._tables = (
+                det, ea1, ea2, eb1, eb2, c[:, 0], c[:, 1], va, vb, vc,
+                xs3.min(axis=0), xs3.max(axis=0),
+                ys3.min(axis=0), ys3.max(axis=0),
+            )
+        return self._tables
+
     # ------------------------------------------------------------------
     def __call__(self, x, y):
         """Evaluate at scalar or array coordinates (broadcast together)."""
@@ -128,12 +211,99 @@ class LinearSurfaceInterpolator:
         return result
 
     def evaluate_grid(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        """Evaluate on the tensor grid ``ys x xs``; returns ``(len(ys), len(xs))``."""
+        """Evaluate on the tensor grid ``ys x xs``; returns ``(len(ys), len(xs))``.
+
+        Uses the grid-bucketed rasteriser when both axes are sorted
+        ascending (every grid in this library); falls back to the scattered
+        reference path otherwise.
+        """
+        xs = np.asarray(xs, dtype=float).reshape(-1)
+        ys = np.asarray(ys, dtype=float).reshape(-1)
+        if (
+            self.simplices.size == 0
+            or (len(xs) > 1 and np.any(np.diff(xs) < 0))
+            or (len(ys) > 1 and np.any(np.diff(ys) < 0))
+        ):
+            return self.evaluate_grid_reference(xs, ys)
+
+        n_cols, n_rows = len(xs), len(ys)
+        (det, ea1, ea2, eb1, eb2, cx, cy, va, vb, vc,
+         xmin, xmax, ymin, ymax) = self._bary_tables()
+        # Bounding-box index windows, matching the reference candidate test
+        # px >= xmin - tol and px <= xmax + tol (ditto y).
+        ix0 = np.searchsorted(xs, xmin - _INSIDE_TOL)
+        ix1 = np.searchsorted(xs, xmax + _INSIDE_TOL, side="right")
+        iy0 = np.searchsorted(ys, ymin - _INSIDE_TOL)
+        iy1 = np.searchsorted(ys, ymax + _INSIDE_TOL, side="right")
+        width = ix1 - ix0
+        n_cells = width * (iy1 - iy0)
+
+        # Flatten every (triangle, bbox cell) pair into one 1-D batch: `tid`
+        # repeats each triangle id over its bbox, and integer div/mod on the
+        # within-bbox rank recovers the (row, col) offsets. Total work is
+        # O(sum of bbox areas), with no per-triangle Python iteration.
+        total = int(n_cells.sum())
+        start = np.concatenate(([0], np.cumsum(n_cells)[:-1]))
+        tid = np.repeat(np.arange(len(det)), n_cells)
+        rank = np.arange(total) - np.repeat(start, n_cells)
+        row, col = np.divmod(rank, np.maximum(width, 1)[tid])
+        jj = iy0[tid] + row
+        ii = ix0[tid] + col
+
+        dx = xs[ii] - cx[tid]
+        dy = ys[jj] - cy[tid]
+        wa = (ea1[tid] * dx + ea2[tid] * dy) / det[tid]
+        wb = (eb1[tid] * dx + eb2[tid] * dy) / det[tid]
+        wc = 1.0 - wa - wb
+        inside = (wa >= -_INSIDE_TOL) & (wb >= -_INSIDE_TOL) & (wc >= -_INSIDE_TOL)
+
+        # A grid cell on a shared edge is claimed by several triangles; the
+        # reference scan keeps the first in `simplices` order, so resolve
+        # each cell to its lowest claiming `tid` (lexsort is stable and
+        # `tid` is ascending within equal cells already by construction,
+        # but sort both keys to be explicit).
+        cell = jj[inside] * n_cols + ii[inside]
+        order = np.lexsort((tid[inside], cell))
+        cell_sorted = cell[order]
+        first = np.ones(len(cell_sorted), dtype=bool)
+        first[1:] = cell_sorted[1:] != cell_sorted[:-1]
+        win = order[first]
+        win_cell = cell_sorted[first]
+
+        out = np.full(n_rows * n_cols, np.nan, dtype=float)
+        win_tid = tid[inside][win]
+        out[win_cell] = (
+            wa[inside][win] * va[win_tid]
+            + wb[inside][win] * vb[win_tid]
+            + wc[inside][win] * vc[win_tid]
+        )
+
+        if len(win_cell) < out.size and self.extrapolate == "clamp":
+            filled = np.zeros(out.size, dtype=bool)
+            filled[win_cell] = True
+            # flat indices ascend, so queries arrive in row-major order just
+            # as the reference's np.nonzero(unfilled) produces them.
+            miss = np.flatnonzero(~filled)
+            out[miss] = self._extrapolate_clamped(
+                xs[miss % n_cols], ys[miss // n_cols]
+            )
+        return out.reshape(n_rows, n_cols)
+
+    def evaluate_grid_reference(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> np.ndarray:
+        """Rasteriser-free grid evaluation (the tests' equivalence oracle)."""
         xx, yy = np.meshgrid(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))
         return self._evaluate(xx.ravel(), yy.ravel()).reshape(xx.shape)
 
     # ------------------------------------------------------------------
     def _evaluate(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Scattered-point evaluation: per-triangle scan over all queries.
+
+        This is the pre-rasteriser algorithm, kept as the scattered-query
+        path (``__call__``) and as the oracle the grid fast path is
+        property-tested against.
+        """
         out = np.full(px.shape, np.nan, dtype=float)
         if self.simplices.size == 0:
             # Degenerate sample set (collinear or < 3 points): nearest sample.
@@ -182,7 +352,256 @@ class LinearSurfaceInterpolator:
         the triangle whose raw weights are least violated wins. For a query
         just outside the hull the winning triangle is the hull triangle it
         faces, so this coincides with projecting the query onto the hull.
+
+        Stage 1 finds each query's winning triangle — via a dense scan for
+        small workloads or the block-pruned search for large ones — and
+        stage 2 computes the clamped value for the single winner per query
+        at O(q) cost. Both stages use the exact weight formula (and hence
+        every rounding step) of `barycentric_weights`, so the result matches
+        the sequential reference scan (:meth:`_extrapolate_clamped_reference`)
+        bit-for-bit.
         """
+        px = np.asarray(px, dtype=float).reshape(-1)
+        py = np.asarray(py, dtype=float).reshape(-1)
+        q = px.size
+        out = np.empty(q, dtype=float)
+        if q == 0:
+            return out
+        (det, ea1, ea2, eb1, eb2, cx, cy, va, vb, vc,
+         _, _, _, _) = self._bary_tables()
+        m = len(det)
+        if m * q > _DENSE_EXTRAP_MAX and m >= 8 and q >= 4 * _PRUNE_BLOCK:
+            winner = self._extrapolate_winners_pruned(px, py)
+        else:
+            winner = self._extrapolate_winners_dense(px, py)
+
+        wdx = px - cx[winner]
+        wdy = py - cy[winner]
+        wwa = (ea1[winner] * wdx + ea2[winner] * wdy) / det[winner]
+        wwb = (eb1[winner] * wdx + eb2[winner] * wdy) / det[winner]
+        wwc = 1.0 - wwa - wwb
+        ca = np.clip(wwa, 0.0, None)
+        cb = np.clip(wwb, 0.0, None)
+        cc = np.clip(wwc, 0.0, None)
+        out[:] = (
+            ca * va[winner] + cb * vb[winner] + cc * vc[winner]
+        ) / (ca + cb + cc)
+        return out
+
+    def _violations(
+        self, tid: np.ndarray, qx: np.ndarray, qy: np.ndarray
+    ) -> np.ndarray:
+        """Violation of each ``(triangle[tid[i]], query[i])`` pair.
+
+        Uses the canonical `barycentric_weights` term order so the values
+        equal the reference scan's elementwise. The seven per-triangle
+        columns are gathered with one fancy-index over a stacked table.
+        """
+        (det, ea1, ea2, eb1, eb2, cx, cy, _, _, _,
+         _, _, _, _) = self._bary_tables()
+        if self._viol_table is None:
+            self._viol_table = np.ascontiguousarray(
+                np.stack([cx, cy, ea1, ea2, eb1, eb2, det])
+            )
+        g = self._viol_table[:, tid]
+        dx = qx - g[0]
+        dy = qy - g[1]
+        wa = (g[2] * dx + g[3] * dy) / g[6]
+        wb = (g[4] * dx + g[5] * dy) / g[6]
+        wc = 1.0 - wa - wb
+        return -np.minimum(np.minimum(wa, wb), wc)
+
+    def _extrapolate_winners_dense(
+        self, px: np.ndarray, py: np.ndarray
+    ) -> np.ndarray:
+        """Least-violated triangle per query via a chunked dense scan.
+
+        In-place ufuncs over reused (m, chunk) buffers keep the pass count
+        minimal; argmax of min-weight keeps the first maximum, which is the
+        first strict improvement of the reference's
+        ``violation < best_violation`` ordering — identical winner.
+        """
+        q = px.size
+        (det, ea1, ea2, eb1, eb2, cx, cy, _, _, _,
+         _, _, _, _) = self._bary_tables()
+        m = len(det)
+        chunk = max(1, _EXTRAP_CHUNK_ELEMS // max(m, 1))
+        detc = det[:, None]
+        ea1c, ea2c = ea1[:, None], ea2[:, None]
+        eb1c, eb2c = eb1[:, None], eb2[:, None]
+        cxc, cyc = cx[:, None], cy[:, None]
+        shape = (m, min(chunk, q))
+        dx = np.empty(shape)
+        dy = np.empty(shape)
+        wa = np.empty(shape)
+        wb = np.empty(shape)
+        tmp = np.empty(shape)
+        winner = np.empty(q, dtype=np.intp)
+        for s in range(0, q, chunk):
+            e = min(s + chunk, q)
+            n = e - s
+            dxn, dyn = dx[:, :n], dy[:, :n]
+            wan, wbn, tmpn = wa[:, :n], wb[:, :n], tmp[:, :n]
+            np.subtract(px[None, s:e], cxc, out=dxn)
+            np.subtract(py[None, s:e], cyc, out=dyn)
+            np.multiply(ea1c, dxn, out=wan)
+            np.multiply(ea2c, dyn, out=tmpn)
+            np.add(wan, tmpn, out=wan)
+            np.divide(wan, detc, out=wan)
+            np.multiply(eb1c, dxn, out=wbn)
+            np.multiply(eb2c, dyn, out=tmpn)
+            np.add(wbn, tmpn, out=wbn)
+            np.divide(wbn, detc, out=wbn)
+            # tmp <- wc = 1 - wa - wb, then tmp <- min(wa, wb, wc)
+            np.subtract(1.0, wan, out=tmpn)
+            np.subtract(tmpn, wbn, out=tmpn)
+            np.minimum(tmpn, wan, out=tmpn)
+            np.minimum(tmpn, wbn, out=tmpn)
+            winner[s:e] = np.argmax(tmpn, axis=0)
+        return winner
+
+    def _prune_tables(self) -> Tuple[np.ndarray, ...]:
+        """Per-triangle data for the block-pruned extrapolation search.
+
+        ``-w_i`` is affine in the query, so the violation is a max of three
+        affine functions; its rows are stored as ``(3m,)`` coefficient
+        arrays together with each triangle's centroid and a conservative
+        rounding slack.
+        """
+        if self._prune is None:
+            (det, ea1, ea2, eb1, eb2, cx, cy, _, _, _,
+             _, _, _, _) = self._bary_tables()
+            # wa = Aa·x + Ba·y + Ca (ditto wb); wc = 1 - wa - wb.
+            aa, ba = ea1 / det, ea2 / det
+            ca_ = -(ea1 * cx + ea2 * cy) / det
+            ab, bb = eb1 / det, eb2 / det
+            cb_ = -(eb1 * cx + eb2 * cy) / det
+            # Rows of the three affine functions f_i = -w_i.
+            fa = np.concatenate([-aa, -ab, aa + ab])
+            fb = np.concatenate([-ba, -bb, ba + bb])
+            fc = np.concatenate([-ca_, -cb_, ca_ + cb_ - 1.0])
+            simp = self.simplices
+            gx = self.points[simp, 0].mean(axis=1)
+            gy = self.points[simp, 1].mean(axis=1)
+            self._prune = (fa, fb, fc, gx, gy)
+        return self._prune
+
+    def _extrapolate_winners_pruned(
+        self, px: np.ndarray, py: np.ndarray
+    ) -> np.ndarray:
+        """Least-violated triangle per query, skipping provably-losing pairs.
+
+        Queries are grouped into blocks of ``_PRUNE_BLOCK``; for each
+        (triangle, block) pair a corner-evaluated affine lower bound on the
+        violation over the block's bounding box (``min-box max_i affine_i >=
+        max_i min-box affine_i``) is compared — minus a conservative
+        rounding slack — against an exact per-block upper bound obtained
+        from two candidate triangles. Pairs that provably lose are skipped;
+        survivors are evaluated with the canonical formula and reduced with
+        the reference's first-strict-min tie rule, so the winner is exact.
+        The bound is tight for far blocks (one affine row dominates there),
+        which is precisely where the dense scan wastes its work.
+        """
+        q = px.size
+        fa, fb, fc, gx, gy = self._prune_tables()
+        m = len(gx)
+        # Morton-order the queries first so each block is spatially compact
+        # (row-major miss cells from a grid would otherwise pair far-apart
+        # hull margins into one block, ruining the bounding boxes).
+        perm = _morton_argsort(px, py)
+        px, py = px[perm], py[perm]
+        nb = -(-q // _PRUNE_BLOCK)
+        pad = nb * _PRUNE_BLOCK - q
+        qxp = np.concatenate([px, np.full(pad, px[-1])]) if pad else px
+        qyp = np.concatenate([py, np.full(pad, py[-1])]) if pad else py
+        bx = qxp.reshape(nb, _PRUNE_BLOCK)
+        by = qyp.reshape(nb, _PRUNE_BLOCK)
+        bx0, bx1 = bx.min(axis=1), bx.max(axis=1)
+        by0, by1 = by.min(axis=1), by.max(axis=1)
+
+        # Lower bound per (triangle, block): each affine row minimised at
+        # its own box corner, then max over the triangle's three rows.
+        xsel = np.where(fa[:, None] >= 0.0, bx0[None, :], bx1[None, :])
+        ysel = np.where(fb[:, None] >= 0.0, by0[None, :], by1[None, :])
+        lb = (fa[:, None] * xsel + fb[:, None] * ysel + fc[:, None])
+        lb = lb.reshape(3, m, nb).max(axis=0)
+        scale = np.abs(fa) * max(np.abs(qxp).max(), 1.0) + np.abs(fb) * max(
+            np.abs(qyp).max(), 1.0
+        ) + np.abs(fc)
+        slack = 1e-9 * (1.0 + scale.reshape(3, m).max(axis=0))
+
+        # Exact per-query upper bounds from block candidates: nearest
+        # centroid to the block centre plus the block's two least lower
+        # bounds (the exact winner usually has one of the smallest lbs, so
+        # a second lb candidate tightens ``best`` toward the true optimum
+        # and shrinks the surviving pair set for the main evaluation).
+        bcx, bcy = (bx0 + bx1) / 2.0, (by0 + by1) / 2.0
+        d2 = (gx[:, None] - bcx[None, :]) ** 2 + (gy[:, None] - bcy[None, :]) ** 2
+        cand1 = np.repeat(np.argmin(d2, axis=0), _PRUNE_BLOCK)
+        best = self._violations(cand1, qxp, qyp)
+        if m > 2:
+            lb_cands = np.argpartition(lb, 1, axis=0)[:2]
+        else:
+            lb_cands = np.argmin(lb, axis=0)[None, :]
+        for cand in lb_cands:
+            np.minimum(
+                best,
+                self._violations(np.repeat(cand, _PRUNE_BLOCK), qxp, qyp),
+                out=best,
+            )
+        best_blk = best.reshape(nb, _PRUNE_BLOCK).max(axis=1)
+
+        survive = lb - slack[:, None] <= best_blk[None, :]
+        bpair, tpair = np.nonzero(survive.T)
+        tid = np.repeat(tpair, _PRUNE_BLOCK)
+        qidx = (
+            np.repeat(bpair, _PRUNE_BLOCK) * _PRUNE_BLOCK
+            + np.tile(np.arange(_PRUNE_BLOCK), len(tpair))
+        )
+        # Per-query tightening: the block filter above uses the *loosest*
+        # candidate violation in the block, so spread-out blocks expand
+        # many hopeless (triangle, query) pairs. A triangle can win query
+        # s only if its block lower bound (minus slack) is at or below
+        # s's own exact candidate violation — every optimal triangle
+        # passes (lb <= violation(s) <= best[s]) and so does s's argmin
+        # candidate, so each query keeps at least one pair and ties are
+        # unaffected.
+        keep = np.repeat(lb[tpair, bpair] - slack[tpair], _PRUNE_BLOCK) <= best[qidx]
+        tid = tid[keep]
+        qidx = qidx[keep]
+        viol = self._violations(tid, qxp[qidx], qyp[qidx])
+
+        order = np.argsort(qidx, kind="stable")
+        qs = qidx[order]
+        vs = viol[order]
+        newgrp = np.empty(len(qs), dtype=bool)
+        newgrp[0] = True
+        newgrp[1:] = qs[1:] != qs[:-1]
+        starts = np.flatnonzero(newgrp)
+        if len(starts) != nb * _PRUNE_BLOCK:
+            # A query lost every pair — only possible if the slack were
+            # undersized; fall back to the exhaustive scan.
+            winner = np.empty(q, dtype=np.intp)
+            winner[perm] = self._extrapolate_winners_dense(px, py)
+            return winner
+        gmin = np.minimum.reduceat(vs, starts)
+        gid = np.cumsum(newgrp) - 1
+        # Among pairs achieving the group minimum, keep the earliest; the
+        # stable sort preserves ascending triangle order within a query, so
+        # this is the reference's first-strict-improvement winner.
+        pos = np.flatnonzero(vs == gmin[gid])
+        firstpos = np.full(len(starts), len(vs), dtype=np.intp)
+        np.minimum.at(firstpos, gid[pos], pos)
+        winner_full = np.empty(nb * _PRUNE_BLOCK, dtype=np.intp)
+        winner_full[qs[starts]] = tid[order][firstpos]
+        winner = np.empty(q, dtype=np.intp)
+        winner[perm] = winner_full[:q]
+        return winner
+
+    def _extrapolate_clamped_reference(
+        self, px: np.ndarray, py: np.ndarray
+    ) -> np.ndarray:
+        """Sequential per-triangle extrapolation scan (the tests' oracle)."""
         best_violation = np.full(px.shape, np.inf, dtype=float)
         best_value = np.full(px.shape, np.nan, dtype=float)
         for ia, ib, ic in self.simplices:

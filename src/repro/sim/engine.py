@@ -34,6 +34,7 @@ from repro.core.lcm import lcm_adjustment
 from repro.core.problem import OSTDProblem
 from repro.core.baselines import uniform_grid_placement
 from repro.fields.base import sample_grid
+from repro.geometry.primitives import pairwise_distances
 from repro.obs.instrument import Instrumentation, get_instrumentation
 from repro.graphs.geometric import unit_disk_graph
 from repro.graphs.traversal import connected_components
@@ -95,14 +96,19 @@ class SimulationResult:
         """
         if len(self.rounds) < 2:
             return None
-        moves = [
+        moves = np.asarray([
             float(np.linalg.norm(b.positions - a.positions, axis=1).mean())
             for a, b in zip(self.rounds, self.rounds[1:])
-        ]
-        for i in range(len(moves)):
-            if all(m <= movement_tolerance for m in moves[i:]):
-                return self.rounds[i + 1].t
-        return None
+        ])
+        # The answer is the round right after the last above-tolerance
+        # move — one reverse scan, not a suffix re-check per index.
+        over = moves > movement_tolerance
+        if not over.any():
+            return self.rounds[1].t
+        last_over = len(moves) - 1 - int(np.argmax(over[::-1]))
+        if last_over == len(moves) - 1:
+            return None
+        return self.rounds[last_over + 2].t
 
 
 def default_grid_layout(region, k: int, rc: float) -> np.ndarray:
@@ -240,6 +246,13 @@ class MobileSimulation:
                 if node.alive and node.distance_travelled >= self.energy_budget:
                     node.kill(self.t)
 
+        # Per-round position matrix and alive mask, built once (the
+        # list-comprehension properties cost O(k) each; phases before the
+        # move step all see the same pre-move state).
+        positions = self.positions
+        alive_mask = self.alive_mask
+        alive_ids = np.flatnonzero(alive_mask).tolist()
+
         with obs.span("sense"):
             snapshot = sample_grid(
                 self.problem.field, self.problem.region, self.resolution,
@@ -251,7 +264,6 @@ class MobileSimulation:
                 noise_std=self.sensor_noise_std,
                 noise_rng=self._sensor_rng,
             )
-            alive_ids = [n.node_id for n in self.nodes if n.alive]
 
             # 1.-2. sense + own-curvature estimation. Weights are
             # normalised by a *deployment-time* calibration constant (the
@@ -261,10 +273,10 @@ class MobileSimulation:
             # the spatial contrast between feature curvature and
             # background noise. Weights are capped so one sharp edge
             # cannot produce an unbounded force.
-            raw_sensings = {}
-            for node_id in alive_ids:
-                node = self.nodes[node_id]
-                raw_sensings[node_id] = sensor.read(node.position)
+            sensed = sensor.read_many(
+                [self.nodes[node_id].position for node_id in alive_ids]
+            )
+            raw_sensings = dict(zip(alive_ids, sensed))
             if self._curvature_scale is None:
                 all_curv = np.concatenate(
                     [s.curvatures for s in raw_sensings.values() if s.m]
@@ -275,12 +287,18 @@ class MobileSimulation:
                 self._curvature_scale = mean_curv if mean_curv > 0.0 else 1.0
 
             sensings = {}
+            raw_own_curvature = {}
             for node_id in alive_ids:
                 node = self.nodes[node_id]
                 sensing = raw_sensings[node_id]
                 curvature = estimate_own_curvature(
                     sensing, node.position, self.params
                 )
+                # The raw fit result is what plan_move would recompute
+                # (the quadric only reads positions/values, which
+                # normalisation leaves untouched) — hand it through so
+                # the solve runs once per node per round, not twice.
+                raw_own_curvature[node_id] = curvature
                 if self.params.normalize_curvature:
                     cap = self.params.curvature_weight_cap
                     thr = self.params.curvature_threshold
@@ -307,7 +325,7 @@ class MobileSimulation:
         with obs.span("exchange"):
             curvatures = [n.curvature for n in self.nodes]
             inboxes = self.radio.exchange(
-                self.positions, curvatures, alive=self.alive_mask
+                positions, curvatures, alive=alive_mask
             )
 
         # 4. plan.
@@ -323,6 +341,7 @@ class MobileSimulation:
                         inboxes[node_id],
                         self.params,
                         self.problem.region,
+                        own_curvature=raw_own_curvature[node_id],
                     )
                 )
 
@@ -390,25 +409,30 @@ class MobileSimulation:
         origin = node.position
         step_vec = plan.destination - origin
         rc = self.problem.rc
-        nbr_pos = {j: self.nodes[j].position for j in nbr_ids}
+        # Neighbour positions as one (n, 2) matrix; the neighbour-pair
+        # link matrix is candidate-independent, so it is computed once
+        # per plan, not once per ladder step.
+        nbr_pos = np.asarray(
+            [self.nodes[j].position for j in nbr_ids], dtype=float
+        ).reshape(-1, 2)
+        pair_linked = None
 
-        def feasible(p: np.ndarray) -> bool:
-            for j in nbr_ids:
-                if float(np.linalg.norm(p - nbr_pos[j])) <= rc:
-                    continue
-                bridged = any(
-                    k != j
-                    and float(np.linalg.norm(nbr_pos[k] - nbr_pos[j])) <= rc
-                    and float(np.linalg.norm(nbr_pos[k] - p)) <= rc
-                    for k in nbr_ids
-                )
-                if not bridged:
-                    return False
-            return True
-
+        # Ladder rungs are tried lazily — the full planned step succeeds
+        # far more often than not, so the lower rungs' distance batches
+        # (and the neighbour-pair link matrix, which only the bridge test
+        # consults) are usually never computed. A link to j may stretch
+        # beyond Rc only if some other neighbour k (a bridge) stays
+        # within Rc of both j and the candidate.
         for alpha in self._ALPHA_LADDER:
             candidate = origin + alpha * step_vec
-            if feasible(candidate):
+            diff = nbr_pos - candidate[None, :]
+            near = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2) <= rc
+            if near.all():
+                return candidate
+            if pair_linked is None:
+                pair_linked = pairwise_distances(nbr_pos) <= rc
+                np.fill_diagonal(pair_linked, False)
+            if bool((pair_linked[~near] & near).any(axis=1).all()):
                 return candidate
         return origin
 
@@ -433,9 +457,32 @@ class MobileSimulation:
                 mover = self.nodes[plan.node_id]
                 if not mover.alive:
                     continue
-                for nbr in plan.neighbor_table:
+                if plan.neighbor_table:
+                    # Direct-link prescreen: almost every follower is
+                    # still within Rc of the mover, and lcm_adjustment
+                    # returns "stay" immediately for those. One batched
+                    # distance computation (at this point in the
+                    # sequential pass, so earlier moves are reflected)
+                    # skips them; the conservative (1 - 1e-12) margin
+                    # leaves exact-tie cases to the scalar decision.
+                    fpos = np.asarray(
+                        [
+                            self.nodes[o.node_id].position
+                            for o in plan.neighbor_table
+                        ],
+                        dtype=float,
+                    )
+                    fdiff = fpos - mover.position
+                    d2 = fdiff[:, 0] ** 2 + fdiff[:, 1] ** 2
+                    rc2 = self.problem.rc * self.problem.rc
+                    surely_linked = d2 <= rc2 * (1.0 - 1e-12)
+                else:
+                    surely_linked = np.empty(0, dtype=bool)
+                for f_idx, nbr in enumerate(plan.neighbor_table):
                     follower = self.nodes[nbr.node_id]
                     if not follower.alive:
+                        continue
+                    if surely_linked[f_idx]:
                         continue
                     bridges = [
                         self.nodes[o.node_id].position
@@ -473,10 +520,12 @@ class MobileSimulation:
         extra_positions: List[np.ndarray],
         extra_values: List[np.ndarray],
     ) -> RoundRecord:
-        alive = [n for n in self.nodes if n.alive]
-        alive_positions = np.asarray(
-            [n.position for n in alive], dtype=float
-        ).reshape(-1, 2)
+        # Post-move state, built once (moves and LCM ran since the
+        # round's pre-move matrix was captured).
+        positions_now = self.positions
+        alive_now = self.alive_mask
+        n_alive = int(alive_now.sum())
+        alive_positions = positions_now[alive_now].reshape(-1, 2)
         pts = alive_positions
         values = self.problem.field.sample(pts, self.t)
         n_trace = 0
@@ -492,7 +541,7 @@ class MobileSimulation:
             return RoundRecord(
                 round_index=self.round_index,
                 t=self.t,
-                positions=self.positions.copy(),
+                positions=positions_now,
                 delta=float("nan"),
                 rmse=float("nan"),
                 connected=False,
@@ -510,12 +559,12 @@ class MobileSimulation:
         return RoundRecord(
             round_index=self.round_index,
             t=self.t,
-            positions=self.positions.copy(),
+            positions=positions_now,
             delta=reconstruction.delta,
             rmse=reconstruction.rmse,
             connected=len(components) <= 1,
             n_components=len(components),
-            n_alive=len(alive),
+            n_alive=n_alive,
             n_moved=0,
             n_lcm_moves=0,
             mean_force=0.0,

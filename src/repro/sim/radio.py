@@ -39,16 +39,17 @@ class Radio:
         )
         if n == 0:
             return []
-        dists = pairwise_distances(pts)
-        out: List[List[int]] = []
-        for i in range(n):
-            if not live[i]:
-                out.append([])
-                continue
-            in_range = (dists[i] <= self.rc) & live
-            in_range[i] = False
-            out.append(np.nonzero(in_range)[0].tolist())
-        return out
+        # Whole-matrix adjacency in one shot: dead rows/columns masked,
+        # self-links cleared, then a single row-major nonzero split into
+        # per-node lists (column indices are sorted within each row, the
+        # same order the previous per-row scan produced).
+        adj = pairwise_distances(pts) <= self.rc
+        adj &= live[None, :]
+        adj &= live[:, None]
+        np.fill_diagonal(adj, False)
+        rows, cols = np.nonzero(adj)
+        splits = np.searchsorted(rows, np.arange(1, n))
+        return [c.tolist() for c in np.split(cols, splits)]
 
     def exchange(
         self,

@@ -15,11 +15,31 @@ disk (cells just outside the disk but inside the square contribute to
 derivative estimates at the disk rim). This keeps the stencil regular; the
 information overreach is at most ``(√2 − 1)·Rs`` at the corners and does
 not change any experiment's shape.
+
+Kernel design (PR 2)
+--------------------
+The per-read pipeline — Gaussian smoothing of the sensed patch, then the
+finite-difference curvature — is the sense phase's hot loop: ``k`` small
+``scipy.ndimage.gaussian_filter`` + ``np.gradient`` chains per round, each
+dominated by per-call overhead rather than arithmetic. :meth:`read_many`
+batches it: patches of equal shape are stacked into one ``(n, h, w)``
+array and smoothed/differentiated once, using a hand-rolled separable
+correlation (:func:`_smooth_patches`) that replicates scipy's symmetric
+``correlate1d`` accumulation order and ``mode="nearest"`` edge handling
+bit for bit, and a batched transcription of
+:func:`repro.surfaces.curvature.grid_gaussian_curvature`. The results are
+bitwise-identical to calling :meth:`read` per node (property-tested in
+``tests/sim/test_sensing.py``); smoothing stays *per patch* on purpose —
+each node may only use data inside its own sensing square, so patch-edge
+handling is part of the model, not an artifact to optimise away. The
+snapshot meshgrid is built once per sensor and sliced per read. The noisy
+path (``noise_std > 0`` with an RNG) keeps the sequential per-read
+pipeline: noise is drawn per read, in RNG order.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +48,71 @@ from scipy.ndimage import gaussian_filter
 from repro.core.cma import LocalSensing
 from repro.fields.base import DynamicField, GridSample
 from repro.surfaces.curvature import grid_gaussian_curvature
+
+
+def _gaussian_kernel1d(sigma: float) -> Tuple[np.ndarray, int]:
+    """scipy's truncated Gaussian kernel (order 0, truncate=4.0).
+
+    Same construction as ``scipy.ndimage._filters._gaussian_kernel1d`` so
+    the weights are bitwise-identical to what ``gaussian_filter`` uses.
+    Returns ``(weights, radius)`` with ``len(weights) == 2 * radius + 1``.
+    """
+    lw = int(4.0 * sigma + 0.5)
+    x = np.arange(-lw, lw + 1)
+    phi = np.exp(-0.5 / (sigma * sigma) * x**2)
+    phi = phi / phi.sum()
+    return phi, lw
+
+
+def _smooth_patches(patches: np.ndarray, sigma: float) -> np.ndarray:
+    """Batched ``gaussian_filter(p, sigma, mode="nearest")`` over axis 0.
+
+    ``patches`` is ``(n, h, w)``; each slice comes out bitwise-identical
+    to scipy's filter of that slice. scipy's ``correlate1d`` takes the
+    symmetric-kernel path and accumulates ``centre·w₀`` first, then the
+    paired terms ``(left_j + right_j)·w_j`` from the *outermost* tap
+    inward — the descending-``j`` loop below mirrors that order exactly,
+    which is what makes the sums reassociation-free.
+    """
+    weights, lw = _gaussian_kernel1d(sigma)
+    out = patches
+    for axis in (1, 2):
+        pad = [(0, 0)] * 3
+        pad[axis] = (lw, lw)
+        padded = np.pad(out, pad, mode="edge")
+        n = padded.shape[axis]
+
+        def tap(off: int) -> np.ndarray:
+            sl = [slice(None)] * 3
+            hi = n - lw + off
+            sl[axis] = slice(lw + off, hi if hi != 0 else None)
+            return padded[tuple(sl)]
+
+        acc = tap(0) * weights[lw]
+        for j in range(lw, 0, -1):
+            acc = acc + (tap(-j) + tap(j)) * weights[lw + j]
+        out = acc
+    return out
+
+
+def _patch_gaussian_curvature(
+    z: np.ndarray, dx: float, dy: float
+) -> np.ndarray:
+    """Batched Gaussian curvature of ``(n, h, w)`` patches.
+
+    Transcribes :func:`repro.surfaces.curvature.grid_gaussian_curvature`
+    (axis-wise ``np.gradient`` + the Monge-patch formula) with a leading
+    batch axis; every slice is bitwise-identical to the scalar version.
+    """
+    fy = np.gradient(z, dy, axis=1)
+    fx = np.gradient(z, dx, axis=2)
+    fyy = np.gradient(fy, dy, axis=1)
+    fyx = np.gradient(fy, dx, axis=2)
+    fxy = np.gradient(fx, dy, axis=1)
+    fxx = np.gradient(fx, dx, axis=2)
+    fxy = 0.5 * (fxy + fyx)
+    g = 1.0 + fx**2 + fy**2
+    return (fxx * fyy - fxy**2) / g**2
 
 
 class DiskSensor:
@@ -66,16 +151,51 @@ class DiskSensor:
         #: ext_sensor_noise experiment.
         self.noise_std = float(noise_std)
         self._noise_rng = noise_rng
+        # Lazy snapshot-wide meshgrid (node-independent; every read
+        # slices it instead of rebuilding its own copy).
+        self._mesh: "Tuple[np.ndarray, np.ndarray] | None" = None
+
+    def _meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Snapshot-wide ``meshgrid(xs, ys)``, computed once."""
+        if self._mesh is None:
+            self._mesh = np.meshgrid(self.snapshot.xs, self.snapshot.ys)
+        return self._mesh
+
+    def _window(self, x: float, y: float) -> Tuple[int, int, int, int]:
+        """Grid-index bounds of the sensing square around ``(x, y)``."""
+        xs, ys = self.snapshot.xs, self.snapshot.ys
+        ix0 = int(np.searchsorted(xs, x - self.rs))
+        ix1 = int(np.searchsorted(xs, x + self.rs, side="right"))
+        iy0 = int(np.searchsorted(ys, y - self.rs))
+        iy1 = int(np.searchsorted(ys, y + self.rs, side="right"))
+        return ix0, ix1, iy0, iy1
+
+    def _gather(
+        self,
+        x: float,
+        y: float,
+        window: Tuple[int, int, int, int],
+        patch_values: np.ndarray,
+        curv: np.ndarray,
+    ) -> LocalSensing:
+        """Assemble the in-disk samples of one read from its patch."""
+        ix0, ix1, iy0, iy1 = window
+        mesh_x, mesh_y = self._meshgrid()
+        px = mesh_x[iy0:iy1, ix0:ix1]
+        py = mesh_y[iy0:iy1, ix0:ix1]
+        in_disk = (px - x) ** 2 + (py - y) ** 2 <= self.rs**2
+        return LocalSensing(
+            positions=np.column_stack([px[in_disk], py[in_disk]]),
+            values=patch_values[in_disk],
+            curvatures=curv[in_disk],
+        )
 
     def read(self, position: np.ndarray) -> LocalSensing:
         """Sense around ``position``: the m in-disk samples + curvatures."""
         xs, ys = self.snapshot.xs, self.snapshot.ys
         x, y = float(position[0]), float(position[1])
 
-        ix0 = int(np.searchsorted(xs, x - self.rs))
-        ix1 = int(np.searchsorted(xs, x + self.rs, side="right"))
-        iy0 = int(np.searchsorted(ys, y - self.rs))
-        iy1 = int(np.searchsorted(ys, y + self.rs, side="right"))
+        ix0, ix1, iy0, iy1 = self._window(x, y)
         if ix0 >= ix1 or iy0 >= iy1:
             empty = np.empty((0,))
             return LocalSensing(
@@ -110,13 +230,58 @@ class DiskSensor:
         if not self.signed:
             curv = np.abs(curv)
 
-        px, py = np.meshgrid(patch.xs, patch.ys)
-        in_disk = (px - x) ** 2 + (py - y) ** 2 <= self.rs**2
-        return LocalSensing(
-            positions=np.column_stack([px[in_disk], py[in_disk]]),
-            values=patch.values[in_disk],
-            curvatures=curv[in_disk],
-        )
+        return self._gather(x, y, (ix0, ix1, iy0, iy1), patch_values, curv)
+
+    def read_many(self, positions: Sequence[np.ndarray]) -> List[LocalSensing]:
+        """Batched sensing: bitwise-identical to ``[read(p) for p in ...]``.
+
+        The engine's sense phase issues one read per alive node per round;
+        doing the smoothing + curvature per call leaves most of the time
+        in scipy/numpy call overhead on tiny patches. Here equal-shape
+        patches (all interior nodes share one of at most four shapes) are
+        stacked and pushed through :func:`_smooth_patches` /
+        :func:`_patch_gaussian_curvature` in one pass. Degenerate windows
+        (thinner than 2 cells, or empty) and the noisy-RNG path fall back
+        to :meth:`read`, which also keeps the RNG draw order intact.
+        """
+        if self.noise_std > 0.0 and self._noise_rng is not None:
+            return [self.read(p) for p in positions]
+
+        results: List["LocalSensing | None"] = [None] * len(positions)
+        values = self.snapshot.values
+        xs, ys = self.snapshot.xs, self.snapshot.ys
+        # (h, w, dx, dy) -> list of (result index, x, y, window)
+        groups: dict = {}
+        for i, position in enumerate(positions):
+            x, y = float(position[0]), float(position[1])
+            window = self._window(x, y)
+            ix0, ix1, iy0, iy1 = window
+            h, w = iy1 - iy0, ix1 - ix0
+            if h < 2 or w < 2:
+                results[i] = self.read(position)
+                continue
+            # Patch grid spacings, exactly as _grid_derivatives reads them
+            # off the sliced axes (linspace steps can differ by one ulp,
+            # so they are part of the batch key).
+            dx = float(xs[ix0 + 1] - xs[ix0])
+            dy = float(ys[iy0 + 1] - ys[iy0])
+            groups.setdefault((h, w, dx, dy), []).append((i, x, y, window))
+
+        for (h, w, dx, dy), members in groups.items():
+            patches = np.stack(
+                [values[iy0:iy1, ix0:ix1] for _, _, _, (ix0, ix1, iy0, iy1) in members]
+            )
+            smoothed = patches
+            if self.smooth_sigma > 0:
+                smoothed = _smooth_patches(patches, self.smooth_sigma)
+            curv = _patch_gaussian_curvature(smoothed, dx, dy)
+            if not self.signed:
+                curv = np.abs(curv)
+            for slot, (i, x, y, window) in enumerate(members):
+                results[i] = self._gather(
+                    x, y, window, patches[slot], curv[slot]
+                )
+        return results
 
 
 class TraceSampler:

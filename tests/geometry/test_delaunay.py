@@ -148,3 +148,54 @@ class TestLocate:
     def test_on_vertex(self):
         dt = DelaunayTriangulation([(0, 0), (10, 0), (0, 10), (10, 10)])
         assert dt.locate((0, 0)) is not None
+
+
+class TestCircumcircleCache:
+    """PR-2: the cached r²-based bad-triangle test vs the determinant oracle."""
+
+    def _assert_cache_matches(self, pts, queries):
+        dt = DelaunayTriangulation(pts)
+        for q in queries:
+            fast = dt._bad_triangle_slots(q[0], q[1])
+            ref = dt._bad_triangle_slots_reference(q[0], q[1])
+            assert np.array_equal(fast, ref)
+
+    def test_uniform_points(self, rng):
+        pts = rng.uniform(0, 100, size=(60, 2))
+        self._assert_cache_matches(pts, rng.uniform(0, 100, size=(200, 2)))
+
+    def test_clustered_points(self, rng):
+        # Late-round CMA layouts cluster nodes tightly; near-cocircular
+        # and sliver configurations stress the cached threshold most.
+        centres = rng.uniform(20, 80, size=(6, 2))
+        pts = np.vstack([
+            c + rng.normal(0, 0.4, size=(12, 2)) for c in centres
+        ])
+        queries = np.vstack([
+            rng.uniform(0, 100, size=(100, 2)),
+            pts + rng.normal(0, 0.05, size=pts.shape),  # near-vertex probes
+        ])
+        self._assert_cache_matches(pts, queries)
+
+    def test_incremental_build_stays_delaunay(self, rng):
+        dt = DelaunayTriangulation()
+        pts = rng.uniform(0, 100, size=(50, 2))
+        for p in pts:
+            dt.insert(p)
+        assert dt.is_delaunay(eps=1e-6)
+
+    def test_clustered_vs_scipy_edges(self, rng):
+        from scipy.spatial import Delaunay as SciDT
+
+        centres = rng.uniform(25, 75, size=(5, 2))
+        pts = np.vstack([
+            c + rng.normal(0, 2.0, size=(10, 2)) for c in centres
+        ])
+        ours = DelaunayTriangulation(pts)
+        theirs = SciDT(pts)
+        sci_edges = set()
+        for simplex in theirs.simplices:
+            a, b, c = sorted(int(v) for v in simplex)
+            sci_edges |= {(a, b), (b, c), (a, c)}
+        assert set(ours.edges()) == sci_edges
+        assert ours.is_delaunay(eps=1e-6)

@@ -152,3 +152,112 @@ class TestGridEvaluation:
         for iy, y in enumerate(ys):
             for ix, x in enumerate(xs):
                 assert np.isclose(grid[iy, ix], interp(x, y), atol=1e-9)
+
+
+class TestFastPathVsReference:
+    """PR-2 property tests: rasterised/pruned fast paths vs the oracles.
+
+    The fast grid path (`evaluate_grid`) and the block-pruned
+    extrapolation search are designed to reproduce the reference
+    algorithms' floating-point results exactly; these tests pin the four
+    query regimes — strictly inside the hull, on edges/vertices, outside
+    (clamp extrapolation, both dense and pruned search), and degenerate
+    sample sets — to within 1e-9 of the reference, and bit-for-bit where
+    the design promises it.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_inside_hull(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = np.vstack([
+            [[0.0, 0.0], [100.0, 0.0], [100.0, 100.0], [0.0, 100.0]],
+            rng.uniform(0, 100, size=(20, 2)),
+        ])
+        values = rng.normal(size=len(pts))
+        interp = LinearSurfaceInterpolator(pts, values)
+        xs = np.linspace(5.0, 95.0, 31)   # strictly interior
+        ys = np.linspace(5.0, 95.0, 29)
+        fast = interp.evaluate_grid(xs, ys)
+        ref = interp.evaluate_grid_reference(xs, ys)
+        assert np.all(np.abs(fast - ref) <= 1e-9)
+        # The rasteriser replays the reference's weight arithmetic and
+        # first-claimant tie rule, so the match is in fact exact.
+        assert np.array_equal(fast, ref)
+
+    def test_on_edges_and_vertices(self):
+        # Samples on an integer lattice; query the lattice itself, so
+        # every query sits exactly on a vertex or a triangle edge.
+        xs0 = np.arange(0.0, 6.0)
+        pts = np.array([(x, y) for x in xs0 for y in xs0])
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=len(pts))
+        interp = LinearSurfaceInterpolator(pts, values)
+        mids = np.arange(0.0, 5.5, 0.5)   # vertices + edge midpoints
+        fast = interp.evaluate_grid(mids, mids)
+        ref = interp.evaluate_grid_reference(mids, mids)
+        assert np.array_equal(fast, ref)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_outside_clamp_dense_search(self, seed):
+        # Hull confined to the middle of the region; the surrounding grid
+        # cells all extrapolate. Small enough workload that the dense
+        # winner scan runs.
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(40, 60, size=(12, 2))
+        values = rng.normal(size=len(pts))
+        interp = LinearSurfaceInterpolator(pts, values)
+        qx = rng.uniform(0, 100, size=200)
+        qy = rng.uniform(0, 100, size=200)
+        fast = interp._extrapolate_clamped(qx, qy)
+        ref = interp._extrapolate_clamped_reference(qx, qy)
+        assert np.all(np.abs(fast - ref) <= 1e-9)
+        assert np.array_equal(fast, ref)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_outside_clamp_pruned_search(self, seed):
+        # Large triangle count x query count pushes _extrapolate_clamped
+        # over _DENSE_EXTRAP_MAX into the block-pruned search.
+        from repro.geometry import interpolation as interp_mod
+
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(30, 70, size=(100, 2))
+        values = rng.normal(size=len(pts))
+        interp = LinearSurfaceInterpolator(pts, values)
+        qx = rng.uniform(0, 100, size=2500)
+        qy = rng.uniform(0, 100, size=2500)
+        m = len(interp.simplices)
+        assert m * len(qx) > interp_mod._DENSE_EXTRAP_MAX  # pruned regime
+        fast = interp._extrapolate_clamped(qx, qy)
+        ref = interp._extrapolate_clamped_reference(qx, qy)
+        assert np.all(np.abs(fast - ref) <= 1e-9)
+        assert np.array_equal(fast, ref)
+
+    def test_degenerate_collinear_nearest(self):
+        # Collinear samples build no triangles: both paths fall back to
+        # nearest-sample. evaluate_grid must agree with the reference.
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 10.0]])
+        values = np.array([1.0, 2.0, 3.0])
+        interp = LinearSurfaceInterpolator(pts, values)
+        xs = np.linspace(0, 10, 9)
+        fast = interp.evaluate_grid(xs, xs)
+        ref = interp.evaluate_grid_reference(xs, xs)
+        assert np.array_equal(fast, ref)
+        assert np.array_equal(fast[0, :3], np.array([1.0, 1.0, 1.0]))
+
+    def test_degenerate_sliver_triangles(self):
+        # Nearly-collinear jitter produces sliver triangles that the
+        # constructor drops; the survivors must still evaluate identically
+        # on both paths, including the extrapolated margin.
+        rng = np.random.default_rng(11)
+        x = np.linspace(0, 10, 12)
+        pts = np.column_stack([x, 2.0 * x + rng.normal(0, 1e-9, size=len(x))])
+        pts = np.vstack([pts, [[5.0, 30.0]]])  # one point off the line
+        values = rng.normal(size=len(pts))
+        interp = LinearSurfaceInterpolator(pts, values)
+        xs = np.linspace(-2, 12, 15)
+        fast = interp.evaluate_grid(xs, xs)
+        ref = interp.evaluate_grid_reference(xs, xs)
+        assert np.array_equal(fast, ref)

@@ -233,3 +233,63 @@ class TestConvergence:
         # Too short to conclude anything; just check the API contract.
         out = result.converged_after(10.0)  # huge tolerance: converged at once
         assert out is None or out >= 600.0
+
+    @staticmethod
+    def _result_from_moves(moves, t0=600.0):
+        """Hand-built SimulationResult: one node moving `moves[i]` metres
+        between rounds i and i+1, rounds stamped t0, t0+1, ..."""
+        from repro.sim.engine import RoundRecord
+
+        x = 0.0
+        positions = [np.array([[x, 0.0]])]
+        for d in moves:
+            x += d
+            positions.append(np.array([[x, 0.0]]))
+        return SimulationResult(rounds=[
+            RoundRecord(
+                round_index=i, t=t0 + i, positions=p, delta=0.0, rmse=0.0,
+                connected=True, n_components=1, n_alive=1, n_moved=0,
+                n_lcm_moves=0, mean_force=0.0,
+            )
+            for i, p in enumerate(positions)
+        ])
+
+    def test_converged_after_hand_built(self):
+        # Settles after the move between rounds 1 and 2 (the last move
+        # above tolerance): converged from round 2's *end*, i.e. t=602...
+        # pinned exactly: the round after the last over-tolerance move
+        # completes is rounds[3] (t=603).
+        result = self._result_from_moves([1.0, 0.8, 0.02, 0.03, 0.01])
+        assert result.converged_after(0.05) == 603.0
+
+    def test_converged_after_immediately(self):
+        # Every move under tolerance: converged from the first recorded
+        # post-move round.
+        result = self._result_from_moves([0.01, 0.02, 0.01])
+        assert result.converged_after(0.05) == 601.0
+
+    def test_converged_after_never(self):
+        # The final move is still above tolerance: no settling claim.
+        result = self._result_from_moves([0.01, 0.01, 1.0])
+        assert result.converged_after(0.05) is None
+
+    def test_converged_after_too_few_rounds(self):
+        assert self._result_from_moves([]).converged_after(0.05) is None
+        assert SimulationResult(rounds=[]).converged_after(0.05) is None
+
+    def test_converged_after_matches_forward_reference(self):
+        # Property: the single reverse pass equals the quadratic forward
+        # definition "first round from which every later move is under
+        # tolerance" on random trajectories.
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n_moves = int(rng.integers(1, 12))
+            moves = rng.choice([0.0, 0.02, 0.04, 0.06, 0.5], size=n_moves)
+            result = self._result_from_moves(list(moves))
+            tol = 0.05
+            expect = None
+            for i in range(1, len(result.rounds)):
+                if all(m <= tol for m in moves[i - 1:]):
+                    expect = result.rounds[i].t
+                    break
+            assert result.converged_after(tol) == expect, list(moves)

@@ -145,3 +145,64 @@ class TestTraceSampler:
     def test_validation(self):
         with pytest.raises(ValueError):
             TraceSampler(samples_per_move=0)
+
+
+class TestBatchedReads:
+    """read_many is the engine's fast path; read is its oracle."""
+
+    def _assert_batch_matches(self, sensor_kwargs, snapshot, positions):
+        batch = DiskSensor(snapshot, **sensor_kwargs).read_many(positions)
+        reference = [
+            DiskSensor(snapshot, **sensor_kwargs).read(p) for p in positions
+        ]
+        assert len(batch) == len(reference)
+        for got, want in zip(batch, reference):
+            assert np.array_equal(got.positions, want.positions)
+            assert np.array_equal(got.values, want.values)
+            assert np.array_equal(got.curvatures, want.curvatures)
+
+    def test_bitwise_vs_sequential_reads(self, snapshot):
+        rng = np.random.default_rng(42)
+        positions = list(rng.uniform(0.0, 100.0, size=(60, 2)))
+        # Edge/corner windows get clipped to non-square shapes, and
+        # on-grid-line centres flip the window between 10 and 11 cells.
+        positions += [
+            np.array([0.0, 0.0]),
+            np.array([100.0, 100.0]),
+            np.array([0.5, 99.5]),
+            np.array([50.0, 50.0]),
+            np.array([2.0, 3.0]),
+        ]
+        for kwargs in (
+            {"rs": 5.0},
+            {"rs": 2.5},
+            {"rs": 5.0, "signed": True},
+            {"rs": 5.0, "smooth_sigma": 0.0},
+            {"rs": 5.0, "smooth_sigma": 3.0},
+        ):
+            self._assert_batch_matches(kwargs, snapshot, positions)
+
+    def test_degenerate_windows_fall_back(self, snapshot):
+        # rs smaller than half the grid pitch: windows thinner than the
+        # 2-cell curvature stencil, served by the scalar fallback.
+        sensor = DiskSensor(snapshot, rs=0.4)
+        positions = [np.array([50.5, 50.5]), np.array([50.0, 50.0])]
+        batch = sensor.read_many(positions)
+        for got, want in zip(batch, [sensor.read(p) for p in positions]):
+            assert np.array_equal(got.values, want.values)
+            assert np.array_equal(got.curvatures, want.curvatures)
+
+    def test_noisy_path_preserves_rng_order(self, snapshot):
+        positions = [np.array([30.0, 30.0]), np.array([60.0, 60.0])]
+        a = DiskSensor(
+            snapshot, rs=5.0, noise_std=0.5,
+            noise_rng=np.random.default_rng(7),
+        ).read_many(positions)
+        b_sensor = DiskSensor(
+            snapshot, rs=5.0, noise_std=0.5,
+            noise_rng=np.random.default_rng(7),
+        )
+        b = [b_sensor.read(p) for p in positions]
+        for got, want in zip(a, b):
+            assert np.array_equal(got.values, want.values)
+            assert np.array_equal(got.curvatures, want.curvatures)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON dumps and flag regressions.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json [options]
+
+Benchmarks are matched by name; for each pair the change in the chosen
+statistic (default ``min`` — the least noise-sensitive on shared
+hardware) is reported, and any slowdown beyond ``--threshold`` (default
+25%) counts as a regression. Exit status is the number of regressions
+unless ``--warn-only`` is given — CI uses ``--warn-only`` because the
+runners' wall clocks are far too noisy to gate merges on, but the table
+in the job log still surfaces drift early.
+
+Benchmarks present in only one file are listed but never counted as
+regressions (new benchmarks should not fail the suite that adds them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_stats(path: str, stat: str) -> Dict[str, float]:
+    with open(path) as fh:
+        data = json.load(fh)
+    out: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        out[bench["name"]] = float(bench["stats"][stat])
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="benchmark JSON to compare against")
+    parser.add_argument("current", help="benchmark JSON under test")
+    parser.add_argument(
+        "--stat", default="min", choices=("min", "mean", "median"),
+        help="statistic to compare (default: min)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="slowdown beyond this percentage is a regression (default: 25)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="always exit 0; regressions are reported but not fatal",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_stats(args.baseline, args.stat)
+    curr = load_stats(args.current, args.stat)
+
+    names = sorted(set(base) | set(curr))
+    width = max((len(n) for n in names), default=4)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  change")
+    for name in names:
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  {curr[name] * 1e3:>10.3f}ms  (new)")
+            continue
+        if name not in curr:
+            print(f"{name:<{width}}  {base[name] * 1e3:>10.3f}ms  {'-':>12}  (removed)")
+            continue
+        b, c = base[name], curr[name]
+        pct = (c / b - 1.0) * 100.0 if b > 0 else float("inf")
+        marker = ""
+        if pct > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append((name, pct))
+        print(
+            f"{name:<{width}}  {b * 1e3:>10.3f}ms  {c * 1e3:>10.3f}ms  "
+            f"{pct:+7.1f}%{marker}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0f}% on '{args.stat}':",
+            file=sys.stderr,
+        )
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        return 0 if args.warn_only else len(regressions)
+    print(f"\nno regressions beyond {args.threshold:.0f}% on '{args.stat}'")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
