@@ -6,7 +6,10 @@ Usage::
     repro-exp run fig7                   # run one (full parameters)
     repro-exp run fig10 --fast           # scaled-down variant
     repro-exp run fig10 --obs-log r.jsonl  # instrumented run -> event log
+    repro-exp run fig10 --checkpoint-dir ck  # snapshot state as it runs
+    repro-exp run fig10 --checkpoint-dir ck --resume  # continue from latest
     repro-exp all [--fast]               # run everything
+    repro-exp all --processes 4 --obs-log r.jsonl  # pooled, merged log
     repro-exp obs summarize r.jsonl      # phase timings + round aggregates
 """
 
@@ -43,6 +46,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-log", metavar="PATH",
         help="run instrumented; write the JSONL event log to PATH",
     )
+    run_p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="snapshot engine state under DIR/<experiment_id>/ during the "
+        "run; pair with --resume to continue an interrupted invocation",
+    )
+    run_p.add_argument(
+        "--checkpoint-every", type=int, default=10, metavar="N",
+        help="rounds between snapshots (default: 10; needs --checkpoint-dir)",
+    )
+    run_p.add_argument(
+        "--resume", action="store_true",
+        help="resume each engine run from its newest checkpoint in "
+        "--checkpoint-dir (bit-identical to an uninterrupted run)",
+    )
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--fast", action="store_true", help="scaled-down runs")
@@ -57,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, metavar="N",
         help="fan the experiments out over N worker processes "
         "(default: run sequentially in-process)",
+    )
+    all_p.add_argument(
+        "--obs-log", metavar="PATH",
+        help="run instrumented; write one merged JSONL event log covering "
+        "every experiment (sharded per worker with --processes)",
     )
 
     obs_p = sub.add_parser(
@@ -79,9 +101,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{spec.experiment_id:22s} {spec.paper_ref:12s} {spec.title}")
         return 0
     if args.command == "run":
+        if args.resume and not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
         try:
             result = run_experiment(
-                args.experiment_id, fast=args.fast, obs_log=args.obs_log
+                args.experiment_id,
+                fast=args.fast,
+                obs_log=args.obs_log,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
             )
         except KeyError as exc:
             print(exc, file=sys.stderr)
@@ -102,7 +132,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             results = [
                 result
                 for result, _ in collect_results(
-                    fast=args.fast, processes=args.processes
+                    fast=args.fast,
+                    processes=args.processes,
+                    obs_log=args.obs_log,
                 )
             ]
             path = write_markdown_report(results, args.markdown)
@@ -113,8 +145,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fast=args.fast,
                 show_artifacts=args.artifacts,
                 processes=args.processes,
+                obs_log=args.obs_log,
             )
         )
+        if args.obs_log:
+            print(f"wrote event log {args.obs_log}")
         return 0
     if args.command == "obs":
         if args.obs_command == "summarize":

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import tempfile
 import time
+from contextlib import ExitStack
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -12,28 +15,46 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.obs import Instrumentation, use_instrumentation
+from repro.obs.events import Event
+from repro.obs.instrument import get_instrumentation
+from repro.runtime import CheckpointConfig, use_checkpointing
 
 
 def run_experiment(
     experiment_id: str,
     fast: bool = False,
     obs_log: Optional[Union[str, Path]] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run one registered experiment by id.
 
     ``obs_log`` turns instrumentation on for the run and writes the JSONL
     event log there (phase spans, per-round and per-FRA-iteration
     events); summarise it afterwards with ``repro-exp obs summarize``.
+
+    ``checkpoint_dir`` installs an ambient checkpoint policy (see
+    :mod:`repro.runtime.checkpoint`): every engine ``run()`` the
+    experiment performs snapshots its world state every
+    ``checkpoint_every`` rounds under ``checkpoint_dir/<experiment_id>/``.
+    With ``resume=True`` an interrupted invocation picks each run up from
+    its newest checkpoint and reproduces the remaining rounds
+    bit-identically — how long Fig. 8–10 sweeps survive interruption.
     """
     spec = get_experiment(experiment_id)
-    if obs_log is None:
+    with ExitStack() as stack:
+        if checkpoint_dir is not None:
+            stack.enter_context(use_checkpointing(CheckpointConfig(
+                directory=Path(checkpoint_dir) / experiment_id,
+                every=checkpoint_every,
+                resume=resume,
+            )))
+        if obs_log is not None:
+            obs = Instrumentation.to_jsonl(obs_log)
+            stack.callback(obs.close)
+            stack.enter_context(use_instrumentation(obs))
         return spec.runner(fast)
-    obs = Instrumentation.to_jsonl(obs_log)
-    try:
-        with use_instrumentation(obs):
-            return spec.runner(fast)
-    finally:
-        obs.close()
 
 
 def format_table(result: ExperimentResult) -> str:
@@ -71,23 +92,60 @@ def format_result(result: ExperimentResult, show_artifacts: bool = True) -> str:
     return "\n".join(parts)
 
 
-def _run_one_timed(experiment_id: str, fast: bool) -> tuple:
+def _run_one_timed(
+    experiment_id: str, fast: bool, obs_shard: Optional[str] = None
+) -> tuple:
     """Worker for the process pool: run one experiment, time it.
 
     Module-level (not a closure) so it pickles under every start method;
     looks the experiment up by id in the child because the registry's
-    runner callables live in the parent.
+    runner callables live in the parent. ``obs_shard`` (a JSONL path)
+    turns instrumentation on inside the child — ambient instrumentation
+    does not survive the process boundary, so the parent hands each task
+    a shard file and merges them back on collect.
     """
     spec = get_experiment(experiment_id)
     # perf_counter, not time.time(): wall-clock is not monotonic, so a
     # clock adjustment mid-experiment would corrupt the elapsed time.
     start = time.perf_counter()
-    result = spec.runner(fast)
+    if obs_shard is None:
+        result = spec.runner(fast)
+    else:
+        obs = Instrumentation.to_jsonl(obs_shard)
+        try:
+            with use_instrumentation(obs):
+                result = spec.runner(fast)
+        finally:
+            obs.close()
     return result, time.perf_counter() - start
 
 
+def _replay_shard(obs: Instrumentation, shard: Path) -> None:
+    """Feed one worker's JSONL shard back through the parent's sinks.
+
+    Events keep their worker-relative timestamps (re-emitting through
+    ``bus.emit`` would restamp them with the parent's clock); they land
+    in whatever sinks the parent instrumentation carries — the JSONL run
+    log stays a single merged file, a memory sink sees every worker's
+    events.
+    """
+    with open(shard, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            name = str(row.pop("event"))
+            t = float(row.pop("t"))
+            event = Event(name=name, t=t, fields=row)
+            for sink in obs.bus.sinks:
+                sink.write(event)
+
+
 def collect_results(
-    fast: bool = False, processes: Optional[int] = None
+    fast: bool = False,
+    processes: Optional[int] = None,
+    obs_log: Optional[Union[str, Path]] = None,
 ) -> List[tuple]:
     """Run every registered experiment, returning ``(result, elapsed)`` pairs.
 
@@ -97,29 +155,76 @@ def collect_results(
     registration order either way, so reports are deterministic. The default
     (``None`` or ``<= 1``) keeps the in-process sequential path — no pool,
     no pickling, ambient instrumentation still visible to the runners.
+
+    Instrumentation crosses the pool boundary via per-task JSONL shards:
+    when ``obs_log`` is given (or an enabled ambient instrumentation is
+    installed), each worker writes its events to its own shard, and the
+    parent replays the shards — in registration order — into the target
+    log/sinks after all futures resolve. Without this, child processes
+    silently dropped every obs event.
     """
     ids = [spec.experiment_id for spec in all_experiments()]
     if processes is None or processes <= 1:
-        return [_run_one_timed(eid, fast) for eid in ids]
+        if obs_log is None:
+            return [_run_one_timed(eid, fast) for eid in ids]
+        obs = Instrumentation.to_jsonl(obs_log)
+        try:
+            with use_instrumentation(obs):
+                return [_run_one_timed(eid, fast) for eid in ids]
+        finally:
+            obs.close()
+
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        futures = [pool.submit(_run_one_timed, eid, fast) for eid in ids]
-        return [f.result() for f in futures]
+    ambient = get_instrumentation()
+    shard_instrumented = obs_log is not None or ambient.enabled
+    with ExitStack() as stack:
+        shards: List[Optional[str]] = [None] * len(ids)
+        if shard_instrumented:
+            shard_dir = Path(stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-obs-shards-")
+            ))
+            shards = [
+                str(shard_dir / f"shard-{i:03d}.jsonl")
+                for i in range(len(ids))
+            ]
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [
+                pool.submit(_run_one_timed, eid, fast, shard)
+                for eid, shard in zip(ids, shards)
+            ]
+            out = [f.result() for f in futures]
+        if shard_instrumented:
+            # Merge into the explicit log if given, else into the
+            # caller's ambient sinks.
+            if obs_log is not None:
+                target = Instrumentation.to_jsonl(obs_log)
+                stack.callback(target.bus.close)
+            else:
+                target = ambient
+            for shard in shards:
+                if shard is not None and Path(shard).exists():
+                    _replay_shard(target, Path(shard))
+        return out
 
 
 def run_all(
     fast: bool = False,
     show_artifacts: bool = False,
     processes: Optional[int] = None,
+    obs_log: Optional[Union[str, Path]] = None,
 ) -> str:
     """Run every registered experiment; returns the combined report.
 
     ``processes=N`` (N > 1) fans the experiments out over a process pool —
-    see :func:`collect_results`.
+    see :func:`collect_results`. ``obs_log`` writes one merged JSONL event
+    log covering every experiment (sharded per worker under the hood when
+    a pool is used).
     """
     reports = []
-    for result, elapsed in collect_results(fast=fast, processes=processes):
+    for result, elapsed in collect_results(
+        fast=fast, processes=processes, obs_log=obs_log
+    ):
         reports.append(format_result(result, show_artifacts=show_artifacts))
         reports.append(f"(ran in {elapsed:.1f}s)")
         reports.append("")

@@ -265,8 +265,16 @@ class DelaunayTriangulation:
         internal_index = self._append_vertex(p.x, p.y)
         bad_slots = self._bad_triangle_slots(p.x, p.y)
         if bad_slots.size == 0:
-            # Point falls outside every circumcircle: numerically possible
-            # only when it is outside the super-triangle.
+            # Strictly inside no circumcircle. For a point inside the
+            # super-triangle this means it sits exactly *on* circumcircle
+            # boundaries (degenerate input — e.g. a non-duplicate point on
+            # an existing edge). The closed-circumdisk cavity is still a
+            # valid Bowyer–Watson step, so retry non-strictly; this path
+            # cannot fire for any input the strict scan already handled.
+            bad_slots = self._bad_triangle_slots_nonstrict(p.x, p.y)
+        if bad_slots.size == 0:
+            # Outside every closed circumdisk: only possible when the
+            # point is outside the super-triangle.
             self._pop_vertex()
             raise ValueError(
                 f"point {p} is outside the triangulation's working area; "
@@ -327,6 +335,32 @@ class DelaunayTriangulation:
             bad[idx] = ((orient > 0) & (det > EPSILON)) | (
                 (orient < 0) & (-det > EPSILON)
             )
+        return np.flatnonzero(bad)
+
+    def _bad_triangle_slots_nonstrict(self, px: float, py: float) -> np.ndarray:
+        """Slots whose *closed* circumdisk contains ``(px, py)``.
+
+        The fallback cavity for degenerate inserts (a point lying exactly
+        on circumcircle boundaries, which the strict scan rejects). Same
+        exact determinant as the reference scan with the strictness
+        inequality flipped to include the boundary; flat (orient == 0)
+        slots stay excluded, as everywhere else.
+        """
+        n = self._nt
+        xy = self._tri_xy
+        adx, ady = xy[0, :n] - px, xy[1, :n] - py
+        bdx, bdy = xy[2, :n] - px, xy[3, :n] - py
+        cdx, cdy = xy[4, :n] - px, xy[5, :n] - py
+        det = (
+            (adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+            - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+            + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady)
+        )
+        orient = self._tri_orient[:n]
+        bad = self._tri_live[:n] & (
+            ((orient > 0) & (det >= -EPSILON))
+            | ((orient < 0) & (-det >= -EPSILON))
+        )
         return np.flatnonzero(bad)
 
     def _bad_triangle_slots_reference(self, px: float, py: float) -> np.ndarray:

@@ -1,0 +1,190 @@
+"""The centralized baseline's round pipeline as runtime phase units.
+
+The replan → move → measure cycle of
+:class:`repro.sim.centralized.CentralizedSimulation`, cut out of its
+hand-rolled ``step()`` so both engines run on the same
+:class:`~repro.runtime.scheduler.Scheduler`. The numerical content is
+transplanted verbatim; the facade's results are unchanged bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cwd import solve_cwd
+from repro.core.fra import foresighted_refinement
+from repro.fields.base import sample_grid
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import connected_components, shortest_hop_path
+from repro.runtime.phase import RoundContext
+from repro.runtime.records import CentralizedRound
+from repro.surfaces.reconstruction import reconstruct_surface
+
+__all__ = [
+    "CentralizedRoundContext",
+    "ReplanPhase",
+    "CentralizedMovePhase",
+    "CentralizedMeasurePhase",
+    "CENTRALIZED_PHASES",
+    "assign_targets",
+]
+
+
+class CentralizedRoundContext(RoundContext):
+    """Per-round scratch for the centralized pipeline."""
+
+    __slots__ = ("n_messages",)
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self.n_messages = 0
+
+
+def assign_targets(positions: np.ndarray, layout: np.ndarray) -> np.ndarray:
+    """Greedy min-distance matching of nodes to planned target positions.
+
+    Repeatedly commits the globally closest (node, target) pair. O(k² log k)
+    — fine at fleet scales — and within a small constant of the optimal
+    assignment for these spread-out layouts.
+    """
+    n = len(positions)
+    if layout.shape != positions.shape:
+        raise ValueError(
+            f"layout shape {layout.shape} != positions shape {positions.shape}"
+        )
+    diff = positions[:, None, :] - layout[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    order = np.dstack(np.unravel_index(np.argsort(dist, axis=None), dist.shape))[0]
+    targets = np.empty_like(positions)
+    node_done = np.zeros(n, dtype=bool)
+    target_done = np.zeros(n, dtype=bool)
+    assigned = 0
+    for i, j in order:
+        if node_done[i] or target_done[j]:
+            continue
+        targets[i] = layout[j]
+        node_done[i] = True
+        target_done[j] = True
+        assigned += 1
+        if assigned == n:
+            break
+    return targets
+
+
+class ReplanPhase:
+    """Global replan on cadence, from delayed information."""
+
+    name = "replan"
+    span_name = "replan"
+
+    def run(self, ctx: CentralizedRoundContext) -> None:
+        engine = ctx.engine
+        ctx.n_messages = 0
+        if engine.round_index % engine.replan_every != 0:
+            engine._target_info_age += 1
+            return
+        info_t = engine.t - engine.delay_rounds * engine.problem.dt
+        snapshot = sample_grid(
+            engine.problem.field, engine.problem.region, engine.resolution,
+            t=info_t,
+        )
+        if engine.planner == "fra":
+            layout = foresighted_refinement(
+                snapshot, engine.problem.k, engine.problem.rc
+            ).positions
+            engine.targets = assign_targets(engine.positions, layout)
+        else:
+            plan = solve_cwd(
+                snapshot,
+                engine.problem.k,
+                rc=engine.problem.rc,
+                rs=engine.problem.rs,
+                initial=engine.positions,
+                max_iterations=engine.solver_iterations,
+            )
+            engine.targets = plan.positions
+        engine._target_info_age = engine.delay_rounds
+        ctx.n_messages += self._collection_messages(engine)
+
+    @staticmethod
+    def _sink_index(engine) -> int:
+        centre = engine.problem.region.center.as_array()
+        return int(
+            np.argmin(np.linalg.norm(engine.positions - centre, axis=1))
+        )
+
+    def _collection_messages(self, engine) -> int:
+        """Hop count for every node reporting to the sink and commands back.
+
+        Unreachable nodes (disconnected from the sink) fail to report;
+        their traffic is not counted — they also receive no commands,
+        which is part of why centralized control is fragile.
+        """
+        graph = unit_disk_graph(engine.positions, engine.problem.rc)
+        sink = self._sink_index(engine)
+        hops = 0
+        for i in range(len(engine.positions)):
+            if i == sink:
+                continue
+            path = shortest_hop_path(graph, i, sink)
+            if path is not None:
+                hops += len(path) - 1
+        return 2 * hops  # reports up + commands down
+
+
+class CentralizedMovePhase:
+    """Move every node toward its target, speed-capped."""
+
+    name = "move"
+    span_name = "move"
+
+    def run(self, ctx: CentralizedRoundContext) -> None:
+        engine = ctx.engine
+        step_cap = engine.problem.speed * engine.problem.dt
+        vec = engine.targets - engine.positions
+        dist = np.linalg.norm(vec, axis=1)
+        move = np.where(
+            dist > 0,
+            np.minimum(dist, step_cap) / np.maximum(dist, 1e-12),
+            0.0,
+        )
+        engine.positions = engine.positions + vec * move[:, None]
+
+
+class CentralizedMeasurePhase:
+    """Score the current layout against the *current* truth."""
+
+    name = "measure"
+    span_name = "measure"
+
+    def run(self, ctx: CentralizedRoundContext) -> None:
+        engine = ctx.engine
+        reference = sample_grid(
+            engine.problem.field, engine.problem.region, engine.resolution,
+            t=engine.t,
+        )
+        values = engine.problem.field.sample(engine.positions, engine.t)
+        recon = reconstruct_surface(
+            reference, engine.positions, values=values
+        )
+        components = connected_components(
+            unit_disk_graph(engine.positions, engine.problem.rc)
+        )
+        ctx.record = CentralizedRound(
+            round_index=engine.round_index,
+            t=engine.t,
+            positions=engine.positions.copy(),
+            delta=recon.delta,
+            connected=len(components) <= 1,
+            n_components=len(components),
+            n_messages=ctx.n_messages,
+            information_age=engine._target_info_age,
+        )
+
+
+#: The centralized round pipeline, in execution order.
+CENTRALIZED_PHASES = (
+    ReplanPhase,
+    CentralizedMovePhase,
+    CentralizedMeasurePhase,
+)

@@ -1,0 +1,335 @@
+"""Versioned, NumPy-native checkpointing of simulation runs.
+
+A checkpoint is one ``.npz`` file holding a :class:`WorldState` plus the
+record series accumulated so far, with a JSON header for everything that
+is not naturally an array (version, engine tag, RNG bit-generator states,
+schedule bookkeeping). No pickling: arrays go through ``np.savez``
+verbatim and scalars through JSON, so checkpoints are portable across
+Python versions and safe to load from untrusted disk.
+
+Restoring a checkpoint into a freshly constructed engine (same
+configuration) reproduces the remaining record series **bit for bit**:
+the world state carries every RNG stream's exact position, so the
+round-``r`` checkpoint of a run and the uninterrupted run agree on every
+round after ``r`` (pinned by ``tests/runtime/test_checkpoint.py``).
+
+Three layers:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — one file;
+* :class:`CheckpointManager` — a directory of numbered checkpoints for
+  one run (``round_000020.ckpt.npz``), latest-wins resume;
+* :class:`CheckpointConfig` + :func:`use_checkpointing` — the ambient
+  policy the experiment harness installs so every engine ``run()``
+  inside an experiment checkpoints itself without the experiment code
+  knowing (the same pattern as ambient
+  :class:`~repro.obs.instrument.Instrumentation`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.runtime.state import WorldState
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointManager",
+    "drive_run",
+    "get_checkpoint_config",
+    "load_checkpoint",
+    "save_checkpoint",
+    "use_checkpointing",
+]
+
+#: Format version written into every checkpoint; bumped on layout changes.
+CHECKPOINT_VERSION = 1
+
+_STATE_ARRAYS = (
+    "positions", "alive", "curvature", "distance_travelled", "died_at",
+)
+
+
+@dataclass
+class Checkpoint:
+    """One loaded checkpoint: the state plus the records leading up to it."""
+
+    version: int
+    engine: str
+    state: WorldState
+    #: Reconstructed record dataclasses (or plain dicts if no type given).
+    records: List[Any]
+    #: The raw JSON header, for forward-compatible consumers.
+    meta: Dict[str, Any]
+
+
+def _records_to_arrays(records: Sequence[Any]) -> Dict[str, np.ndarray]:
+    """Column-wise arrays of a homogeneous record-dataclass sequence."""
+    out: Dict[str, np.ndarray] = {}
+    if not records:
+        return out
+    for f in dataclasses.fields(records[0]):
+        column = [getattr(r, f.name) for r in records]
+        if isinstance(column[0], np.ndarray):
+            out[f.name] = np.stack(column)
+        else:
+            out[f.name] = np.asarray(column)
+    return out
+
+
+def _scalar(value: np.ndarray) -> Any:
+    """One cell of a record column back to its Python type."""
+    if value.dtype == bool:
+        return bool(value)
+    if np.issubdtype(value.dtype, np.integer):
+        return int(value)
+    return float(value)
+
+
+def _arrays_to_records(
+    arrays: Dict[str, np.ndarray],
+    field_names: Sequence[str],
+    n: int,
+    record_type: Optional[Type],
+) -> List[Any]:
+    rows: List[Any] = []
+    for i in range(n):
+        row: Dict[str, Any] = {}
+        for name in field_names:
+            cell = arrays[name][i]
+            row[name] = cell.copy() if cell.ndim else _scalar(cell)
+        rows.append(record_type(**row) if record_type is not None else row)
+    return rows
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    state: WorldState,
+    records: Sequence[Any] = (),
+    engine: str = "",
+) -> Path:
+    """Write ``state`` (+ accumulated ``records``) to ``path`` atomically.
+
+    The file is written to a ``.tmp`` sibling first and renamed into
+    place, so an interrupt mid-save never leaves a truncated checkpoint
+    where the resume logic would find it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, np.ndarray] = {}
+    for name in _STATE_ARRAYS:
+        payload[f"state__{name}"] = getattr(state, name)
+    for name, arr in state.arrays.items():
+        payload[f"state_extra__{name}"] = np.asarray(arr)
+    rec_arrays = _records_to_arrays(records)
+    for name, arr in rec_arrays.items():
+        payload[f"rec__{name}"] = arr
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "engine": engine,
+        "round_index": state.round_index,
+        "t": state.t,
+        "curvature_scale": state.curvature_scale,
+        "rng_states": state.rng_states,
+        "aux": state.aux,
+        "state_extra_names": sorted(state.arrays),
+        "record_fields": list(rec_arrays),
+        "n_records": len(records),
+        "record_type": type(records[0]).__name__ if records else None,
+    }
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **payload)
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(
+    path: Union[str, Path], record_type: Optional[Type] = None
+) -> Checkpoint:
+    """Load one checkpoint; records come back as ``record_type`` instances.
+
+    Raises ``ValueError`` on unknown format versions rather than guessing.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        version = int(meta.get("version", -1))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported checkpoint version {version} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        state = WorldState(
+            round_index=meta["round_index"],
+            t=meta["t"],
+            positions=data["state__positions"],
+            alive=data["state__alive"],
+            curvature=data["state__curvature"],
+            distance_travelled=data["state__distance_travelled"],
+            died_at=data["state__died_at"],
+            curvature_scale=meta.get("curvature_scale"),
+            rng_states=meta.get("rng_states", {}),
+            arrays={
+                name: data[f"state_extra__{name}"]
+                for name in meta.get("state_extra_names", [])
+            },
+            aux=meta.get("aux", {}),
+        )
+        rec_arrays = {
+            name: data[f"rec__{name}"] for name in meta.get("record_fields", [])
+        }
+    records = _arrays_to_records(
+        rec_arrays, meta.get("record_fields", []), int(meta["n_records"]),
+        record_type,
+    )
+    return Checkpoint(
+        version=version,
+        engine=str(meta.get("engine", "")),
+        state=state,
+        records=records,
+        meta=meta,
+    )
+
+
+class CheckpointManager:
+    """A directory of numbered checkpoints for one run."""
+
+    #: File pattern: round index zero-padded so lexical sort == numeric.
+    PATTERN = "round_{index:06d}.ckpt.npz"
+    GLOB = "round_*.ckpt.npz"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, round_index: int) -> Path:
+        return self.directory / self.PATTERN.format(index=int(round_index))
+
+    def existing(self) -> List[Path]:
+        """All checkpoints present, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(self.GLOB))
+
+    def save(
+        self, state: WorldState, records: Sequence[Any] = (), engine: str = ""
+    ) -> Path:
+        return save_checkpoint(
+            self.path_for(state.round_index), state, records, engine=engine
+        )
+
+    def load_latest(
+        self, record_type: Optional[Type] = None
+    ) -> Optional[Checkpoint]:
+        """The newest checkpoint in the directory, or ``None`` if empty."""
+        paths = self.existing()
+        if not paths:
+            return None
+        return load_checkpoint(paths[-1], record_type=record_type)
+
+
+@dataclass
+class CheckpointConfig:
+    """A run's checkpointing policy, threaded ambiently by the harness.
+
+    One config may cover several engine runs inside one experiment; each
+    ``run()`` claims a deterministic label (``mobile-000``,
+    ``mobile-001``, ...) so the original and the resumed invocation of a
+    deterministic experiment pair the same directories back up.
+    """
+
+    directory: Path
+    #: Save every N completed rounds (and always after the final round).
+    every: int = 10
+    #: Load the latest checkpoint (if any) before running.
+    resume: bool = False
+    _claims: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.every = int(self.every)
+        if self.every < 1:
+            raise ValueError(f"checkpoint every must be >= 1, got {self.every}")
+
+    def claim_manager(self, prefix: str) -> CheckpointManager:
+        """Claim the next run directory under ``prefix`` (deterministic)."""
+        n = self._claims.get(prefix, 0)
+        self._claims[prefix] = n + 1
+        return CheckpointManager(self.directory / f"{prefix}-{n:03d}")
+
+
+def drive_run(
+    engine: Any,
+    total: int,
+    result: Any,
+    record_type: Type,
+    prefix: str,
+    checkpoint: Optional[CheckpointConfig] = None,
+) -> Any:
+    """The engines' shared run loop, with optional checkpoint/resume.
+
+    ``engine`` provides ``step()`` / ``capture_state()`` /
+    ``restore_state()``; ``result`` is the (empty) result container whose
+    ``rounds`` list fills up. With no explicit ``checkpoint`` config the
+    ambient one (if any) applies; with neither, this is a plain
+    ``total``-round loop, byte-for-byte the behaviour engines had before
+    the runtime existed.
+
+    On resume, rounds up to the newest checkpoint come back from disk and
+    only the remainder executes — recorders attached to the engine see
+    only the re-executed rounds. A checkpoint is written every
+    ``cfg.every`` completed rounds and always after the final one.
+    """
+    cfg = checkpoint if checkpoint is not None else get_checkpoint_config()
+    manager: Optional[CheckpointManager] = None
+    if cfg is not None:
+        manager = cfg.claim_manager(prefix)
+        if cfg.resume:
+            loaded = manager.load_latest(record_type=record_type)
+            if loaded is not None:
+                engine.restore_state(loaded.state)
+                result.rounds.extend(loaded.records[:total])
+    for i in range(len(result.rounds), total):
+        result.rounds.append(engine.step())
+        if manager is not None and ((i + 1) % cfg.every == 0 or i + 1 == total):
+            manager.save(
+                engine.capture_state(),
+                result.rounds,
+                engine=type(engine).__name__,
+            )
+    return result
+
+
+_current: List[CheckpointConfig] = []
+
+
+def get_checkpoint_config() -> Optional[CheckpointConfig]:
+    """The ambient checkpoint policy, or ``None`` when checkpointing is off."""
+    return _current[-1] if _current else None
+
+
+@contextmanager
+def use_checkpointing(config: CheckpointConfig) -> Iterator[CheckpointConfig]:
+    """Install ``config`` as the ambient policy for a code region.
+
+    Engine ``run()`` calls inside the ``with`` body that are not given an
+    explicit ``checkpoint=`` argument pick this up — how
+    ``repro-exp run --checkpoint-dir`` reaches the simulations an
+    experiment constructs internally.
+    """
+    _current.append(config)
+    try:
+        yield config
+    finally:
+        _current.pop()

@@ -1,0 +1,493 @@
+"""The six CMA phases of Table 2, as composable runtime phase units.
+
+This is the body of the old 582-line ``MobileSimulation._step_phases``
+monolith, cut along its phase boundaries. Each class below is one
+:class:`~repro.runtime.phase.Phase`; the mobile engine composes them into
+a :class:`~repro.runtime.scheduler.Scheduler` as::
+
+    capture → sense → exchange → plan → constrain_move → lcm
+            → trace → measure
+
+with failure injection, observability spans and recorder dispatch
+supplied by middleware rather than inline calls. The numerical content
+of every phase is transplanted verbatim — a full run through the
+scheduler reproduces the pre-refactor per-round positions and δ series
+bit for bit (pinned by ``tests/runtime/`` and the regression bands).
+
+Phases are stateless: durable run state lives on the engine
+(``ctx.engine``) and per-round scratch on the
+:class:`MobileRoundContext`, so one phase instance can serve any number
+of engines or rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cma import (
+    CMAPlan,
+    LocalSensing,
+    estimate_own_curvature,
+    plan_move,
+)
+from repro.core.lcm import lcm_adjustment
+from repro.fields.base import sample_grid
+from repro.geometry.primitives import pairwise_distances
+from repro.graphs.geometric import unit_disk_graph
+from repro.graphs.traversal import connected_components
+from repro.runtime.phase import RoundContext
+from repro.runtime.records import RoundRecord
+from repro.surfaces.reconstruction import reconstruct_surface
+
+__all__ = [
+    "MobileRoundContext",
+    "CapturePhase",
+    "SensePhase",
+    "ExchangePhase",
+    "PlanPhase",
+    "ConstrainMovePhase",
+    "LcmPhase",
+    "TraceSamplePhase",
+    "MeasurePhase",
+    "CMA_PHASES",
+]
+
+
+class MobileRoundContext(RoundContext):
+    """Typed scratch the CMA phases hand each other within one round."""
+
+    __slots__ = (
+        "positions", "alive_mask", "alive_ids", "snapshot", "sensor",
+        "sensings", "raw_own_curvature", "inboxes", "plans",
+        "n_moved", "force_norms", "n_lcm_moves",
+        "extra_positions", "extra_values",
+    )
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self.positions: Optional[np.ndarray] = None
+        self.alive_mask: Optional[np.ndarray] = None
+        self.alive_ids: List[int] = []
+        self.snapshot = None
+        self.sensor = None
+        self.sensings: Dict[int, LocalSensing] = {}
+        self.raw_own_curvature: Dict[int, float] = {}
+        self.inboxes: List[list] = []
+        self.plans: List[CMAPlan] = []
+        self.n_moved = 0
+        self.force_norms: List[float] = []
+        self.n_lcm_moves = 0
+        self.extra_positions: List[np.ndarray] = []
+        self.extra_values: List[np.ndarray] = []
+
+
+class CapturePhase:
+    """Build the round's pre-move position matrix and alive mask once.
+
+    The list-comprehension properties cost O(k) each; phases before the
+    move step all see the same pre-move state. Runs un-spanned — it is
+    bookkeeping, not one of the paper's phases.
+    """
+
+    name = "capture"
+    span_name = None
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        engine = ctx.engine
+        ctx.positions = engine.positions
+        ctx.alive_mask = engine.alive_mask
+        ctx.alive_ids = np.flatnonzero(ctx.alive_mask).tolist()
+
+
+class SensePhase:
+    """Snapshot the hidden field, sense it, estimate own curvature.
+
+    Weights are normalised by a *deployment-time* calibration constant
+    (the fleet's mean sensed |curvature| at t0, a one-shot broadcast
+    during initialisation): this makes them dimensionless and comparable
+    to the metre-valued repulsion while preserving the spatial contrast
+    between feature curvature and background noise. Weights are capped so
+    one sharp edge cannot produce an unbounded force.
+    """
+
+    name = "sense"
+    span_name = "sense"
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        # Imported here, not at module top: repro.sim's package init pulls
+        # in the engine facade, which imports this module — a top-level
+        # import of repro.sim.sensing would make that a cycle whenever
+        # this module is the first one loaded.
+        from repro.sim.sensing import DiskSensor
+
+        engine = ctx.engine
+        params = engine.params
+        ctx.snapshot = sample_grid(
+            engine.problem.field, engine.problem.region, engine.resolution,
+            t=engine.t,
+        )
+        ctx.sensor = DiskSensor(
+            ctx.snapshot,
+            engine.problem.rs,
+            noise_std=engine.sensor_noise_std,
+            noise_rng=engine._sensor_rng,
+        )
+
+        sensed = ctx.sensor.read_many(
+            [engine.nodes[node_id].position for node_id in ctx.alive_ids]
+        )
+        raw_sensings = dict(zip(ctx.alive_ids, sensed))
+        if engine._curvature_scale is None:
+            all_curv = np.concatenate(
+                [s.curvatures for s in raw_sensings.values() if s.m]
+            ) if raw_sensings else np.empty(0)
+            mean_curv = (
+                float(np.mean(np.abs(all_curv))) if all_curv.size else 0.0
+            )
+            engine._curvature_scale = mean_curv if mean_curv > 0.0 else 1.0
+
+        ctx.sensings = {}
+        ctx.raw_own_curvature = {}
+        for node_id in ctx.alive_ids:
+            node = engine.nodes[node_id]
+            sensing = raw_sensings[node_id]
+            curvature = estimate_own_curvature(sensing, node.position, params)
+            # The raw fit result is what plan_move would recompute (the
+            # quadric only reads positions/values, which normalisation
+            # leaves untouched) — hand it through so the solve runs once
+            # per node per round, not twice.
+            ctx.raw_own_curvature[node_id] = curvature
+            if params.normalize_curvature:
+                cap = params.curvature_weight_cap
+                thr = params.curvature_threshold
+                curvature = float(
+                    np.clip(
+                        curvature / engine._curvature_scale - thr, 0.0, cap
+                    )
+                )
+                if sensing.m:
+                    sensing = LocalSensing(
+                        positions=sensing.positions,
+                        values=sensing.values,
+                        curvatures=np.clip(
+                            sensing.curvatures / engine._curvature_scale
+                            - thr,
+                            0.0,
+                            cap,
+                        ),
+                    )
+            node.curvature = curvature
+            ctx.sensings[node_id] = sensing
+
+
+class ExchangePhase:
+    """One beacon exchange round (dead nodes transmit nothing)."""
+
+    name = "exchange"
+    span_name = "exchange"
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        engine = ctx.engine
+        curvatures = [n.curvature for n in engine.nodes]
+        ctx.inboxes = engine.radio.exchange(
+            ctx.positions, curvatures, alive=ctx.alive_mask
+        )
+
+
+class PlanPhase:
+    """Every alive node plans its move from local sensing + beacons."""
+
+    name = "plan"
+    span_name = "plan"
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        engine = ctx.engine
+        ctx.plans = []
+        for node_id in ctx.alive_ids:
+            node = engine.nodes[node_id]
+            ctx.plans.append(
+                plan_move(
+                    node_id,
+                    node.position,
+                    ctx.sensings[node_id],
+                    ctx.inboxes[node_id],
+                    engine.params,
+                    engine.problem.region,
+                    own_curvature=ctx.raw_own_curvature[node_id],
+                )
+            )
+
+
+class ConstrainMovePhase:
+    """Apply moves, clipped so no unbridged link is broken by the mover.
+
+    Connectivity-preserving movement; the follower-side LCM phase repairs
+    the rare residual breaks caused by two neighbours moving in the same
+    round.
+    """
+
+    name = "constrain_move"
+    span_name = "constrain_move"
+
+    #: Step fractions tried when clipping a move against link constraints.
+    ALPHA_LADDER = (1.0, 0.75, 0.5, 0.25, 0.1, 0.0)
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        engine = ctx.engine
+        ctx.n_moved = 0
+        ctx.force_norms = []
+        for plan in ctx.plans:
+            node = engine.nodes[plan.node_id]
+            if plan.breakdown is not None:
+                ctx.force_norms.append(plan.breakdown.magnitude)
+            if plan.moved:
+                destination = self._constrain_move(engine, node, plan)
+                if float(np.linalg.norm(destination - node.position)) > 0.0:
+                    node.move_to(destination)
+                    ctx.n_moved += 1
+
+    def _constrain_move(self, engine, node, plan: CMAPlan) -> np.ndarray:
+        """Largest fraction of the planned step that breaks no unbridged link.
+
+        A link to neighbour ``j`` may stretch beyond ``Rc`` only if some
+        other neighbour ``k`` (a bridge) remains within ``Rc`` of both
+        ``j`` and the new position. Uses only the node's own neighbour
+        table — the information CMA already has.
+        """
+        nbr_ids = [
+            o.node_id for o in plan.neighbor_table
+            if engine.nodes[o.node_id].alive
+        ]
+        if not nbr_ids:
+            return plan.destination
+        origin = node.position
+        step_vec = plan.destination - origin
+        rc = engine.problem.rc
+        # Neighbour positions as one (n, 2) matrix; the neighbour-pair
+        # link matrix is candidate-independent, so it is computed once
+        # per plan, not once per ladder step.
+        nbr_pos = np.asarray(
+            [engine.nodes[j].position for j in nbr_ids], dtype=float
+        ).reshape(-1, 2)
+        pair_linked = None
+
+        # Ladder rungs are tried lazily — the full planned step succeeds
+        # far more often than not, so the lower rungs' distance batches
+        # (and the neighbour-pair link matrix, which only the bridge test
+        # consults) are usually never computed. A link to j may stretch
+        # beyond Rc only if some other neighbour k (a bridge) stays
+        # within Rc of both j and the candidate.
+        for alpha in self.ALPHA_LADDER:
+            candidate = origin + alpha * step_vec
+            diff = nbr_pos - candidate[None, :]
+            near = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2) <= rc
+            if near.all():
+                return candidate
+            if pair_linked is None:
+                pair_linked = pairwise_distances(nbr_pos) <= rc
+                np.fill_diagonal(pair_linked, False)
+            if bool((pair_linked[~near] & near).any(axis=1).all()):
+                return candidate
+        return origin
+
+
+class LcmPhase:
+    """Follower-side LCM (paper lines 19-21) as a repair pass.
+
+    With movers already clipping their own steps, breaks only arise when
+    two linked nodes move in the same round; the follower then chases
+    onto the mover's ``Rc`` circle. Bridge checks use the current beacon
+    positions of the mover's announced table.
+    """
+
+    name = "lcm"
+    span_name = "lcm"
+
+    #: LCM repair passes per round (followers chasing movers can strand
+    #: their own followers, so the pass iterates a bounded number of times).
+    MAX_PASSES = 6
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        engine = ctx.engine
+        obs = engine.obs
+        rc = engine.problem.rc
+        n_moves = 0
+        n_passes = 0
+        for _ in range(self.MAX_PASSES):
+            moves_this_pass = 0
+            for plan in ctx.plans:
+                mover = engine.nodes[plan.node_id]
+                if not mover.alive:
+                    continue
+                if plan.neighbor_table:
+                    # Direct-link prescreen: almost every follower is
+                    # still within Rc of the mover, and lcm_adjustment
+                    # returns "stay" immediately for those. One batched
+                    # distance computation (at this point in the
+                    # sequential pass, so earlier moves are reflected)
+                    # skips them; the conservative (1 - 1e-12) margin
+                    # leaves exact-tie cases to the scalar decision.
+                    fpos = np.asarray(
+                        [
+                            engine.nodes[o.node_id].position
+                            for o in plan.neighbor_table
+                        ],
+                        dtype=float,
+                    )
+                    fdiff = fpos - mover.position
+                    d2 = fdiff[:, 0] ** 2 + fdiff[:, 1] ** 2
+                    rc2 = rc * rc
+                    surely_linked = d2 <= rc2 * (1.0 - 1e-12)
+                else:
+                    surely_linked = np.empty(0, dtype=bool)
+                for f_idx, nbr in enumerate(plan.neighbor_table):
+                    follower = engine.nodes[nbr.node_id]
+                    if not follower.alive:
+                        continue
+                    if surely_linked[f_idx]:
+                        continue
+                    bridges = [
+                        engine.nodes[o.node_id].position
+                        for o in plan.neighbor_table
+                        if o.node_id != nbr.node_id
+                        and engine.nodes[o.node_id].alive
+                    ]
+                    decision = lcm_adjustment(
+                        follower.position, mover.position, bridges, rc
+                    )
+                    if decision.must_move and decision.target is not None:
+                        target = engine.problem.region.clamp(
+                            decision.target
+                        ).as_array()
+                        follower.move_to(target)
+                        moves_this_pass += 1
+            n_moves += moves_this_pass
+            n_passes += 1
+            if obs.enabled:
+                obs.emit(
+                    "lcm_pass",
+                    round=engine.round_index,
+                    pass_index=n_passes - 1,
+                    moves=moves_this_pass,
+                )
+            if moves_this_pass == 0:
+                break
+        if obs.enabled:
+            obs.counter("lcm.passes").inc(n_passes)
+            obs.counter("lcm.moves").inc(n_moves)
+        ctx.n_lcm_moves = n_moves
+
+
+class TraceSamplePhase:
+    """Record the field along each node's actually travelled path.
+
+    Origin → post-LCM position, skipped entirely when the engine has no
+    trace sampler. Historically ran un-spanned between the LCM and
+    measure spans; ``span_name = None`` keeps the event stream identical.
+    """
+
+    name = "trace"
+    span_name = None
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        engine = ctx.engine
+        ctx.extra_positions = []
+        ctx.extra_values = []
+        if engine.trace_sampler is None:
+            return
+        for plan in ctx.plans:
+            node = engine.nodes[plan.node_id]
+            if not node.alive:
+                continue
+            pts, vals = engine.trace_sampler.sample_path(
+                engine.problem.field, plan.origin, node.position, engine.t
+            )
+            if len(pts):
+                ctx.extra_positions.append(pts)
+                ctx.extra_values.append(vals)
+
+
+class MeasurePhase:
+    """Reconstruct from the nodes' own samples and score δ vs the truth."""
+
+    name = "measure"
+    span_name = "measure"
+
+    def run(self, ctx: MobileRoundContext) -> None:
+        record = self._measure(ctx)
+        record.n_moved = ctx.n_moved
+        record.n_lcm_moves = ctx.n_lcm_moves
+        record.mean_force = (
+            float(np.mean(ctx.force_norms)) if ctx.force_norms else 0.0
+        )
+        ctx.record = record
+
+    def _measure(self, ctx: MobileRoundContext) -> RoundRecord:
+        engine = ctx.engine
+        # Post-move state, built once (moves and LCM ran since the
+        # round's pre-move matrix was captured).
+        positions_now = engine.positions
+        alive_now = engine.alive_mask
+        n_alive = int(alive_now.sum())
+        alive_positions = positions_now[alive_now].reshape(-1, 2)
+        pts = alive_positions
+        values = engine.problem.field.sample(pts, engine.t)
+        n_trace = 0
+        if ctx.extra_positions:
+            extras = np.vstack(ctx.extra_positions)
+            pts = np.vstack([pts, extras])
+            values = np.concatenate(
+                [values, np.concatenate(ctx.extra_values)]
+            )
+            n_trace = len(extras)
+
+        if len(pts) == 0:
+            # The whole fleet is dead: there is no reconstruction to score
+            # and no radio graph left — a dead fleet is not "connected".
+            return RoundRecord(
+                round_index=engine.round_index,
+                t=engine.t,
+                positions=positions_now,
+                delta=float("nan"),
+                rmse=float("nan"),
+                connected=False,
+                n_components=0,
+                n_alive=0,
+                n_moved=0,
+                n_lcm_moves=0,
+                mean_force=0.0,
+                n_trace_samples=0,
+            )
+
+        reconstruction = reconstruct_surface(ctx.snapshot, pts, values=values)
+        graph = unit_disk_graph(alive_positions, engine.problem.rc)
+        components = connected_components(graph)
+        return RoundRecord(
+            round_index=engine.round_index,
+            t=engine.t,
+            positions=positions_now,
+            delta=reconstruction.delta,
+            rmse=reconstruction.rmse,
+            connected=len(components) <= 1,
+            n_components=len(components),
+            n_alive=n_alive,
+            n_moved=0,
+            n_lcm_moves=0,
+            mean_force=0.0,
+            n_trace_samples=n_trace,
+        )
+
+
+#: The canonical CMA round pipeline, in execution order.
+CMA_PHASES = (
+    CapturePhase,
+    SensePhase,
+    ExchangePhase,
+    PlanPhase,
+    ConstrainMovePhase,
+    LcmPhase,
+    TraceSamplePhase,
+    MeasurePhase,
+)

@@ -1,0 +1,120 @@
+"""Cross-cutting round-loop concerns as scheduler middleware.
+
+The pre-runtime engines wired observability spans, failure injection and
+recorder dispatch inline into their round loops — twice, once per engine.
+Here each concern is one :class:`Middleware` the
+:class:`~repro.runtime.scheduler.Scheduler` threads through every round:
+
+* :class:`ObsMiddleware` — the ``step`` span around the round, one span
+  per phase, and the per-round ``round`` event + metrics after the round;
+* :class:`FailureInjectionMiddleware` — scheduled node deaths and
+  energy-budget exhaustion at the start of the round (the old "phase 0");
+* :class:`RecorderMiddleware` — fan the finished record out to the
+  engine's :class:`~repro.sim.recorders.Recorder` list.
+
+Hook order matters and mirrors the original inline code: ``around_round``
+context managers enclose ``on_round_start`` hooks and every phase;
+``on_round_end`` hooks run *after* the round span has closed, in
+middleware order (obs before recorders, so the ``round`` event precedes
+any recorder side effects, exactly as before).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, ContextManager, Optional
+
+from repro.runtime.phase import Phase, RoundContext
+
+__all__ = [
+    "Middleware",
+    "ObsMiddleware",
+    "FailureInjectionMiddleware",
+    "RecorderMiddleware",
+]
+
+_NULL = nullcontext()
+
+
+class Middleware:
+    """Base middleware: every hook is a no-op; override what you need."""
+
+    def around_round(self, ctx: RoundContext) -> ContextManager:
+        """Context manager enclosing the whole round (phases + start hooks)."""
+        return _NULL
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        """Runs inside ``around_round``, before the first phase."""
+
+    def around_phase(self, phase: Phase, ctx: RoundContext) -> ContextManager:
+        """Context manager enclosing one phase's ``run``."""
+        return _NULL
+
+    def on_round_end(self, ctx: RoundContext, record: Any) -> None:
+        """Runs after ``around_round`` has exited, with the round's record."""
+
+
+class ObsMiddleware(Middleware):
+    """Observability spans + the per-round event, as the engine emitted them.
+
+    Reads ``engine.obs`` dynamically (not captured at construction) so an
+    instrumentation swapped onto the facade after construction is
+    honoured, matching the old ``self.obs`` lookups in ``step()``.
+    ``record_event`` is the engine-specific publisher for the finished
+    record (the mobile engine passes
+    :func:`repro.sim.recorders.record_round`); engines without a
+    round-event schema pass ``None``.
+    """
+
+    def __init__(self, engine: Any, record_event=None) -> None:
+        self._engine = engine
+        self._record_event = record_event
+
+    def around_round(self, ctx: RoundContext) -> ContextManager:
+        return self._engine.obs.span("step")
+
+    def around_phase(self, phase: Phase, ctx: RoundContext) -> ContextManager:
+        if phase.span_name is None:
+            return _NULL
+        return self._engine.obs.span(phase.span_name)
+
+    def on_round_end(self, ctx: RoundContext, record: Any) -> None:
+        obs = self._engine.obs
+        if self._record_event is not None and obs.enabled:
+            self._record_event(obs, record)
+
+
+class FailureInjectionMiddleware(Middleware):
+    """Scheduled deaths + energy exhaustion at the start of each round.
+
+    Fires inside the round span (it was the round's "phase 0" before the
+    refactor). Reads the schedule/budget off the engine every round so a
+    facade reconfigured between rounds behaves as it always did.
+    """
+
+    def __init__(self, engine: Any) -> None:
+        self._engine = engine
+
+    def on_round_start(self, ctx: RoundContext) -> None:
+        engine = self._engine
+        schedule = getattr(engine, "failure_schedule", None)
+        if schedule is not None:
+            for node_id in schedule.failures_due(engine.t):
+                if 0 <= node_id < len(engine.nodes):
+                    engine.nodes[node_id].kill(engine.t)
+        budget = getattr(engine, "energy_budget", None)
+        if budget is not None:
+            for node in engine.nodes:
+                if node.alive and node.distance_travelled >= budget:
+                    node.kill(engine.t)
+
+
+class RecorderMiddleware(Middleware):
+    """Dispatch each finished record to the engine's recorder list."""
+
+    def __init__(self, engine: Any) -> None:
+        self._engine = engine
+
+    def on_round_end(self, ctx: RoundContext, record: Any) -> None:
+        for recorder in self._engine.recorders:
+            recorder.on_round(record)

@@ -17,60 +17,43 @@ With zero delay the centralized planner is an upper bound (it sees the
 whole field); with realistic delays it chases stale gap positions while
 paying an order of magnitude more radio traffic — which is exactly the
 paper's claim, now with numbers.
+
+Like :class:`~repro.sim.engine.MobileSimulation`, this engine is a thin
+facade over the shared runtime since the scheduler refactor: its
+replan → move → measure cycle lives in
+:mod:`repro.runtime.centralized_phases`, and checkpoint/resume comes for
+free through ``capture_state``/``restore_state``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.core.cwd import solve_cwd
-from repro.core.fra import foresighted_refinement
 from repro.core.problem import OSTDProblem
-from repro.fields.base import sample_grid
-from repro.graphs.geometric import unit_disk_graph
-from repro.graphs.traversal import connected_components, shortest_hop_path
+from repro.obs.instrument import Instrumentation, get_instrumentation
+from repro.runtime.centralized_phases import (
+    CENTRALIZED_PHASES,
+    CentralizedRoundContext,
+    assign_targets,
+)
+from repro.runtime.checkpoint import CheckpointConfig, drive_run
+from repro.runtime.middleware import ObsMiddleware
+from repro.runtime.records import CentralizedResult, CentralizedRound
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.state import WorldState
 from repro.sim.engine import default_grid_layout
-from repro.surfaces.reconstruction import reconstruct_surface
 
+__all__ = [
+    "CentralizedRound",
+    "CentralizedResult",
+    "CentralizedSimulation",
+    "cma_message_count",
+]
 
-@dataclass
-class CentralizedRound:
-    """Measurements of one centralized-control round."""
-
-    round_index: int
-    t: float
-    positions: np.ndarray
-    delta: float
-    connected: bool
-    n_components: int
-    #: Multi-hop messages spent this round (reports up + commands down).
-    n_messages: int
-    #: Age (rounds) of the information the current targets derive from.
-    information_age: int
-
-
-@dataclass
-class CentralizedResult:
-    rounds: List[CentralizedRound] = dataclass_field(default_factory=list)
-
-    @property
-    def times(self) -> np.ndarray:
-        return np.asarray([r.t for r in self.rounds], dtype=float)
-
-    @property
-    def deltas(self) -> np.ndarray:
-        return np.asarray([r.delta for r in self.rounds], dtype=float)
-
-    @property
-    def total_messages(self) -> int:
-        return sum(r.n_messages for r in self.rounds)
-
-    @property
-    def always_connected(self) -> bool:
-        return all(r.connected for r in self.rounds)
+# Re-exported for callers that imported the matcher from here.
+_assign_targets = assign_targets
 
 
 class CentralizedSimulation:
@@ -99,7 +82,12 @@ class CentralizedSimulation:
         the delayed snapshot and dispatching nodes to the FRA layout via
         greedy min-distance assignment; ``"cwd"`` iterates the global
         curvature-weighted force solver from the current positions.
+    obs:
+        Instrumentation for phase spans (``replan``/``move``/``measure``);
+        defaults to the ambient instance.
     """
+
+    _CHECKPOINT_PREFIX = "centralized"
 
     def __init__(
         self,
@@ -110,6 +98,7 @@ class CentralizedSimulation:
         resolution: int = 101,
         initial_positions: Optional[np.ndarray] = None,
         planner: str = "fra",
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if delay_rounds < 0:
             raise ValueError(f"delay_rounds must be >= 0, got {delay_rounds}")
@@ -123,6 +112,7 @@ class CentralizedSimulation:
         self.replan_every = int(replan_every)
         self.solver_iterations = int(solver_iterations)
         self.resolution = int(resolution)
+        self.obs = obs if obs is not None else get_instrumentation()
 
         if initial_positions is not None:
             init = np.asarray(initial_positions, dtype=float).reshape(-1, 2)
@@ -138,127 +128,66 @@ class CentralizedSimulation:
         self.round_index = 0
         self._target_info_age = 0
 
+        self.scheduler = Scheduler(
+            phases=[phase() for phase in CENTRALIZED_PHASES],
+            middleware=[ObsMiddleware(self)],
+            advance=self._advance,
+        )
+
     # ------------------------------------------------------------------
-    def _sink_index(self) -> int:
-        centre = self.problem.region.center.as_array()
-        return int(np.argmin(np.linalg.norm(self.positions - centre, axis=1)))
-
-    def _collection_messages(self) -> int:
-        """Hop count for every node reporting to the sink and commands back.
-
-        Unreachable nodes (disconnected from the sink) fail to report; their
-        traffic is not counted — they also receive no commands, which is
-        part of why centralized control is fragile.
-        """
-        graph = unit_disk_graph(self.positions, self.problem.rc)
-        sink = self._sink_index()
-        hops = 0
-        for i in range(len(self.positions)):
-            if i == sink:
-                continue
-            path = shortest_hop_path(graph, i, sink)
-            if path is not None:
-                hops += len(path) - 1
-        return 2 * hops  # reports up + commands down
+    def _advance(self, ctx: CentralizedRoundContext) -> None:
+        self.t += self.problem.dt
+        self.round_index += 1
 
     def step(self) -> CentralizedRound:
-        n_messages = 0
-        # Replan on cadence, from delayed information.
-        if self.round_index % self.replan_every == 0:
-            info_t = self.t - self.delay_rounds * self.problem.dt
-            snapshot = sample_grid(
-                self.problem.field, self.problem.region, self.resolution,
-                t=info_t,
-            )
-            if self.planner == "fra":
-                layout = foresighted_refinement(
-                    snapshot, self.problem.k, self.problem.rc
-                ).positions
-                self.targets = _assign_targets(self.positions, layout)
-            else:
-                plan = solve_cwd(
-                    snapshot,
-                    self.problem.k,
-                    rc=self.problem.rc,
-                    rs=self.problem.rs,
-                    initial=self.positions,
-                    max_iterations=self.solver_iterations,
-                )
-                self.targets = plan.positions
-            self._target_info_age = self.delay_rounds
-            n_messages += self._collection_messages()
-        else:
-            self._target_info_age += 1
+        return self.scheduler.run_round(CentralizedRoundContext(self))
 
-        # Move every node toward its target, speed-capped.
-        step_cap = self.problem.speed * self.problem.dt
-        vec = self.targets - self.positions
-        dist = np.linalg.norm(vec, axis=1)
-        move = np.where(dist > 0, np.minimum(dist, step_cap) / np.maximum(dist, 1e-12), 0.0)
-        self.positions = self.positions + vec * move[:, None]
-
-        # Measure against the *current* truth.
-        reference = sample_grid(
-            self.problem.field, self.problem.region, self.resolution, t=self.t
-        )
-        values = self.problem.field.sample(self.positions, self.t)
-        recon = reconstruct_surface(reference, self.positions, values=values)
-        components = connected_components(
-            unit_disk_graph(self.positions, self.problem.rc)
-        )
-        record = CentralizedRound(
+    # ------------------------------------------------------------------
+    def capture_state(self) -> WorldState:
+        """Snapshot the run: positions, targets, clock, planner staleness."""
+        k = len(self.positions)
+        return WorldState(
             round_index=self.round_index,
             t=self.t,
             positions=self.positions.copy(),
-            delta=recon.delta,
-            connected=len(components) <= 1,
-            n_components=len(components),
-            n_messages=n_messages,
-            information_age=self._target_info_age,
+            alive=np.ones(k, dtype=bool),
+            curvature=np.zeros(k),
+            distance_travelled=np.zeros(k),
+            died_at=np.full(k, np.nan),
+            arrays={"targets": self.targets.copy()},
+            aux={"target_info_age": int(self._target_info_age)},
         )
-        self.t += self.problem.dt
-        self.round_index += 1
-        return record
 
-    def run(self, n_rounds: Optional[int] = None) -> CentralizedResult:
+    def restore_state(self, state: WorldState) -> None:
+        """Load a captured state into this engine (same configuration)."""
+        if state.k != len(self.positions):
+            raise ValueError(
+                f"state has {state.k} nodes, engine has {len(self.positions)}"
+            )
+        self.positions = state.positions.copy()
+        self.targets = state.arrays["targets"].astype(float).copy()
+        self.t = state.t
+        self.round_index = state.round_index
+        self._target_info_age = int(state.aux.get("target_info_age", 0))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_rounds: Optional[int] = None,
+        *,
+        checkpoint: Optional[CheckpointConfig] = None,
+    ) -> CentralizedResult:
         total = n_rounds if n_rounds is not None else self.problem.n_rounds
         if total < 1:
             raise ValueError(f"n_rounds must be >= 1, got {total}")
-        result = CentralizedResult()
-        for _ in range(total):
-            result.rounds.append(self.step())
-        return result
-
-
-def _assign_targets(positions: np.ndarray, layout: np.ndarray) -> np.ndarray:
-    """Greedy min-distance matching of nodes to planned target positions.
-
-    Repeatedly commits the globally closest (node, target) pair. O(k² log k)
-    — fine at fleet scales — and within a small constant of the optimal
-    assignment for these spread-out layouts.
-    """
-    n = len(positions)
-    if layout.shape != positions.shape:
-        raise ValueError(
-            f"layout shape {layout.shape} != positions shape {positions.shape}"
+        return drive_run(
+            self,
+            total,
+            CentralizedResult(),
+            CentralizedRound,
+            self._CHECKPOINT_PREFIX,
+            checkpoint=checkpoint,
         )
-    diff = positions[:, None, :] - layout[None, :, :]
-    dist = np.sqrt((diff**2).sum(axis=2))
-    order = np.dstack(np.unravel_index(np.argsort(dist, axis=None), dist.shape))[0]
-    targets = np.empty_like(positions)
-    node_done = np.zeros(n, dtype=bool)
-    target_done = np.zeros(n, dtype=bool)
-    assigned = 0
-    for i, j in order:
-        if node_done[i] or target_done[j]:
-            continue
-        targets[i] = layout[j]
-        node_done[i] = True
-        target_done[j] = True
-        assigned += 1
-        if assigned == n:
-            break
-    return targets
 
 
 def cma_message_count(result) -> int:

@@ -14,101 +14,50 @@ Each simulated minute (round) the engine:
 
 The engine is deterministic for a fixed configuration (all randomness sits
 in explicitly seeded models).
+
+Since the runtime refactor, :class:`MobileSimulation` is a thin facade:
+the six phases above live as composable units in
+:mod:`repro.runtime.cma_phases`, driven by a
+:class:`~repro.runtime.scheduler.Scheduler` that threads observability
+spans, failure injection and recorder dispatch through as middleware.
+The facade assembles the pipeline, owns the durable run state, and
+exposes the same public API as before (``step``/``run``/``positions``/
+``alive_mask``), plus ``capture_state``/``restore_state`` for
+checkpoint/resume (see :mod:`repro.runtime.checkpoint`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.cma import (
-    CMAParams,
-    CMAPlan,
-    LocalSensing,
-    estimate_own_curvature,
-    plan_move,
-)
-from repro.core.lcm import lcm_adjustment
+from repro.core.cma import CMAParams
 from repro.core.problem import OSTDProblem
 from repro.core.baselines import uniform_grid_placement
-from repro.fields.base import sample_grid
-from repro.geometry.primitives import pairwise_distances
 from repro.obs.instrument import Instrumentation, get_instrumentation
-from repro.graphs.geometric import unit_disk_graph
-from repro.graphs.traversal import connected_components
+from repro.runtime.checkpoint import CheckpointConfig, drive_run
+from repro.runtime.cma_phases import CMA_PHASES, MobileRoundContext
+from repro.runtime.middleware import (
+    FailureInjectionMiddleware,
+    ObsMiddleware,
+    RecorderMiddleware,
+)
+from repro.runtime.records import RoundRecord, SimulationResult
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.state import WorldState
 from repro.sim.failures import MessageLossModel, NodeFailureSchedule
 from repro.sim.node import NodeState
 from repro.sim.radio import Radio
 from repro.sim.recorders import Recorder, record_round
-from repro.sim.sensing import DiskSensor, TraceSampler
-from repro.surfaces.reconstruction import reconstruct_surface
+from repro.sim.sensing import TraceSampler
 
-
-@dataclass
-class RoundRecord:
-    """Everything measured about one completed round."""
-
-    round_index: int
-    t: float
-    positions: np.ndarray
-    delta: float
-    rmse: float
-    connected: bool
-    n_components: int
-    n_alive: int
-    n_moved: int
-    n_lcm_moves: int
-    mean_force: float
-    n_trace_samples: int = 0
-
-
-@dataclass
-class SimulationResult:
-    """The full run: per-round records plus convenience accessors."""
-
-    rounds: List[RoundRecord] = dataclass_field(default_factory=list)
-
-    @property
-    def times(self) -> np.ndarray:
-        return np.asarray([r.t for r in self.rounds], dtype=float)
-
-    @property
-    def deltas(self) -> np.ndarray:
-        return np.asarray([r.delta for r in self.rounds], dtype=float)
-
-    @property
-    def final_positions(self) -> np.ndarray:
-        if not self.rounds:
-            raise ValueError("simulation produced no rounds")
-        return self.rounds[-1].positions
-
-    @property
-    def always_connected(self) -> bool:
-        return all(r.connected for r in self.rounds)
-
-    def converged_after(self, movement_tolerance: float = 0.05) -> Optional[float]:
-        """First time from which mean displacement stays below tolerance.
-
-        This is the paper's "the nodes converge from 10:30" measurement.
-        Returns ``None`` if the run never settles.
-        """
-        if len(self.rounds) < 2:
-            return None
-        moves = np.asarray([
-            float(np.linalg.norm(b.positions - a.positions, axis=1).mean())
-            for a, b in zip(self.rounds, self.rounds[1:])
-        ])
-        # The answer is the round right after the last above-tolerance
-        # move — one reverse scan, not a suffix re-check per index.
-        over = moves > movement_tolerance
-        if not over.any():
-            return self.rounds[1].t
-        last_over = len(moves) - 1 - int(np.argmax(over[::-1]))
-        if last_over == len(moves) - 1:
-            return None
-        return self.rounds[last_over + 2].t
+__all__ = [
+    "MobileSimulation",
+    "RoundRecord",
+    "SimulationResult",
+    "default_grid_layout",
+]
 
 
 def default_grid_layout(region, k: int, rc: float) -> np.ndarray:
@@ -142,6 +91,9 @@ class MobileSimulation:
     connected"). A disconnected start runs fine but isolated components
     cannot find each other (nodes only know single-hop neighbours).
     """
+
+    #: Checkpoint sub-directory prefix for runs of this engine.
+    _CHECKPOINT_PREFIX = "mobile"
 
     def __init__(
         self,
@@ -208,6 +160,19 @@ class MobileSimulation:
         #: spatial contrast — re-normalising per node would flatten it.
         self._curvature_scale: Optional[float] = None
 
+        #: The round pipeline: the six CMA phases plus bookkeeping units,
+        #: with cross-cutting concerns as middleware (order matters — the
+        #: per-round ``round`` event precedes recorder side effects).
+        self.scheduler = Scheduler(
+            phases=[phase() for phase in CMA_PHASES],
+            middleware=[
+                ObsMiddleware(self, record_event=record_round),
+                FailureInjectionMiddleware(self),
+                RecorderMiddleware(self),
+            ],
+            advance=self._advance,
+        )
+
     # ------------------------------------------------------------------
     @property
     def positions(self) -> np.ndarray:
@@ -217,366 +182,98 @@ class MobileSimulation:
     def alive_mask(self) -> np.ndarray:
         return np.asarray([n.alive for n in self.nodes], dtype=bool)
 
+    def _advance(self, ctx: MobileRoundContext) -> None:
+        self.t += self.problem.dt
+        self.round_index += 1
+
     # ------------------------------------------------------------------
     def step(self) -> RoundRecord:
         """Advance one round; returns the round's measurements."""
-        obs = self.obs
-        with obs.span("step"):
-            record = self._step_phases(obs)
+        return self.scheduler.run_round(MobileRoundContext(self))
 
-        if obs.enabled:
-            record_round(obs, record)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> WorldState:
+        """Snapshot the complete mutable state of the run.
 
-        for recorder in self.recorders:
-            recorder.on_round(record)
-        self.t += self.problem.dt
-        self.round_index += 1
-        return record
-
-    def _step_phases(self, obs) -> RoundRecord:
-        """The six phases of one round, each under its own span."""
-        # 0. scheduled failures fire at the start of the round; nodes that
-        # have exhausted their movement-energy budget die too.
+        Includes every RNG stream's exact position (sensor noise, message
+        loss) and the failure schedule's fired set, so a restored run
+        continues bit-identically.
+        """
+        nodes = self.nodes
+        rng_states = {"sensor": self._sensor_rng.bit_generator.state}
+        if self.radio.loss is not None:
+            rng_states["message_loss"] = self.radio.loss.rng_state
+        aux = {}
         if self.failure_schedule is not None:
-            for node_id in self.failure_schedule.failures_due(self.t):
-                if 0 <= node_id < len(self.nodes):
-                    self.nodes[node_id].kill(self.t)
-        if self.energy_budget is not None:
-            for node in self.nodes:
-                if node.alive and node.distance_travelled >= self.energy_budget:
-                    node.kill(self.t)
-
-        # Per-round position matrix and alive mask, built once (the
-        # list-comprehension properties cost O(k) each; phases before the
-        # move step all see the same pre-move state).
-        positions = self.positions
-        alive_mask = self.alive_mask
-        alive_ids = np.flatnonzero(alive_mask).tolist()
-
-        with obs.span("sense"):
-            snapshot = sample_grid(
-                self.problem.field, self.problem.region, self.resolution,
-                t=self.t,
-            )
-            sensor = DiskSensor(
-                snapshot,
-                self.problem.rs,
-                noise_std=self.sensor_noise_std,
-                noise_rng=self._sensor_rng,
-            )
-
-            # 1.-2. sense + own-curvature estimation. Weights are
-            # normalised by a *deployment-time* calibration constant (the
-            # fleet's mean sensed |curvature| at t0, a one-shot broadcast
-            # during initialisation): this makes them dimensionless and
-            # comparable to the metre-valued repulsion while preserving
-            # the spatial contrast between feature curvature and
-            # background noise. Weights are capped so one sharp edge
-            # cannot produce an unbounded force.
-            sensed = sensor.read_many(
-                [self.nodes[node_id].position for node_id in alive_ids]
-            )
-            raw_sensings = dict(zip(alive_ids, sensed))
-            if self._curvature_scale is None:
-                all_curv = np.concatenate(
-                    [s.curvatures for s in raw_sensings.values() if s.m]
-                ) if raw_sensings else np.empty(0)
-                mean_curv = (
-                    float(np.mean(np.abs(all_curv))) if all_curv.size else 0.0
-                )
-                self._curvature_scale = mean_curv if mean_curv > 0.0 else 1.0
-
-            sensings = {}
-            raw_own_curvature = {}
-            for node_id in alive_ids:
-                node = self.nodes[node_id]
-                sensing = raw_sensings[node_id]
-                curvature = estimate_own_curvature(
-                    sensing, node.position, self.params
-                )
-                # The raw fit result is what plan_move would recompute
-                # (the quadric only reads positions/values, which
-                # normalisation leaves untouched) — hand it through so
-                # the solve runs once per node per round, not twice.
-                raw_own_curvature[node_id] = curvature
-                if self.params.normalize_curvature:
-                    cap = self.params.curvature_weight_cap
-                    thr = self.params.curvature_threshold
-                    curvature = float(
-                        np.clip(
-                            curvature / self._curvature_scale - thr, 0.0, cap
-                        )
-                    )
-                    if sensing.m:
-                        sensing = LocalSensing(
-                            positions=sensing.positions,
-                            values=sensing.values,
-                            curvatures=np.clip(
-                                sensing.curvatures / self._curvature_scale
-                                - thr,
-                                0.0,
-                                cap,
-                            ),
-                        )
-                node.curvature = curvature
-                sensings[node_id] = sensing
-
-        # 3. beacon exchange (dead nodes transmit nothing).
-        with obs.span("exchange"):
-            curvatures = [n.curvature for n in self.nodes]
-            inboxes = self.radio.exchange(
-                positions, curvatures, alive=alive_mask
-            )
-
-        # 4. plan.
-        with obs.span("plan"):
-            plans: List[CMAPlan] = []
-            for node_id in alive_ids:
-                node = self.nodes[node_id]
-                plans.append(
-                    plan_move(
-                        node_id,
-                        node.position,
-                        sensings[node_id],
-                        inboxes[node_id],
-                        self.params,
-                        self.problem.region,
-                        own_curvature=raw_own_curvature[node_id],
-                    )
-                )
-
-        # 5a. apply moves, clipped so no unbridged link is broken by the
-        # mover itself (connectivity-preserving movement; the follower-side
-        # LCM below repairs the rare residual breaks caused by two
-        # neighbours moving in the same round).
-        with obs.span("constrain_move"):
-            n_moved = 0
-            force_norms: List[float] = []
-            for plan in plans:
-                node = self.nodes[plan.node_id]
-                if plan.breakdown is not None:
-                    force_norms.append(plan.breakdown.magnitude)
-                if plan.moved:
-                    destination = self._constrain_move(node, plan)
-                    if float(np.linalg.norm(destination - node.position)) > 0.0:
-                        node.move_to(destination)
-                        n_moved += 1
-
-        # 5b. LCM pass: former neighbours of each mover check their link.
-        with obs.span("lcm"):
-            n_lcm_moves = self._lcm_pass(plans)
-
-        # 5c. trace sampling: each node records the field along the path it
-        # actually travelled this round (origin -> post-LCM position).
-        extra_positions: List[np.ndarray] = []
-        extra_values: List[np.ndarray] = []
-        if self.trace_sampler is not None:
-            for plan in plans:
-                node = self.nodes[plan.node_id]
-                if not node.alive:
-                    continue
-                pts, vals = self.trace_sampler.sample_path(
-                    self.problem.field, plan.origin, node.position, self.t
-                )
-                if len(pts):
-                    extra_positions.append(pts)
-                    extra_values.append(vals)
-
-        # 6. measure: reconstruct from the nodes' own samples.
-        with obs.span("measure"):
-            record = self._measure(snapshot, extra_positions, extra_values)
-        record.n_moved = n_moved
-        record.n_lcm_moves = n_lcm_moves
-        record.mean_force = float(np.mean(force_norms)) if force_norms else 0.0
-        return record
-
-    #: Step fractions tried when clipping a move against link constraints.
-    _ALPHA_LADDER = (1.0, 0.75, 0.5, 0.25, 0.1, 0.0)
-
-    def _constrain_move(self, node, plan: CMAPlan) -> np.ndarray:
-        """Largest fraction of the planned step that breaks no unbridged link.
-
-        A link to neighbour ``j`` may stretch beyond ``Rc`` only if some
-        other neighbour ``k`` (a bridge) remains within ``Rc`` of both ``j``
-        and the new position. Uses only the node's own neighbour table —
-        the information CMA already has.
-        """
-        nbr_ids = [
-            o.node_id for o in plan.neighbor_table if self.nodes[o.node_id].alive
-        ]
-        if not nbr_ids:
-            return plan.destination
-        origin = node.position
-        step_vec = plan.destination - origin
-        rc = self.problem.rc
-        # Neighbour positions as one (n, 2) matrix; the neighbour-pair
-        # link matrix is candidate-independent, so it is computed once
-        # per plan, not once per ladder step.
-        nbr_pos = np.asarray(
-            [self.nodes[j].position for j in nbr_ids], dtype=float
-        ).reshape(-1, 2)
-        pair_linked = None
-
-        # Ladder rungs are tried lazily — the full planned step succeeds
-        # far more often than not, so the lower rungs' distance batches
-        # (and the neighbour-pair link matrix, which only the bridge test
-        # consults) are usually never computed. A link to j may stretch
-        # beyond Rc only if some other neighbour k (a bridge) stays
-        # within Rc of both j and the candidate.
-        for alpha in self._ALPHA_LADDER:
-            candidate = origin + alpha * step_vec
-            diff = nbr_pos - candidate[None, :]
-            near = np.sqrt(diff[:, 0] ** 2 + diff[:, 1] ** 2) <= rc
-            if near.all():
-                return candidate
-            if pair_linked is None:
-                pair_linked = pairwise_distances(nbr_pos) <= rc
-                np.fill_diagonal(pair_linked, False)
-            if bool((pair_linked[~near] & near).any(axis=1).all()):
-                return candidate
-        return origin
-
-    #: LCM repair passes per round (followers chasing movers can strand
-    #: their own followers, so the pass iterates a bounded number of times).
-    _LCM_MAX_PASSES = 6
-
-    def _lcm_pass(self, plans: List[CMAPlan]) -> int:
-        """Follower-side LCM (paper lines 19-21) as a repair pass.
-
-        With movers already clipping their own steps, breaks only arise
-        when two linked nodes move in the same round; the follower then
-        chases onto the mover's ``Rc`` circle. Bridge checks use the
-        current beacon positions of the mover's announced table.
-        """
-        obs = self.obs
-        n_moves = 0
-        n_passes = 0
-        for _ in range(self._LCM_MAX_PASSES):
-            moves_this_pass = 0
-            for plan in plans:
-                mover = self.nodes[plan.node_id]
-                if not mover.alive:
-                    continue
-                if plan.neighbor_table:
-                    # Direct-link prescreen: almost every follower is
-                    # still within Rc of the mover, and lcm_adjustment
-                    # returns "stay" immediately for those. One batched
-                    # distance computation (at this point in the
-                    # sequential pass, so earlier moves are reflected)
-                    # skips them; the conservative (1 - 1e-12) margin
-                    # leaves exact-tie cases to the scalar decision.
-                    fpos = np.asarray(
-                        [
-                            self.nodes[o.node_id].position
-                            for o in plan.neighbor_table
-                        ],
-                        dtype=float,
-                    )
-                    fdiff = fpos - mover.position
-                    d2 = fdiff[:, 0] ** 2 + fdiff[:, 1] ** 2
-                    rc2 = self.problem.rc * self.problem.rc
-                    surely_linked = d2 <= rc2 * (1.0 - 1e-12)
-                else:
-                    surely_linked = np.empty(0, dtype=bool)
-                for f_idx, nbr in enumerate(plan.neighbor_table):
-                    follower = self.nodes[nbr.node_id]
-                    if not follower.alive:
-                        continue
-                    if surely_linked[f_idx]:
-                        continue
-                    bridges = [
-                        self.nodes[o.node_id].position
-                        for o in plan.neighbor_table
-                        if o.node_id != nbr.node_id and self.nodes[o.node_id].alive
-                    ]
-                    decision = lcm_adjustment(
-                        follower.position, mover.position, bridges, self.problem.rc
-                    )
-                    if decision.must_move and decision.target is not None:
-                        target = self.problem.region.clamp(
-                            decision.target
-                        ).as_array()
-                        follower.move_to(target)
-                        moves_this_pass += 1
-            n_moves += moves_this_pass
-            n_passes += 1
-            if obs.enabled:
-                obs.emit(
-                    "lcm_pass",
-                    round=self.round_index,
-                    pass_index=n_passes - 1,
-                    moves=moves_this_pass,
-                )
-            if moves_this_pass == 0:
-                break
-        if obs.enabled:
-            obs.counter("lcm.passes").inc(n_passes)
-            obs.counter("lcm.moves").inc(n_moves)
-        return n_moves
-
-    def _measure(
-        self,
-        snapshot,
-        extra_positions: List[np.ndarray],
-        extra_values: List[np.ndarray],
-    ) -> RoundRecord:
-        # Post-move state, built once (moves and LCM ran since the
-        # round's pre-move matrix was captured).
-        positions_now = self.positions
-        alive_now = self.alive_mask
-        n_alive = int(alive_now.sum())
-        alive_positions = positions_now[alive_now].reshape(-1, 2)
-        pts = alive_positions
-        values = self.problem.field.sample(pts, self.t)
-        n_trace = 0
-        if extra_positions:
-            extras = np.vstack(extra_positions)
-            pts = np.vstack([pts, extras])
-            values = np.concatenate([values, np.concatenate(extra_values)])
-            n_trace = len(extras)
-
-        if len(pts) == 0:
-            # The whole fleet is dead: there is no reconstruction to score
-            # and no radio graph left — a dead fleet is not "connected".
-            return RoundRecord(
-                round_index=self.round_index,
-                t=self.t,
-                positions=positions_now,
-                delta=float("nan"),
-                rmse=float("nan"),
-                connected=False,
-                n_components=0,
-                n_alive=0,
-                n_moved=0,
-                n_lcm_moves=0,
-                mean_force=0.0,
-                n_trace_samples=0,
-            )
-
-        reconstruction = reconstruct_surface(snapshot, pts, values=values)
-        graph = unit_disk_graph(alive_positions, self.problem.rc)
-        components = connected_components(graph)
-        return RoundRecord(
+            aux["failure_fired"] = self.failure_schedule.fired_times()
+        return WorldState(
             round_index=self.round_index,
             t=self.t,
-            positions=positions_now,
-            delta=reconstruction.delta,
-            rmse=reconstruction.rmse,
-            connected=len(components) <= 1,
-            n_components=len(components),
-            n_alive=n_alive,
-            n_moved=0,
-            n_lcm_moves=0,
-            mean_force=0.0,
-            n_trace_samples=n_trace,
+            positions=self.positions,
+            alive=self.alive_mask,
+            curvature=np.asarray([n.curvature for n in nodes], dtype=float),
+            distance_travelled=np.asarray(
+                [n.distance_travelled for n in nodes], dtype=float
+            ),
+            died_at=np.asarray(
+                [np.nan if n.died_at is None else n.died_at for n in nodes],
+                dtype=float,
+            ),
+            curvature_scale=self._curvature_scale,
+            rng_states=rng_states,
+            aux=aux,
         )
 
-    def run(self, n_rounds: Optional[int] = None) -> SimulationResult:
-        """Run ``n_rounds`` (default: the problem's duration) and collect."""
+    def restore_state(self, state: WorldState) -> None:
+        """Load a :class:`WorldState` into this engine (same configuration).
+
+        The engine must have been constructed with the same problem and
+        the same optional models (loss, schedule, sampler) as the run the
+        state was captured from; only the mutable state is restored.
+        """
+        if state.k != len(self.nodes):
+            raise ValueError(
+                f"state has {state.k} nodes, engine has {len(self.nodes)}"
+            )
+        for i, node in enumerate(self.nodes):
+            node.position = state.positions[i].copy()
+            node.alive = bool(state.alive[i])
+            node.curvature = float(state.curvature[i])
+            node.distance_travelled = float(state.distance_travelled[i])
+            died = state.died_at[i]
+            node.died_at = None if np.isnan(died) else float(died)
+        self.t = state.t
+        self.round_index = state.round_index
+        self._curvature_scale = state.curvature_scale
+        if "sensor" in state.rng_states:
+            self._sensor_rng.bit_generator.state = state.rng_states["sensor"]
+        if self.radio.loss is not None and "message_loss" in state.rng_states:
+            self.radio.loss.rng_state = state.rng_states["message_loss"]
+        if self.failure_schedule is not None and "failure_fired" in state.aux:
+            self.failure_schedule.restore_fired(state.aux["failure_fired"])
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_rounds: Optional[int] = None,
+        *,
+        checkpoint: Optional[CheckpointConfig] = None,
+    ) -> SimulationResult:
+        """Run ``n_rounds`` (default: the problem's duration) and collect.
+
+        ``checkpoint`` (or the ambient config installed with
+        :func:`repro.runtime.use_checkpointing`) turns on periodic
+        snapshots and — with ``resume=True`` — continues an interrupted
+        run from its newest checkpoint, bit-identically.
+        """
         total = n_rounds if n_rounds is not None else self.problem.n_rounds
         if total < 1:
             raise ValueError(f"n_rounds must be >= 1, got {total}")
-        result = SimulationResult()
-        for _ in range(total):
-            result.rounds.append(self.step())
-        return result
+        return drive_run(
+            self,
+            total,
+            SimulationResult(),
+            RoundRecord,
+            self._CHECKPOINT_PREFIX,
+            checkpoint=checkpoint,
+        )

@@ -39,6 +39,15 @@ class MessageLossModel:
             return True
         return bool(self._rng.random() >= self.probability)
 
+    @property
+    def rng_state(self):
+        """The RNG bit-generator state (JSON-able), for checkpointing."""
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state) -> None:
+        self._rng.bit_generator.state = state
+
 
 @dataclass
 class NodeFailureSchedule:
@@ -64,3 +73,11 @@ class NodeFailureSchedule:
     def reset(self) -> None:
         """Re-arm all scheduled failures (for reusing a schedule object)."""
         self._fired.clear()
+
+    def fired_times(self) -> List[float]:
+        """The schedule times that already fired (for checkpointing)."""
+        return [float(when) for when in self._fired]
+
+    def restore_fired(self, fired: Sequence[float]) -> None:
+        """Overwrite the fired set (restoring a checkpointed run)."""
+        self._fired[:] = list(fired)

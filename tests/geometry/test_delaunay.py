@@ -126,6 +126,26 @@ class TestDelaunayProperty:
             dt.insert(p)
         assert dt.is_delaunay(eps=1e-4)
 
+    def test_point_on_existing_edge(self):
+        # Hypothesis-found regression: a non-duplicate point lying exactly
+        # on an existing (near-degenerate, collinear) edge is strictly
+        # inside no circumcircle, so the strict cavity scan came up empty
+        # and insert() wrongly raised "outside the working area". The
+        # closed-circumdisk fallback must absorb it instead.
+        pts = [(0.0, 0.0), (0.0, 1e-05), (0.0, 5.960464477539063e-08)]
+        dt = DelaunayTriangulation(skip_duplicates=True)
+        for p in pts:
+            dt.insert(p)
+        assert dt.n_points == 3
+        assert dt.is_delaunay(eps=1e-4)
+
+    def test_collinear_midpoint_insert(self):
+        dt = DelaunayTriangulation(skip_duplicates=True)
+        for p in [(0.0, 0.0), (2.0, 0.0), (1.0, 0.0), (1.0, 1.0)]:
+            dt.insert(p)
+        assert dt.n_points == 4
+        assert dt.is_delaunay(eps=1e-4)
+
     def test_incremental_matches_batch(self, rng):
         pts = rng.uniform(0, 50, size=(30, 2))
         batch = DelaunayTriangulation(pts)

@@ -1,0 +1,234 @@
+"""Checkpoint format round-trips and bit-identical resume.
+
+The resume-equivalence tests are the runtime's acceptance criterion: a
+run interrupted at round ``r`` and resumed from its checkpoint must
+reproduce the remaining record series ``np.array_equal``-exactly against
+an uninterrupted run — for both engines, with every stochastic model
+(message loss, sensor noise, scheduled failures) switched on, so the RNG
+stream capture is actually exercised.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.problem import OSTDProblem
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.runtime import (
+    CheckpointConfig,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+    use_checkpointing,
+)
+from repro.runtime.checkpoint import CHECKPOINT_VERSION
+from repro.runtime.records import RoundRecord
+from repro.sim.centralized import CentralizedSimulation
+from repro.sim.engine import MobileSimulation
+from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+
+
+def make_problem(k=16, duration=10.0, side=40.0):
+    field = GreenOrbsLightField(side=side, seed=3, freeze_sun_at=600.0)
+    return OSTDProblem(
+        k=k, rc=10.0, rs=5.0, region=field.region, field=field,
+        speed=1.0, t0=600.0, duration=duration,
+    )
+
+
+def make_mobile(problem):
+    """A mobile engine with every stochastic/failure model enabled."""
+    return MobileSimulation(
+        problem,
+        resolution=41,
+        message_loss=MessageLossModel(0.2, seed=3),
+        failure_schedule=NodeFailureSchedule(at={602.0: [1, 2]}),
+        sensor_noise_std=0.05,
+        sensor_noise_seed=11,
+    )
+
+
+def make_centralized(problem):
+    return CentralizedSimulation(
+        problem, delay_rounds=2, replan_every=2, resolution=41,
+    )
+
+
+def assert_records_equal(got, expected):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert type(g) is type(e)
+        for f in dataclasses.fields(e):
+            gv, ev = getattr(g, f.name), getattr(e, f.name)
+            if isinstance(ev, np.ndarray):
+                assert np.array_equal(gv, ev), f.name
+            else:
+                assert gv == ev, f.name
+
+
+class TestSaveLoad:
+    def test_state_round_trips_exactly(self, tmp_path):
+        sim = make_mobile(make_problem(duration=4.0))
+        sim.run(3)
+        state = sim.capture_state()
+        path = save_checkpoint(
+            tmp_path / "ck.npz", state, engine="MobileSimulation"
+        )
+        loaded = load_checkpoint(path)
+        assert loaded.version == CHECKPOINT_VERSION
+        assert loaded.engine == "MobileSimulation"
+        assert loaded.state.allclose(state)
+        # RNG bit-generator states survive JSON (128-bit PCG64 ints).
+        assert loaded.state.rng_states == state.rng_states
+
+    def test_records_round_trip(self, tmp_path):
+        sim = make_mobile(make_problem(duration=4.0))
+        result = sim.run(3)
+        path = save_checkpoint(
+            tmp_path / "ck.npz", sim.capture_state(), result.rounds
+        )
+        loaded = load_checkpoint(path, record_type=RoundRecord)
+        assert_records_equal(loaded.records, result.rounds)
+
+    def test_no_pickle_in_file(self, tmp_path):
+        sim = make_mobile(make_problem(duration=4.0))
+        result = sim.run(2)
+        path = save_checkpoint(
+            tmp_path / "ck.npz", sim.capture_state(), result.rounds
+        )
+        # allow_pickle=False is load_checkpoint's default; prove the file
+        # really has no object arrays by loading every key that way.
+        with np.load(path, allow_pickle=False) as data:
+            for key in data.files:
+                data[key]
+
+    def test_unknown_version_rejected(self, tmp_path):
+        sim = make_mobile(make_problem(duration=4.0))
+        sim.run(1)
+        path = save_checkpoint(tmp_path / "ck.npz", sim.capture_state())
+        # Rewrite the header with a bumped version.
+        import json
+
+        with np.load(path, allow_pickle=False) as data:
+            payload = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(payload["meta_json"]).decode())
+        meta["version"] = CHECKPOINT_VERSION + 1
+        payload["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        sim = make_mobile(make_problem(duration=4.0))
+        sim.run(1)
+        save_checkpoint(tmp_path / "ck.npz", sim.capture_state())
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+
+class TestManager:
+    def test_latest_wins(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        sim = make_mobile(make_problem(duration=6.0))
+        for _ in range(3):
+            sim.step()
+            manager.save(sim.capture_state())
+        assert len(manager.existing()) == 3
+        latest = manager.load_latest()
+        assert latest.state.round_index == 3
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "nope").load_latest() is None
+
+    def test_claim_manager_is_deterministic(self, tmp_path):
+        cfg_a = CheckpointConfig(tmp_path)
+        cfg_b = CheckpointConfig(tmp_path)
+        dirs_a = [cfg_a.claim_manager("mobile").directory for _ in range(2)]
+        dirs_b = [cfg_b.claim_manager("mobile").directory for _ in range(2)]
+        assert dirs_a == dirs_b
+        assert dirs_a[0] != dirs_a[1]
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointConfig(tmp_path, every=0)
+
+
+class TestResumeEquivalence:
+    """Interrupt at round r, resume, match the uninterrupted run exactly."""
+
+    def test_mobile_resume_bit_identical(self, tmp_path):
+        total, interrupt = 10, 6
+        baseline = make_mobile(make_problem()).run(total)
+
+        interrupted = make_mobile(make_problem())
+        interrupted.run(
+            interrupt, checkpoint=CheckpointConfig(tmp_path, every=3)
+        )
+        resumed = make_mobile(make_problem()).run(
+            total, checkpoint=CheckpointConfig(tmp_path, every=3, resume=True)
+        )
+        assert_records_equal(resumed.rounds, baseline.rounds)
+        assert np.array_equal(resumed.deltas, baseline.deltas)
+        assert np.array_equal(resumed.rmses, baseline.rmses)
+        assert np.array_equal(
+            resumed.final_positions, baseline.final_positions
+        )
+
+    def test_centralized_resume_bit_identical(self, tmp_path):
+        total, interrupt = 10, 5
+        baseline = make_centralized(make_problem()).run(total)
+
+        interrupted = make_centralized(make_problem())
+        interrupted.run(
+            interrupt, checkpoint=CheckpointConfig(tmp_path, every=5)
+        )
+        resumed = make_centralized(make_problem()).run(
+            total, checkpoint=CheckpointConfig(tmp_path, every=5, resume=True)
+        )
+        assert_records_equal(resumed.rounds, baseline.rounds)
+        assert np.array_equal(resumed.deltas, baseline.deltas)
+
+    def test_mobile_midway_state_matches_uninterrupted(self, tmp_path):
+        """The checkpointed state itself equals the uninterrupted engine's."""
+        interrupt = 6
+        reference = make_mobile(make_problem())
+        reference.run(interrupt)
+
+        interrupted = make_mobile(make_problem())
+        interrupted.run(
+            interrupt, checkpoint=CheckpointConfig(tmp_path, every=6)
+        )
+        latest = CheckpointManager(
+            tmp_path / "mobile-000"
+        ).load_latest(record_type=RoundRecord)
+        assert latest.state.allclose(reference.capture_state())
+
+    def test_ambient_config_reaches_engine_runs(self, tmp_path):
+        baseline = make_mobile(make_problem(duration=6.0)).run(6)
+        with use_checkpointing(CheckpointConfig(tmp_path, every=3)):
+            make_mobile(make_problem(duration=6.0)).run(4)
+        with use_checkpointing(
+            CheckpointConfig(tmp_path, every=3, resume=True)
+        ):
+            resumed = make_mobile(make_problem(duration=6.0)).run(6)
+        assert_records_equal(resumed.rounds, baseline.rounds)
+
+    def test_resume_truncates_to_requested_total(self, tmp_path):
+        """Asking for fewer rounds than checkpointed returns a prefix."""
+        baseline = make_mobile(make_problem(duration=6.0)).run(6)
+        make_mobile(make_problem(duration=6.0)).run(
+            6, checkpoint=CheckpointConfig(tmp_path, every=3)
+        )
+        resumed = make_mobile(make_problem(duration=6.0)).run(
+            4, checkpoint=CheckpointConfig(tmp_path, every=3, resume=True)
+        )
+        assert_records_equal(resumed.rounds, baseline.rounds[:4])
+
+    def test_resume_without_checkpoints_runs_from_scratch(self, tmp_path):
+        baseline = make_mobile(make_problem(duration=4.0)).run(4)
+        fresh = make_mobile(make_problem(duration=4.0)).run(
+            4, checkpoint=CheckpointConfig(tmp_path, every=2, resume=True)
+        )
+        assert_records_equal(fresh.rounds, baseline.rounds)

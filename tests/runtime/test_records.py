@@ -1,0 +1,70 @@
+"""Tests for the result containers' cached series accessors."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import RoundRecord, SimulationResult
+from repro.runtime.records import CentralizedResult, CentralizedRound
+
+
+def make_record(i, delta=0.5):
+    return RoundRecord(
+        round_index=i,
+        t=600.0 + i,
+        positions=np.zeros((2, 2)),
+        delta=delta,
+        rmse=delta / 2,
+        connected=True,
+        n_components=1,
+        n_alive=2,
+        n_moved=1,
+        n_lcm_moves=0,
+        mean_force=0.1,
+    )
+
+
+class TestSeriesCache:
+    def test_repeated_access_returns_same_array(self):
+        result = SimulationResult(rounds=[make_record(0), make_record(1)])
+        assert result.times is result.times
+        assert result.deltas is result.deltas
+        assert result.rmses is result.rmses
+
+    def test_append_invalidates(self):
+        result = SimulationResult(rounds=[make_record(0)])
+        first = result.deltas
+        result.rounds.append(make_record(1, delta=0.25))
+        second = result.deltas
+        assert first is not second
+        assert second.tolist() == [0.5, 0.25]
+
+    def test_cached_array_is_read_only(self):
+        result = SimulationResult(rounds=[make_record(0)])
+        with pytest.raises(ValueError):
+            result.times[0] = 0.0
+        # a copy is writable, as callers that mutate are told to take
+        copied = result.times.copy()
+        copied[0] = 0.0
+
+    def test_values_match_rounds(self):
+        result = SimulationResult(
+            rounds=[make_record(i, delta=float(i)) for i in range(5)]
+        )
+        assert np.array_equal(result.times, 600.0 + np.arange(5.0))
+        assert np.array_equal(result.deltas, np.arange(5.0))
+        assert np.array_equal(result.rmses, np.arange(5.0) / 2)
+
+    def test_centralized_cache(self):
+        rounds = [
+            CentralizedRound(
+                round_index=i, t=600.0 + i, positions=np.zeros((2, 2)),
+                delta=0.1 * i, connected=True, n_components=1,
+                n_messages=3, information_age=0,
+            )
+            for i in range(3)
+        ]
+        result = CentralizedResult(rounds=rounds)
+        assert result.deltas is result.deltas
+        result.rounds.append(rounds[0])
+        assert len(result.deltas) == 4
+        assert result.total_messages == 12

@@ -1,0 +1,116 @@
+"""Tests for the Scheduler's phase/middleware sequencing contract.
+
+The exact hook order is load-bearing: the obs "step" span must enclose
+failure injection and every phase, and ``on_round_end`` must fire after
+the round context manager has closed (the pre-refactor engines emitted
+their ``round`` event outside the span). These tests pin that contract
+with logging fakes, independent of either real engine.
+"""
+
+from contextlib import contextmanager
+
+from repro.runtime import Middleware, RoundContext, Scheduler
+
+
+class LogPhase:
+    span_name = None
+
+    def __init__(self, name, log, record=None):
+        self.name = name
+        self._log = log
+        self._record = record
+
+    def run(self, ctx):
+        self._log.append(f"phase:{self.name}")
+        if self._record is not None:
+            ctx.record = self._record
+
+
+class LogMiddleware(Middleware):
+    def __init__(self, tag, log):
+        self.tag = tag
+        self.log = log
+
+    @contextmanager
+    def around_round(self, ctx):
+        self.log.append(f"{self.tag}:round-enter")
+        try:
+            yield
+        finally:
+            self.log.append(f"{self.tag}:round-exit")
+
+    def on_round_start(self, ctx):
+        self.log.append(f"{self.tag}:start")
+
+    @contextmanager
+    def around_phase(self, phase, ctx):
+        self.log.append(f"{self.tag}:{phase.name}-enter")
+        try:
+            yield
+        finally:
+            self.log.append(f"{self.tag}:{phase.name}-exit")
+
+    def on_round_end(self, ctx, record):
+        self.log.append(f"{self.tag}:end:{record}")
+
+
+class TestSequencing:
+    def test_full_hook_order(self):
+        log = []
+        sched = Scheduler(
+            phases=[LogPhase("a", log), LogPhase("b", log, record="REC")],
+            middleware=[LogMiddleware("m1", log), LogMiddleware("m2", log)],
+            advance=lambda ctx: log.append("advance"),
+        )
+        record = sched.run_round(RoundContext(engine=None))
+        assert record == "REC"
+        assert log == [
+            # round spans open in middleware order, enclosing everything
+            "m1:round-enter", "m2:round-enter",
+            "m1:start", "m2:start",
+            # per-phase spans nest inside the round spans
+            "m1:a-enter", "m2:a-enter", "phase:a", "m2:a-exit", "m1:a-exit",
+            "m1:b-enter", "m2:b-enter", "phase:b", "m2:b-exit", "m1:b-exit",
+            # round spans close (LIFO) before any end hook fires
+            "m2:round-exit", "m1:round-exit",
+            "m1:end:REC", "m2:end:REC",
+            # the clock advances dead last
+            "advance",
+        ]
+
+    def test_no_middleware_no_advance(self):
+        log = []
+        sched = Scheduler(phases=[LogPhase("only", log, record=42)])
+        assert sched.run_round(RoundContext(engine=None)) == 42
+        assert log == ["phase:only"]
+
+    def test_default_middleware_hooks_are_noops(self):
+        log = []
+        sched = Scheduler(
+            phases=[LogPhase("p", log, record="r")],
+            middleware=[Middleware()],
+        )
+        assert sched.run_round(RoundContext(engine=None)) == "r"
+
+    def test_phase_exception_skips_end_hooks_but_closes_spans(self):
+        log = []
+
+        class Boom:
+            name = "boom"
+            span_name = None
+
+            def run(self, ctx):
+                raise RuntimeError("boom")
+
+        sched = Scheduler(
+            phases=[Boom()], middleware=[LogMiddleware("m", log)]
+        )
+        try:
+            sched.run_round(RoundContext(engine=None))
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - the raise is the point
+            raise AssertionError("phase exception was swallowed")
+        # Spans unwound; on_round_end never ran for the broken round.
+        assert "m:round-exit" in log
+        assert not any(entry.startswith("m:end") for entry in log)

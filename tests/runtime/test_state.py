@@ -1,0 +1,85 @@
+"""Tests for the serializable WorldState."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import WorldState
+
+
+def make_state(k=4, **overrides):
+    kwargs = dict(
+        round_index=3,
+        t=603.0,
+        positions=np.arange(2 * k, dtype=float).reshape(k, 2),
+        alive=[True] * k,
+        curvature=np.linspace(0.0, 1.0, k),
+        distance_travelled=np.zeros(k),
+        died_at=np.full(k, np.nan),
+        curvature_scale=0.5,
+        rng_states={"sensor": {"state": 12345678901234567890}},
+        arrays={"targets": np.ones((k, 2))},
+        aux={"fired": [602.0]},
+    )
+    kwargs.update(overrides)
+    return WorldState(**kwargs)
+
+
+class TestCoercion:
+    def test_dtypes_and_shapes_normalised(self):
+        state = WorldState(
+            round_index=np.int64(2),
+            t=np.float64(601.0),
+            positions=[[0, 0], [1, 1]],
+            alive=[1, 0],
+            curvature=[0, 1],
+            distance_travelled=[0, 0],
+            died_at=[np.nan, 600.5],
+        )
+        assert isinstance(state.round_index, int)
+        assert isinstance(state.t, float)
+        assert state.positions.dtype == float
+        assert state.positions.shape == (2, 2)
+        assert state.alive.dtype == bool
+        assert state.k == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            make_state(alive=[True] * 3)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        state = make_state()
+        dup = state.copy()
+        dup.positions[0, 0] = 99.0
+        dup.arrays["targets"][0, 0] = 99.0
+        dup.rng_states["sensor"]["state"] = 0
+        dup.aux["fired"].append(700.0)
+        assert state.positions[0, 0] == 0.0
+        assert state.arrays["targets"][0, 0] == 1.0
+        assert state.rng_states["sensor"]["state"] == 12345678901234567890
+        assert state.aux["fired"] == [602.0]
+
+    def test_copy_allclose_to_original(self):
+        state = make_state()
+        assert state.copy().allclose(state)
+
+
+class TestAllclose:
+    def test_exact_by_default(self):
+        a = make_state()
+        b = make_state()
+        b.positions[0, 0] += 1e-12
+        assert not a.allclose(b)
+        assert a.allclose(b, atol=1e-9)
+
+    def test_nan_died_at_compares_equal(self):
+        assert make_state().allclose(make_state())
+
+    def test_differs_on_scalars(self):
+        assert not make_state().allclose(make_state(round_index=4))
+        assert not make_state().allclose(make_state(curvature_scale=None))
+
+    def test_differs_on_extras(self):
+        assert not make_state().allclose(make_state(arrays={}))
+        assert not make_state().allclose(make_state(aux={"fired": []}))

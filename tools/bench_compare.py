@@ -15,6 +15,11 @@ in the job log still surfaces drift early.
 
 Benchmarks present in only one file are listed but never counted as
 regressions (new benchmarks should not fail the suite that adds them).
+
+A missing or malformed JSON file exits with a clear one-line message
+(status 2) instead of a traceback — a fresh checkout without a committed
+baseline should say so, not crash. Benchmarks lacking the requested
+statistic are skipped and reported by name.
 """
 
 from __future__ import annotations
@@ -22,16 +27,47 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
-def load_stats(path: str, stat: str) -> Dict[str, float]:
-    with open(path) as fh:
-        data = json.load(fh)
+def _die(message: str) -> None:
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_stats(path: str, stat: str) -> Tuple[Dict[str, float], List[str]]:
+    """Benchmark-name → statistic from one pytest-benchmark JSON dump.
+
+    Returns ``(stats, skipped)`` where ``skipped`` names benchmarks that
+    lack the requested statistic. Exits (status 2, message on stderr)
+    when the file is missing, unreadable, not JSON, or has no
+    ``benchmarks`` list at all — the caller cannot compare anything then.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        _die(f"bench_compare: cannot read {path}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        _die(f"bench_compare: {path} is not valid JSON: {exc}")
+    benches = data.get("benchmarks")
+    if not isinstance(benches, list):
+        _die(
+            f"bench_compare: {path} has no 'benchmarks' list — is it a "
+            "pytest-benchmark JSON dump (--benchmark-json)?"
+        )
     out: Dict[str, float] = {}
-    for bench in data.get("benchmarks", []):
-        out[bench["name"]] = float(bench["stats"][stat])
-    return out
+    skipped: List[str] = []
+    for bench in benches:
+        name = bench.get("name")
+        stats = bench.get("stats", {})
+        if name is None:
+            continue
+        if stat not in stats:
+            skipped.append(str(name))
+            continue
+        out[str(name)] = float(stats[stat])
+    return out, skipped
 
 
 def main(argv=None) -> int:
@@ -52,10 +88,25 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    base = load_stats(args.baseline, args.stat)
-    curr = load_stats(args.current, args.stat)
+    base, base_skipped = load_stats(args.baseline, args.stat)
+    curr, curr_skipped = load_stats(args.current, args.stat)
+    for label, skipped in (
+        (args.baseline, base_skipped), (args.current, curr_skipped)
+    ):
+        if skipped:
+            print(
+                f"skipped in {label} (no '{args.stat}' stat): "
+                + ", ".join(sorted(skipped))
+            )
 
     names = sorted(set(base) | set(curr))
+    if not names:
+        print(
+            f"bench_compare: no comparable benchmarks between "
+            f"{args.baseline} and {args.current}",
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 2
     width = max((len(n) for n in names), default=4)
     regressions = []
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  change")
