@@ -71,6 +71,13 @@ class CMAParams:
     curvature_threshold: float = 1.0
     #: Weight of the border-anchoring force (CWD requirement #2).
     border_gain: float = 2.0
+    #: Per-round decay on a stale neighbour's curvature weight: a record
+    #: of age ``a`` contributes ``G · stale_weight_decay^a``. Age 0 is
+    #: always weight 1, so a perfect network is unaffected.
+    stale_weight_decay: float = 0.5
+    #: Drop neighbour records older than this many rounds entirely
+    #: (``None``: keep whatever the network layer still delivers).
+    max_beacon_age: Optional[int] = 3
 
     def __post_init__(self) -> None:
         if self.speed <= 0:
@@ -79,6 +86,15 @@ class CMAParams:
             raise ValueError(f"dt must be positive, got {self.dt}")
         if self.step_gain <= 0:
             raise ValueError(f"step_gain must be positive, got {self.step_gain}")
+        if not 0.0 <= self.stale_weight_decay <= 1.0:
+            raise ValueError(
+                "stale_weight_decay must be in [0, 1], got "
+                f"{self.stale_weight_decay}"
+            )
+        if self.max_beacon_age is not None and self.max_beacon_age < 0:
+            raise ValueError(
+                f"max_beacon_age must be >= 0, got {self.max_beacon_age}"
+            )
         # Delegate rc/rs/beta validation to the force params.
         self.force_params()
 
@@ -128,11 +144,19 @@ class LocalSensing:
 
 @dataclass(frozen=True)
 class NeighborObservation:
-    """One ``Rx`` record: a single-hop neighbour's id, position, curvature."""
+    """One ``Rx`` record: a single-hop neighbour's id, position, curvature.
+
+    ``staleness`` is the age of the record in rounds: 0 for a beacon
+    heard this round (the paper's perfect radio — and the default), ``a``
+    for last-known state carried over an unreliable network
+    (:mod:`repro.sim.netmodel`). The planner decays stale neighbours'
+    curvature weight and drops records past the configured age bound.
+    """
 
     node_id: int
     position: np.ndarray
     curvature: float
+    staleness: int = 0
 
 
 @dataclass
@@ -200,12 +224,27 @@ def plan_move(
         own_curvature = estimate_own_curvature(sensing, pos, params)
 
     peak_pos, peak_curv = sensing.peak()
+    # Graceful degradation under an unreliable network: last-known
+    # neighbour state stays usable, but its curvature pull fades with
+    # age and a record past the bound is dropped outright. Age-0 records
+    # (every record, on a perfect network) pass through untouched.
+    usable: List[NeighborObservation] = [
+        n for n in neighbors
+        if params.max_beacon_age is None or n.staleness <= params.max_beacon_age
+    ]
     nbr_pos = (
-        np.asarray([n.position for n in neighbors], dtype=float).reshape(-1, 2)
-        if neighbors
+        np.asarray([n.position for n in usable], dtype=float).reshape(-1, 2)
+        if usable
         else np.empty((0, 2))
     )
-    nbr_curv = np.asarray([n.curvature for n in neighbors], dtype=float)
+    nbr_curv = np.asarray(
+        [
+            n.curvature if n.staleness == 0
+            else n.curvature * params.stale_weight_decay**n.staleness
+            for n in usable
+        ],
+        dtype=float,
+    )
 
     breakdown = resultant_force(
         pos, peak_pos, peak_curv, nbr_pos, nbr_curv, params.force_params(),
@@ -225,5 +264,5 @@ def plan_move(
         destination=destination,
         breakdown=breakdown,
         own_curvature=own_curvature,
-        neighbor_table=list(neighbors),
+        neighbor_table=usable,
     )

@@ -10,6 +10,8 @@ Usage::
     repro-exp run fig10 --checkpoint-dir ck --resume  # continue from latest
     repro-exp all [--fast]               # run everything
     repro-exp all --processes 4 --obs-log r.jsonl  # pooled, merged log
+    repro-exp faults --fast              # fault-intensity degradation curves
+    repro-exp faults --sweeps all --processes 4 --seeds 5
     repro-exp obs summarize r.jsonl      # phase timings + round aggregates
 """
 
@@ -81,6 +83,39 @@ def build_parser() -> argparse.ArgumentParser:
         "every experiment (sharded per worker with --processes)",
     )
 
+    faults_p = sub.add_parser(
+        "faults",
+        help="fault-intensity campaign: sweep network faults, report "
+        "degradation curves",
+    )
+    faults_p.add_argument(
+        "--sweeps", nargs="+", default=["loss", "delay"], metavar="SWEEP",
+        choices=["loss", "burst", "delay", "churn", "all"],
+        help="which fault dimensions to sweep (default: loss delay; "
+        "'all' runs every sweep)",
+    )
+    faults_p.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="independent seeds per intensity point (default: 3)",
+    )
+    faults_p.add_argument("--fast", action="store_true", help="scaled-down runs")
+    faults_p.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="fan the (sweep, intensity, seed) points out over N worker "
+        "processes (default: sequential)",
+    )
+    faults_p.add_argument(
+        "--no-artifacts", action="store_true",
+        help="suppress the ASCII degradation curves",
+    )
+    faults_p.add_argument(
+        "--csv", metavar="PATH", help="also write the rows to a CSV file"
+    )
+    faults_p.add_argument(
+        "--obs-log", metavar="PATH",
+        help="write per-point faults_point events to a JSONL log",
+    )
+
     obs_p = sub.add_parser(
         "obs", help="observability: inspect instrumented run logs"
     )
@@ -148,6 +183,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 obs_log=args.obs_log,
             )
         )
+        if args.obs_log:
+            print(f"wrote event log {args.obs_log}")
+        return 0
+    if args.command == "faults":
+        from contextlib import ExitStack
+
+        from repro.experiments.faults import SWEEPS, run_faults_campaign
+        from repro.obs import Instrumentation, use_instrumentation
+
+        sweeps = (
+            tuple(SWEEPS)
+            if "all" in args.sweeps
+            else tuple(dict.fromkeys(args.sweeps))
+        )
+        with ExitStack() as stack:
+            if args.obs_log:
+                obs = Instrumentation.to_jsonl(args.obs_log)
+                stack.callback(obs.close)
+                stack.enter_context(use_instrumentation(obs))
+            try:
+                result = run_faults_campaign(
+                    sweeps=sweeps,
+                    seeds=args.seeds,
+                    fast=args.fast,
+                    processes=args.processes,
+                )
+            except (KeyError, ValueError) as exc:
+                print(exc, file=sys.stderr)
+                return 2
+        print(format_result(result, show_artifacts=not args.no_artifacts))
+        if args.csv:
+            from repro.experiments.export import write_csv
+
+            print(f"wrote {write_csv(result, args.csv)}")
         if args.obs_log:
             print(f"wrote event log {args.obs_log}")
         return 0

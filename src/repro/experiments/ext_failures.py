@@ -3,8 +3,13 @@
 The paper assumes perfect radios and immortal nodes. Real deployments get
 neither, and LCM's connectivity argument quietly depends on hearing
 beacons. This experiment runs the Fig. 10 scenario under (a) 20% of the
-fleet dying mid-run and (b) 20% message loss, and reports how δ and
-connectivity degrade.
+fleet dying mid-run, (b) 20% i.i.d. message loss, (c) the same average
+loss delivered in Gilbert–Elliott bursts, (d) beacons delayed up to two
+rounds (planned against with the bounded-age grace), and (e) transient
+crash/recovery churn — and reports how δ and connectivity degrade.
+
+For full intensity *sweeps* (degradation curves rather than spot checks)
+see ``repro-exp faults`` (:mod:`repro.experiments.faults`).
 """
 
 from __future__ import annotations
@@ -16,6 +21,14 @@ from repro.experiments import config
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.sim.engine import MobileSimulation
 from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.netmodel import (
+    GilbertElliottLink,
+    NetworkModel,
+    PerfectLink,
+    RandomChurn,
+    RetryPolicy,
+    UniformDelayModel,
+)
 
 K = 100
 
@@ -59,6 +72,18 @@ def _loss_note(rows) -> str:
     )
 
 
+def _burst_note(rows) -> str:
+    iid = _row_of(rows, "20% message loss")
+    burst = _row_of(rows, "20% bursty loss (GE)")
+    return (
+        "Measured (burstiness): at the same ~20% average loss rate the "
+        f"bursty channel ends at final δ = {burst['delta_final']} vs "
+        f"{iid['delta_final']} for i.i.d. loss — correlated outages "
+        "silence whole neighbourhoods for rounds at a time, which one "
+        "backoff retry per beacon only partly recovers."
+    )
+
+
 @experiment(
     "ext_failures",
     "CMA under node deaths and message loss",
@@ -71,23 +96,57 @@ def run(fast: bool = False) -> ExperimentResult:
     # Kill a spatially spread 20% of the fleet (every 5th node id).
     doomed = list(range(0, K, 5))
 
+    # (name, failure_schedule, message_loss, network, crash_model) —
+    # the first three rows predate the netmodel and keep their legacy
+    # radio-level configuration so their numbers stay comparable across
+    # versions; the netmodel scenarios layer the richer pipeline on top.
     scenarios = (
-        ("baseline", None, None),
+        ("baseline", None, None, None, None),
         (
             "20% node deaths",
             NodeFailureSchedule(at={death_time: doomed}),
+            None, None, None,
+        ),
+        ("20% message loss", None, MessageLossModel(0.2, seed=1), None, None),
+        (
+            # Same ~20% average loss as above, but bursty: mean burst of
+            # 4 bad rounds per link, one backoff retry per beacon.
+            "20% bursty loss (GE)",
+            None, None,
+            NetworkModel(
+                GilbertElliottLink(
+                    p_fail=0.082, p_recover=0.25, loss_bad=0.9, seed=1
+                ),
+                retry=RetryPolicy(max_retries=1),
+            ),
             None,
         ),
-        ("20% message loss", None, MessageLossModel(0.2, seed=1)),
+        (
+            "delayed beacons (<=2 rounds)",
+            None, None,
+            NetworkModel(
+                PerfectLink(),
+                delay=UniformDelayModel(2, seed=2),
+                max_age=4,
+            ),
+            None,
+        ),
+        (
+            "5% transient crashes",
+            None, None, None,
+            RandomChurn(0.05, recover_prob=0.3, seed=3),
+        ),
     )
     rows = []
-    for name, deaths, loss in scenarios:
+    for name, deaths, loss, network, crash in scenarios:
         sim = MobileSimulation(
             _make_problem(field, sc.n_rounds),
             params=config.cma_params(),
             resolution=sc.resolution,
             failure_schedule=deaths,
             message_loss=loss,
+            network=network,
+            crash_model=crash,
         )
         result = sim.run()
         deltas = result.deltas
@@ -113,5 +172,6 @@ def run(fast: bool = False) -> ExperimentResult:
             "Not in the paper: robustness quantification.",
             _deaths_note(rows),
             _loss_note(rows),
+            _burst_note(rows),
         ],
     )

@@ -1,0 +1,280 @@
+"""``repro-exp faults`` — fault-intensity sweeps and degradation curves.
+
+The netmodel (:mod:`repro.sim.netmodel`) turns "does CMA survive a real
+network?" into a measurable question. This campaign answers it the way
+the robustness literature does (Chu & Sethu's lifetime curves, Casadei
+et al.'s resilience-first evaluation): sweep one fault dimension at a
+time across several seeds and plot reconstruction quality against fault
+intensity.
+
+Four sweeps are built in:
+
+* ``loss``  — i.i.d. beacon loss probability (0 → heavy loss);
+* ``burst`` — Gilbert–Elliott mean burst length at a fixed ~20% average
+  loss rate, isolating *burstiness* from loss volume;
+* ``delay`` — maximum beacon latency in rounds (with the bounded-age
+  last-known-neighbour grace the planner degrades through);
+* ``churn`` — per-round transient crash probability (recovery mean
+  ~3 rounds).
+
+Every point is an independent, fully deterministic simulation (the seed
+indexes all RNG streams), so the campaign fans out over the same
+``--processes`` pool as ``repro-exp all``. Per-point results are also
+emitted as ``faults_point`` events through the ambient observability
+layer, so an instrumented run leaves the raw degradation data in its
+JSONL log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import OSTDProblem
+from repro.experiments import config
+from repro.experiments.registry import ExperimentResult
+from repro.obs.instrument import get_instrumentation
+from repro.sim.engine import MobileSimulation
+from repro.sim.netmodel import (
+    BernoulliLink,
+    GilbertElliottLink,
+    NetworkModel,
+    PerfectLink,
+    RandomChurn,
+    RetryPolicy,
+    UniformDelayModel,
+)
+from repro.viz.ascii import render_series
+
+__all__ = ["SWEEPS", "run_faults_campaign"]
+
+#: Fleet size of the campaign runs (full / fast).
+K_FULL = 100
+K_FAST = 36
+
+#: Average loss rate the burst sweep holds constant while the burst
+#: length varies, and the bad-state loss probability producing it.
+BURST_MEAN_LOSS = 0.2
+BURST_LOSS_BAD = 0.9
+
+#: Intensity grids per sweep (full / fast).
+SWEEPS: Dict[str, Dict[str, Sequence[float]]] = {
+    "loss": {"full": (0.0, 0.1, 0.2, 0.35, 0.5), "fast": (0.0, 0.25, 0.5)},
+    "burst": {"full": (1.0, 2.0, 4.0, 8.0), "fast": (1.0, 4.0)},
+    "delay": {"full": (0.0, 1.0, 2.0, 3.0, 4.0), "fast": (0.0, 2.0, 4.0)},
+    "churn": {"full": (0.0, 0.02, 0.05, 0.1), "fast": (0.0, 0.05)},
+}
+
+#: Graceful-degradation bound used by the delay sweep's network model.
+DELAY_MAX_AGE = 4
+
+
+def _make_problem(field, k: int, n_rounds: int) -> OSTDProblem:
+    return OSTDProblem(
+        k=k, rc=config.RC, rs=config.RS, region=field.region, field=field,
+        speed=config.SPEED, t0=config.T_REFERENCE, duration=float(n_rounds),
+    )
+
+
+def _build_sim(
+    sweep: str, intensity: float, seed: int, fast: bool
+) -> MobileSimulation:
+    """One deterministic campaign run (all RNG streams indexed by seed)."""
+    sc = config.scale(fast)
+    k = K_FAST if fast else K_FULL
+    field = config.ostd_field()
+    problem = _make_problem(field, k, sc.n_rounds)
+    link_seed, delay_seed, churn_seed = (
+        seed * 101 + 1, seed * 101 + 2, seed * 101 + 3
+    )
+
+    network = None
+    crash_model = None
+    if sweep == "loss" and intensity > 0:
+        network = NetworkModel(
+            BernoulliLink(float(intensity), seed=link_seed), max_age=0
+        )
+    elif sweep == "burst":
+        # Hold the stationary loss rate at BURST_MEAN_LOSS while the mean
+        # burst length L = 1/p_recover varies: π_bad · loss_bad = target.
+        pi_bad = BURST_MEAN_LOSS / BURST_LOSS_BAD
+        p_recover = 1.0 / float(intensity)
+        p_fail = pi_bad / (1.0 - pi_bad) * p_recover
+        network = NetworkModel(
+            GilbertElliottLink(
+                p_fail=p_fail, p_recover=p_recover,
+                loss_bad=BURST_LOSS_BAD, seed=link_seed,
+            ),
+            retry=RetryPolicy(max_retries=1),
+            max_age=0,
+        )
+    elif sweep == "delay" and intensity > 0:
+        network = NetworkModel(
+            PerfectLink(),
+            delay=UniformDelayModel(int(intensity), seed=delay_seed),
+            max_age=DELAY_MAX_AGE,
+        )
+    elif sweep == "churn" and intensity > 0:
+        crash_model = RandomChurn(
+            float(intensity), recover_prob=0.3, seed=churn_seed
+        )
+    elif sweep not in SWEEPS:
+        raise KeyError(f"unknown sweep {sweep!r}; have {sorted(SWEEPS)}")
+
+    return MobileSimulation(
+        problem,
+        params=config.cma_params(),
+        resolution=sc.resolution,
+        network=network,
+        crash_model=crash_model,
+    )
+
+
+def _run_point(args: Tuple[str, float, int, bool]) -> dict:
+    """Pool worker: one (sweep, intensity, seed) simulation → raw metrics.
+
+    Module-level (not a closure) so it pickles under every start method.
+    """
+    sweep, intensity, seed, fast = args
+    result = _build_sim(sweep, intensity, seed, fast).run()
+    deltas = result.deltas
+    comps = [r.n_components for r in result.rounds]
+    return {
+        "sweep": sweep,
+        "intensity": float(intensity),
+        "seed": int(seed),
+        "delta_final": float(deltas[-1]),
+        "delta_min": float(np.nanmin(deltas)),
+        "disconnected_rounds": int(sum(c > 1 for c in comps)),
+        "alive_final": int(result.rounds[-1].n_alive),
+    }
+
+
+def _aggregate(points: List[dict]) -> dict:
+    """Mean ± std across the seeds of one (sweep, intensity) cell."""
+    finals = np.asarray([p["delta_final"] for p in points], dtype=float)
+    return {
+        "sweep": points[0]["sweep"],
+        "intensity": points[0]["intensity"],
+        "delta_final_mean": round(float(finals.mean()), 1),
+        "delta_final_std": round(float(finals.std()), 1),
+        "disconnected_rounds": round(
+            float(np.mean([p["disconnected_rounds"] for p in points])), 1
+        ),
+        "alive_final": round(
+            float(np.mean([p["alive_final"] for p in points])), 1
+        ),
+    }
+
+
+def run_faults_campaign(
+    sweeps: Sequence[str] = ("loss", "delay"),
+    seeds: int = 3,
+    fast: bool = False,
+    processes: Optional[int] = None,
+) -> ExperimentResult:
+    """Run the requested sweeps and build the degradation table.
+
+    Each sweep's zero/reference intensity is the shared no-fault
+    baseline (computed once per seed, not once per sweep); the
+    ``delta_vs_baseline`` column is the relative final-δ degradation
+    against it. ``processes=N`` fans the points out over a process
+    pool — they are independent simulations.
+    """
+    for sweep in sweeps:
+        if sweep not in SWEEPS:
+            raise KeyError(f"unknown sweep {sweep!r}; have {sorted(SWEEPS)}")
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    mode = "fast" if fast else "full"
+
+    # The no-fault baseline is sweep-independent; run it once per seed
+    # under the "loss" label at intensity 0 and reuse it everywhere a
+    # sweep's grid starts at its no-fault point.
+    tasks: List[Tuple[str, float, int, bool]] = [
+        ("loss", 0.0, s, fast) for s in range(seeds)
+    ]
+    for sweep in sweeps:
+        for intensity in SWEEPS[sweep][mode]:
+            if _is_baseline(sweep, intensity):
+                continue
+            tasks.extend((sweep, float(intensity), s, fast) for s in range(seeds))
+
+    if processes is not None and processes > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            points = list(pool.map(_run_point, tasks))
+    else:
+        points = [_run_point(task) for task in tasks]
+
+    obs = get_instrumentation()
+    if obs.enabled:
+        for p in points:
+            obs.emit("faults_point", **p)
+
+    baseline_points = points[:seeds]
+    baseline_mean = float(
+        np.mean([p["delta_final"] for p in baseline_points])
+    )
+
+    rows: List[dict] = []
+    artifacts: Dict[str, str] = {}
+    for sweep in sweeps:
+        curve_x: List[float] = []
+        curve_y: List[float] = []
+        for intensity in SWEEPS[sweep][mode]:
+            if _is_baseline(sweep, intensity):
+                cell = [
+                    {**p, "sweep": sweep, "intensity": float(intensity)}
+                    for p in baseline_points
+                ]
+            else:
+                cell = [
+                    p for p in points
+                    if p["sweep"] == sweep and p["intensity"] == intensity
+                ]
+            row = _aggregate(cell)
+            row["delta_vs_baseline"] = (
+                round(row["delta_final_mean"] / baseline_mean - 1.0, 3)
+                if baseline_mean > 0
+                else float("nan")
+            )
+            rows.append(row)
+            curve_x.append(row["intensity"])
+            curve_y.append(row["delta_final_mean"])
+        if len(curve_x) > 1:
+            artifacts[f"degradation_{sweep}"] = render_series(
+                curve_x, curve_y,
+                label=f"{sweep}: final δ (mean of {seeds} seeds) vs intensity",
+            )
+
+    return ExperimentResult(
+        experiment_id="faults",
+        title="CMA degradation vs fault intensity",
+        columns=(
+            "sweep", "intensity", "delta_final_mean", "delta_final_std",
+            "delta_vs_baseline", "disconnected_rounds", "alive_final",
+        ),
+        rows=rows,
+        notes=[
+            "Not in the paper: unreliable-network robustness campaign.",
+            f"{seeds} seeds per point; delta_vs_baseline is relative final-δ "
+            "degradation against the shared no-fault baseline "
+            f"(δ = {baseline_mean:.1f}).",
+            "Sweeps: loss = i.i.d. drop probability; burst = Gilbert–Elliott "
+            f"mean burst length at ~{BURST_MEAN_LOSS:.0%} average loss; "
+            "delay = max beacon latency in rounds (bounded-age grace "
+            f"{DELAY_MAX_AGE}); churn = per-round crash probability "
+            "(mean outage ~3.3 rounds).",
+        ],
+        artifacts=artifacts,
+    )
+
+
+def _is_baseline(sweep: str, intensity: float) -> bool:
+    """Whether this grid point is the sweep's no-fault reference."""
+    if sweep == "burst":
+        return False  # every burst point carries the fixed average loss
+    return float(intensity) == 0.0

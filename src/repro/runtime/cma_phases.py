@@ -183,7 +183,13 @@ class SensePhase:
 
 
 class ExchangePhase:
-    """One beacon exchange round (dead nodes transmit nothing)."""
+    """One beacon exchange round (dead nodes transmit nothing).
+
+    With a :class:`~repro.sim.netmodel.network.NetworkModel` on the
+    engine, the exchange runs through the unreliable-network pipeline
+    (loss, retries, latency, last-known-neighbour staleness); otherwise
+    it is the plain radio, bit-identical to the seed.
+    """
 
     name = "exchange"
     span_name = "exchange"
@@ -191,9 +197,16 @@ class ExchangePhase:
     def run(self, ctx: MobileRoundContext) -> None:
         engine = ctx.engine
         curvatures = [n.curvature for n in engine.nodes]
-        ctx.inboxes = engine.radio.exchange(
-            ctx.positions, curvatures, alive=ctx.alive_mask
-        )
+        network = getattr(engine, "network", None)
+        if network is not None:
+            ctx.inboxes = network.exchange(
+                engine.radio, ctx.positions, curvatures, ctx.alive_mask,
+                engine.round_index,
+            )
+        else:
+            ctx.inboxes = engine.radio.exchange(
+                ctx.positions, curvatures, alive=ctx.alive_mask
+            )
 
 
 class PlanPhase:

@@ -85,11 +85,21 @@ class ObsMiddleware(Middleware):
 
 
 class FailureInjectionMiddleware(Middleware):
-    """Scheduled deaths + energy exhaustion at the start of each round.
+    """Node-level fault injection at the start of each round.
 
     Fires inside the round span (it was the round's "phase 0" before the
-    refactor). Reads the schedule/budget off the engine every round so a
-    facade reconfigured between rounds behaves as it always did.
+    refactor), in a fixed order so the injected fault sequence — and
+    with it every RNG stream — is deterministic:
+
+    1. scheduled permanent deaths (``failure_schedule``),
+    2. transient crash/recovery (``crash_model`` — a
+       :class:`~repro.sim.netmodel.churn.CrashSchedule` or
+       :class:`~repro.sim.netmodel.churn.RandomChurn`),
+    3. energy depletion (``energy_model``), then the legacy
+       movement-distance ``energy_budget``.
+
+    Reads every model off the engine each round so a facade
+    reconfigured between rounds behaves as it always did.
     """
 
     def __init__(self, engine: Any) -> None:
@@ -102,6 +112,12 @@ class FailureInjectionMiddleware(Middleware):
             for node_id in schedule.failures_due(engine.t):
                 if 0 <= node_id < len(engine.nodes):
                     engine.nodes[node_id].kill(engine.t)
+        crash_model = getattr(engine, "crash_model", None)
+        if crash_model is not None:
+            crash_model.step(engine.t, engine.round_index, engine.nodes)
+        energy_model = getattr(engine, "energy_model", None)
+        if energy_model is not None:
+            energy_model.step(engine.t, engine.round_index, engine.nodes)
         budget = getattr(engine, "energy_budget", None)
         if budget is not None:
             for node in engine.nodes:

@@ -8,7 +8,10 @@ package is that testbed:
 * :mod:`.radio` — unit-disk neighbour discovery and the per-round
   ``(x, y, G)`` exchange, with optional message loss,
 * :mod:`.messages` — the ``tell`` message (destination + neighbour table),
-* :mod:`.failures` — failure injection: node death schedules, lossy links,
+* :mod:`.netmodel` — the unreliable-network subsystem: link-loss models
+  (i.i.d., distance-dependent, Gilbert–Elliott bursty), beacon latency
+  with staleness, retry/ack with backoff, crash/recovery churn, energy
+  depletion, and the legacy failure models,
 * :mod:`.engine` — the synchronous round loop
   (sense → exchange → plan → move → LCM → measure), and
 * :mod:`.recorders` — pluggable observers collecting δ(t), trajectories,
@@ -18,7 +21,21 @@ package is that testbed:
 from repro.sim.sensing import DiskSensor, TraceSampler
 from repro.sim.radio import Radio
 from repro.sim.messages import TellMessage
-from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.netmodel import (
+    BernoulliLink,
+    CrashSchedule,
+    DistanceLossLink,
+    EnergyDepletionModel,
+    GilbertElliottLink,
+    LinkModel,
+    MessageLossModel,
+    NetworkModel,
+    NodeFailureSchedule,
+    PerfectLink,
+    RandomChurn,
+    RetryPolicy,
+    UniformDelayModel,
+)
 from repro.sim.engine import MobileSimulation, RoundRecord, SimulationResult
 from repro.sim.centralized import (
     CentralizedResult,
@@ -36,23 +53,34 @@ from repro.sim.recorders import (
 )
 
 __all__ = [
+    "BernoulliLink",
     "CentralizedResult",
     "CentralizedSimulation",
     "ConnectivityRecorder",
+    "CrashSchedule",
     "DeltaRecorder",
     "DiskSensor",
+    "DistanceLossLink",
+    "EnergyDepletionModel",
     "ForceRecorder",
+    "GilbertElliottLink",
+    "LinkModel",
     "MessageLossModel",
     "MetricsRecorder",
     "MobileSimulation",
+    "NetworkModel",
     "NodeFailureSchedule",
+    "PerfectLink",
     "Radio",
+    "RandomChurn",
     "Recorder",
+    "RetryPolicy",
     "RoundRecord",
     "SimulationResult",
     "TellMessage",
     "TraceSampler",
     "TrajectoryRecorder",
+    "UniformDelayModel",
     "cma_message_count",
     "record_round",
 ]

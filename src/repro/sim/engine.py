@@ -46,7 +46,9 @@ from repro.runtime.middleware import (
 from repro.runtime.records import RoundRecord, SimulationResult
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.state import WorldState
-from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.netmodel.churn import EnergyDepletionModel
+from repro.sim.netmodel.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.netmodel.network import NetworkModel
 from repro.sim.node import NodeState
 from repro.sim.radio import Radio
 from repro.sim.recorders import Recorder, record_round
@@ -103,6 +105,9 @@ class MobileSimulation:
         resolution: int = 101,
         message_loss: Optional[MessageLossModel] = None,
         failure_schedule: Optional[NodeFailureSchedule] = None,
+        network: Optional[NetworkModel] = None,
+        crash_model=None,
+        energy_model: Optional[EnergyDepletionModel] = None,
         trace_sampler: Optional[TraceSampler] = None,
         recorders: Sequence[Recorder] = (),
         energy_budget: Optional[float] = None,
@@ -120,7 +125,20 @@ class MobileSimulation:
         if self.params.rc != problem.rc or self.params.rs != problem.rs:
             raise ValueError("CMAParams radii must match the problem's Rc/Rs")
         self.resolution = int(resolution)
+        if network is not None and message_loss is not None:
+            raise ValueError(
+                "pass either message_loss (legacy i.i.d. radio loss) or "
+                "network (the netmodel pipeline), not both — wrap the loss "
+                "in NetworkModel(link=...) instead"
+            )
         self.radio = Radio(problem.rc, loss=message_loss)
+        #: Unreliable-network pipeline (loss/latency/staleness/retries);
+        #: ``None`` keeps the paper's perfect one-round beacon exchange.
+        self.network = network
+        #: Transient crash/recovery model (CrashSchedule / RandomChurn).
+        self.crash_model = crash_model
+        #: Battery model charging idle time + movement; kills at depletion.
+        self.energy_model = energy_model
         self.failure_schedule = failure_schedule
         #: Instrumentation for phase spans and per-round events; defaults
         #: to the ambient instance (a disabled no-op unless the caller
@@ -206,6 +224,12 @@ class MobileSimulation:
         aux = {}
         if self.failure_schedule is not None:
             aux["failure_fired"] = self.failure_schedule.fired_times()
+        if self.network is not None:
+            aux["network"] = self.network.state_dict()
+        if self.crash_model is not None:
+            aux["crash"] = self.crash_model.state_dict()
+        if self.energy_model is not None:
+            aux["energy"] = self.energy_model.state_dict()
         return WorldState(
             round_index=self.round_index,
             t=self.t,
@@ -251,6 +275,12 @@ class MobileSimulation:
             self.radio.loss.rng_state = state.rng_states["message_loss"]
         if self.failure_schedule is not None and "failure_fired" in state.aux:
             self.failure_schedule.restore_fired(state.aux["failure_fired"])
+        if self.network is not None and "network" in state.aux:
+            self.network.load_state_dict(state.aux["network"])
+        if self.crash_model is not None and "crash" in state.aux:
+            self.crash_model.load_state_dict(state.aux["crash"])
+        if self.energy_model is not None and "energy" in state.aux:
+            self.energy_model.load_state_dict(state.aux["energy"])
 
     # ------------------------------------------------------------------
     def run(

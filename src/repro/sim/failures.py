@@ -1,83 +1,19 @@
-"""Failure injection for robustness experiments.
+"""Back-compat shim: the fault models moved to :mod:`repro.sim.netmodel`.
 
-Nothing in the paper's evaluation kills nodes or drops packets — real
-deployments do. These models plug into the engine/radio so the extension
-experiments (DESIGN.md §5) can measure how CMA + LCM degrade:
+The seed's failure surface (i.i.d. Bernoulli message loss + permanent
+scheduled deaths) grew into the full network+fault subsystem under
+:mod:`repro.sim.netmodel` — link models, beacon latency, crash/recovery
+churn, energy depletion and the retry/ack exchange. The two original
+classes keep their historical import path here:
 
-* :class:`MessageLossModel` — each directed beacon delivery is dropped
-  i.i.d. with a fixed probability (a memoryless lossy link).
-* :class:`NodeFailureSchedule` — nodes die (permanently) at scheduled
-  simulation times.
+* :class:`~repro.sim.netmodel.failures.MessageLossModel`
+* :class:`~repro.sim.netmodel.failures.NodeFailureSchedule`
+
+New code should import from :mod:`repro.sim.netmodel` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from repro.sim.netmodel.failures import MessageLossModel, NodeFailureSchedule
 
-import numpy as np
-
-
-class MessageLossModel:
-    """Bernoulli loss on each directed message delivery.
-
-    Deterministic given the seed; the same model instance must be reused
-    across rounds so the RNG stream advances.
-    """
-
-    def __init__(self, probability: float, seed: int = 0) -> None:
-        if not 0.0 <= probability < 1.0:
-            raise ValueError(
-                f"loss probability must be in [0, 1), got {probability}"
-            )
-        self.probability = float(probability)
-        self._rng = np.random.default_rng(seed)
-
-    def delivered(self) -> bool:
-        """Sample one delivery attempt."""
-        if self.probability == 0.0:
-            return True
-        return bool(self._rng.random() >= self.probability)
-
-    @property
-    def rng_state(self):
-        """The RNG bit-generator state (JSON-able), for checkpointing."""
-        return self._rng.bit_generator.state
-
-    @rng_state.setter
-    def rng_state(self, state) -> None:
-        self._rng.bit_generator.state = state
-
-
-@dataclass
-class NodeFailureSchedule:
-    """Nodes that die at given simulation times (minutes).
-
-    ``at[t]`` lists node ids that fail at the *start* of the round whose
-    time is >= t (first such round). A dead node stops sensing, moving and
-    transmitting; it also stops contributing samples to reconstruction.
-    """
-
-    at: Dict[float, Sequence[int]] = field(default_factory=dict)
-    _fired: List[float] = field(default_factory=list)
-
-    def failures_due(self, t: float) -> List[int]:
-        """Node ids that should die at time ``t`` (each schedule fires once)."""
-        due: List[int] = []
-        for when, ids in self.at.items():
-            if when <= t and when not in self._fired:
-                self._fired.append(when)
-                due.extend(int(i) for i in ids)
-        return due
-
-    def reset(self) -> None:
-        """Re-arm all scheduled failures (for reusing a schedule object)."""
-        self._fired.clear()
-
-    def fired_times(self) -> List[float]:
-        """The schedule times that already fired (for checkpointing)."""
-        return [float(when) for when in self._fired]
-
-    def restore_fired(self, fired: Sequence[float]) -> None:
-        """Overwrite the fired set (restoring a checkpointed run)."""
-        self._fired[:] = list(fired)
+__all__ = ["MessageLossModel", "NodeFailureSchedule"]

@@ -1,0 +1,114 @@
+"""Beacon latency: delivered beacons may arrive 1..d rounds late.
+
+The round-synchronous engine assumed every beacon lands in the round it
+was sent. Duty-cycled radios and congested MACs do not work that way: a
+beacon can miss the listener's receive window and surface one or more
+rounds later, carrying a *stale* position and curvature. The delay
+machinery has two halves:
+
+* :class:`UniformDelayModel` — samples an integer delay in
+  ``[0, max_delay]`` rounds per delivered beacon (deterministic given
+  the seed; ``max_delay = 0`` consumes no RNG draws, so a disabled
+  model is bit-identical to no model at all);
+* :class:`BeaconDelayQueue` — the in-flight beacon store, keyed by the
+  absolute round index at which each beacon becomes audible.
+
+A beacon that was in flight when its sender crashed still arrives — the
+transmission already happened. Staleness accounting (how old the
+observation is when the receiver finally uses it) lives in
+:class:`~repro.sim.netmodel.network.NetworkModel`, which stamps every
+observation with ``round_now − sent_round``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+__all__ = ["UniformDelayModel", "BeaconDelayQueue", "PendingBeacon"]
+
+
+class UniformDelayModel:
+    """Integer beacon delay drawn uniformly from ``[0, max_delay]`` rounds."""
+
+    def __init__(self, max_delay: int, seed: int = 0) -> None:
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.max_delay = int(max_delay)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> int:
+        """Delay (rounds) of one delivered beacon."""
+        if self.max_delay == 0:
+            return 0
+        return int(self._rng.integers(0, self.max_delay + 1))
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
+
+@dataclass(frozen=True)
+class PendingBeacon:
+    """One in-flight beacon: who hears what, and when."""
+
+    deliver_round: int
+    receiver: int
+    sender: int
+    x: float
+    y: float
+    curvature: float
+    sent_round: int
+
+    def as_row(self) -> List[float]:
+        """Flat JSON-able row (the checkpoint wire format)."""
+        return [
+            int(self.deliver_round), int(self.receiver), int(self.sender),
+            float(self.x), float(self.y), float(self.curvature),
+            int(self.sent_round),
+        ]
+
+    @classmethod
+    def from_row(cls, row: List[float]) -> "PendingBeacon":
+        return cls(
+            deliver_round=int(row[0]), receiver=int(row[1]),
+            sender=int(row[2]), x=float(row[3]), y=float(row[4]),
+            curvature=float(row[5]), sent_round=int(row[6]),
+        )
+
+
+class BeaconDelayQueue:
+    """In-flight beacons, delivered at their absolute round index.
+
+    Insertion order is preserved within and across rounds, so replaying
+    the same push sequence yields the same pop sequence — part of the
+    bit-identical resume contract.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[PendingBeacon] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, beacon: PendingBeacon) -> None:
+        self._pending.append(beacon)
+
+    def pop_due(self, round_index: int) -> List[PendingBeacon]:
+        """Remove and return every beacon due at or before ``round_index``."""
+        due = [b for b in self._pending if b.deliver_round <= round_index]
+        if due:
+            self._pending = [
+                b for b in self._pending if b.deliver_round > round_index
+            ]
+        return due
+
+    def state_dict(self) -> List[List[float]]:
+        return [b.as_row() for b in self._pending]
+
+    def load_state_dict(self, rows: List[List[float]]) -> None:
+        self._pending = [PendingBeacon.from_row(row) for row in rows]

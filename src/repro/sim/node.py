@@ -19,6 +19,9 @@ class NodeState:
 
     node_id: int
     position: np.ndarray
+    #: Participating this round: ``False`` covers both a transient crash
+    #: (``died_at`` still ``None`` — the node can come back) and
+    #: permanent death (``died_at`` set — it cannot).
     alive: bool = True
     #: Curvature the node computed for itself this round (diagnostics).
     curvature: float = 0.0
@@ -39,7 +42,22 @@ class NodeState:
         return step
 
     def kill(self, t: float) -> None:
-        """Mark the node dead as of time ``t``; idempotent."""
-        if self.alive:
+        """Mark the node permanently dead as of time ``t``; idempotent.
+
+        Keyed on ``died_at`` rather than ``alive`` so a node that is
+        merely crashed (off the air but recoverable) can still be killed
+        for good by a death schedule or energy exhaustion.
+        """
+        if self.died_at is None:
             self.alive = False
             self.died_at = t
+
+    def crash(self) -> None:
+        """Take the node off the air, recoverably (no death time set)."""
+        if self.died_at is None:
+            self.alive = False
+
+    def recover(self) -> None:
+        """Bring a crashed node back; permanent death is final."""
+        if self.died_at is None:
+            self.alive = True

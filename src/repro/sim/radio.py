@@ -4,6 +4,12 @@ Two nodes are single-hop neighbours iff their distance is at most ``Rc``
 (the paper's communication model). Each round every alive node broadcasts
 ``(x, y, G)``; the radio delivers those beacons to every in-range listener,
 subject to the optional message-loss model.
+
+This class stays the *geometric* layer. The richer failure surface —
+distance-dependent and bursty loss, delayed beacons, retry/ack — lives in
+:class:`repro.sim.netmodel.network.NetworkModel`, which calls
+:meth:`Radio.neighbor_ids` for the in-range sets and layers the
+unreliable-network pipeline on top.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import numpy as np
 
 from repro.core.cma import NeighborObservation
 from repro.geometry.primitives import pairwise_distances
-from repro.sim.failures import MessageLossModel
+from repro.sim.netmodel.failures import MessageLossModel
 
 
 class Radio:

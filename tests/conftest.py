@@ -1,9 +1,30 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
+else:
+    # "ci" is fully derandomized: the same examples every run, no shrink
+    # timing flakiness — select it with HYPOTHESIS_PROFILE=ci (the CI
+    # workflow does). "dev" keeps random exploration but drops the
+    # per-example deadline, which misfires on cold numpy imports.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.fields.analytic import GaussianBump, GaussianMixtureField, PeaksField
 from repro.fields.base import sample_grid

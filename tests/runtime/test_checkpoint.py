@@ -27,6 +27,16 @@ from repro.runtime.records import RoundRecord
 from repro.sim.centralized import CentralizedSimulation
 from repro.sim.engine import MobileSimulation
 from repro.sim.failures import MessageLossModel, NodeFailureSchedule
+from repro.sim.netmodel import (
+    CrashSchedule,
+    EnergyDepletionModel,
+    GilbertElliottLink,
+    NetworkModel,
+    PerfectLink,
+    RandomChurn,
+    RetryPolicy,
+    UniformDelayModel,
+)
 
 
 def make_problem(k=16, duration=10.0, side=40.0):
@@ -46,6 +56,59 @@ def make_mobile(problem):
         failure_schedule=NodeFailureSchedule(at={602.0: [1, 2]}),
         sensor_noise_std=0.05,
         sensor_noise_seed=11,
+    )
+
+
+#: Fault-model matrix for resume-under-faults tests. Every entry is a
+#: zero-argument factory so each of the three runs (baseline,
+#: interrupted, resumed) gets fresh model instances with fresh RNG
+#: streams — sharing instances would leak state across runs.
+FAULT_VARIANTS = {
+    "bursty-loss": lambda: dict(
+        network=NetworkModel(
+            GilbertElliottLink(p_fail=0.2, p_recover=0.3, loss_bad=0.9, seed=3)
+        ),
+    ),
+    "delay-only": lambda: dict(
+        network=NetworkModel(
+            PerfectLink(),
+            delay=UniformDelayModel(2, seed=5),
+            max_age=3,
+        ),
+    ),
+    "bursty+delay+retry": lambda: dict(
+        network=NetworkModel(
+            GilbertElliottLink(p_fail=0.2, p_recover=0.3, loss_bad=0.9, seed=3),
+            delay=UniformDelayModel(2, seed=5),
+            retry=RetryPolicy(max_retries=2),
+            max_age=3,
+        ),
+    ),
+    "churn+bursty+delay": lambda: dict(
+        network=NetworkModel(
+            GilbertElliottLink(p_fail=0.15, p_recover=0.4, loss_bad=0.8, seed=7),
+            delay=UniformDelayModel(1, seed=2),
+            max_age=2,
+        ),
+        crash_model=RandomChurn(0.1, recover_prob=0.4, seed=9),
+    ),
+    "crash-schedule+energy": lambda: dict(
+        crash_model=CrashSchedule(at={602.0: {1: 2, 4: 3}}),
+        energy_model=EnergyDepletionModel(
+            capacity=4.0, move_cost=1.0, idle_cost=0.2
+        ),
+    ),
+}
+
+
+def make_faulty_mobile(problem, variant):
+    """A mobile engine under one FAULT_VARIANTS configuration."""
+    return MobileSimulation(
+        problem,
+        resolution=41,
+        sensor_noise_std=0.05,
+        sensor_noise_seed=11,
+        **FAULT_VARIANTS[variant](),
     )
 
 
@@ -232,3 +295,48 @@ class TestResumeEquivalence:
             4, checkpoint=CheckpointConfig(tmp_path, every=2, resume=True)
         )
         assert_records_equal(fresh.rounds, baseline.rounds)
+
+
+class TestResumeUnderFaults:
+    """Bit-identical resume across the netmodel fault matrix.
+
+    Each variant switches on a different slice of the unreliable-network
+    subsystem (bursty channels with per-link Markov state, in-flight
+    delayed beacons, retry/backoff RNG churn, crash/recovery bookkeeping,
+    battery accounting) — every one of which lives in checkpoint aux
+    data and must survive the save→JSON→load round-trip exactly.
+    """
+
+    @pytest.mark.parametrize("variant", sorted(FAULT_VARIANTS))
+    def test_resume_bit_identical(self, tmp_path, variant):
+        total, interrupt = 10, 6
+        baseline = make_faulty_mobile(make_problem(), variant).run(total)
+
+        interrupted = make_faulty_mobile(make_problem(), variant)
+        interrupted.run(
+            interrupt, checkpoint=CheckpointConfig(tmp_path, every=3)
+        )
+        resumed = make_faulty_mobile(make_problem(), variant).run(
+            total, checkpoint=CheckpointConfig(tmp_path, every=3, resume=True)
+        )
+        assert_records_equal(resumed.rounds, baseline.rounds)
+        assert np.array_equal(resumed.deltas, baseline.deltas)
+        assert np.array_equal(resumed.rmses, baseline.rmses)
+        assert np.array_equal(
+            resumed.final_positions, baseline.final_positions
+        )
+
+    @pytest.mark.parametrize("variant", sorted(FAULT_VARIANTS))
+    def test_midway_state_matches_uninterrupted(self, tmp_path, variant):
+        interrupt = 5
+        reference = make_faulty_mobile(make_problem(), variant)
+        reference.run(interrupt)
+
+        interrupted = make_faulty_mobile(make_problem(), variant)
+        interrupted.run(
+            interrupt, checkpoint=CheckpointConfig(tmp_path, every=5)
+        )
+        latest = CheckpointManager(
+            tmp_path / "mobile-000"
+        ).load_latest(record_type=RoundRecord)
+        assert latest.state.allclose(reference.capture_state())

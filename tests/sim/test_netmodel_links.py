@@ -1,0 +1,165 @@
+"""Property-based tests for the link-loss models.
+
+The link models carry the netmodel's determinism contract: every model
+is a pure function of (seed, call sequence), a zero-loss configuration
+consumes no RNG draws, and the complete mutable state survives a JSON
+round-trip — the exact path checkpoint aux data takes through
+``np.savez``. Hypothesis drives the call sequences so the properties
+hold for arbitrary interleavings, not just the ones the engine happens
+to produce today.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.netmodel import (
+    BernoulliLink,
+    DistanceLossLink,
+    GilbertElliottLink,
+    LinkModel,
+    PerfectLink,
+)
+
+# One delivery attempt: (sender, receiver, distance).
+attempts = st.tuples(
+    st.integers(0, 5), st.integers(0, 5), st.floats(0.0, 10.0)
+)
+
+
+def make_models(seed):
+    """One instance of every stochastic link model, same seed."""
+    return [
+        BernoulliLink(0.3, seed=seed),
+        DistanceLossLink(rc=10.0, edge_loss=0.6, seed=seed),
+        GilbertElliottLink(p_fail=0.2, p_recover=0.4, seed=seed),
+    ]
+
+
+class TestProtocol:
+    def test_every_model_satisfies_link_model(self):
+        for model in [PerfectLink(), *make_models(0)]:
+            assert isinstance(model, LinkModel)
+
+
+class TestSeedDeterminism:
+    @given(seed=st.integers(0, 2**32 - 1), calls=st.lists(attempts, max_size=40))
+    def test_same_seed_same_outcomes(self, seed, calls):
+        for a, b in zip(make_models(seed), make_models(seed)):
+            assert [a.delivered(*c) for c in calls] == [
+                b.delivered(*c) for c in calls
+            ]
+
+    @given(calls=st.lists(attempts, min_size=1, max_size=40))
+    def test_state_dict_round_trips_through_json(self, calls):
+        """Replay from a JSON-serialized state matches the original stream."""
+        for reference, restored in zip(make_models(7), make_models(7)):
+            # Advance the reference, snapshot, push the snapshot through
+            # the same JSON round-trip the checkpoint writer uses.
+            for c in calls:
+                reference.delivered(*c)
+            state = json.loads(json.dumps(reference.state_dict()))
+            restored.load_state_dict(state)
+            assert [reference.delivered(*c) for c in calls] == [
+                restored.delivered(*c) for c in calls
+            ]
+
+
+class TestZeroLossDeliversEverything:
+    @given(calls=st.lists(attempts, max_size=60))
+    def test_zero_probability_models(self, calls):
+        for model in (
+            PerfectLink(),
+            BernoulliLink(0.0, seed=1),
+            DistanceLossLink(rc=10.0, edge_loss=0.0, floor=0.0, seed=1),
+            GilbertElliottLink(loss_good=0.0, loss_bad=0.0, seed=1),
+        ):
+            assert all(model.delivered(*c) for c in calls)
+
+    @given(calls=st.lists(attempts, max_size=60))
+    def test_zero_loss_consumes_no_rng_draws(self, calls):
+        """Disabled loss must be bit-identical to no model at all."""
+        model = BernoulliLink(0.0, seed=9)
+        before = json.dumps(model.state_dict(), sort_keys=True, default=str)
+        for c in calls:
+            model.delivered(*c)
+        after = json.dumps(model.state_dict(), sort_keys=True, default=str)
+        assert before == after
+
+
+class TestDistanceLoss:
+    def test_loss_monotone_in_distance(self):
+        model = DistanceLossLink(rc=10.0, edge_loss=0.6, floor=0.05)
+        ds = [0.0, 2.5, 5.0, 7.5, 10.0]
+        losses = [model.loss_at(d) for d in ds]
+        assert losses == sorted(losses)
+        assert losses[0] == pytest.approx(0.05)
+        assert losses[-1] == pytest.approx(0.6)
+
+    def test_loss_clipped_beyond_rc(self):
+        model = DistanceLossLink(rc=10.0, edge_loss=0.6)
+        assert model.loss_at(25.0) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistanceLossLink(rc=0.0)
+        with pytest.raises(ValueError):
+            DistanceLossLink(rc=10.0, edge_loss=1.0)
+        with pytest.raises(ValueError):
+            DistanceLossLink(rc=10.0, edge_loss=0.2, floor=0.3)
+
+
+class TestGilbertElliott:
+    def test_mean_loss_matches_stationary_rate(self):
+        model = GilbertElliottLink(
+            p_fail=0.1, p_recover=0.3, loss_good=0.0, loss_bad=0.9, seed=0
+        )
+        n = 40_000
+        lost = sum(not model.delivered(0, 1) for _ in range(n))
+        assert lost / n == pytest.approx(model.mean_loss(), abs=0.02)
+
+    def test_losses_cluster_into_bursts(self):
+        """Consecutive losses exceed what i.i.d. loss at the same rate gives."""
+        model = GilbertElliottLink(
+            p_fail=0.05, p_recover=0.2, loss_good=0.0, loss_bad=1.0, seed=2
+        )
+        outcomes = [model.delivered(0, 1) for _ in range(20_000)]
+        loss_rate = 1.0 - sum(outcomes) / len(outcomes)
+        both_lost = sum(
+            (not a) and (not b) for a, b in zip(outcomes, outcomes[1:])
+        ) / (len(outcomes) - 1)
+        # Memoryless loss would give P(two in a row) == rate^2; the
+        # Markov channel correlates consecutive slots far above that.
+        assert both_lost > 2.0 * loss_rate**2
+
+    def test_links_have_independent_state(self):
+        model = GilbertElliottLink(
+            p_fail=1.0, p_recover=0.0, loss_good=0.0, loss_bad=1.0, seed=0
+        )
+        # Drive link (0, 1) into its (absorbing) bad state.
+        assert model.delivered(0, 1)
+        assert not model.delivered(0, 1)
+        # A different directed link still starts good.
+        assert model.delivered(1, 0)
+        assert model.delivered(0, 2)
+
+    def test_advance_slot_lets_bursts_end(self):
+        model = GilbertElliottLink(
+            p_fail=1.0, p_recover=1.0, loss_good=0.0, loss_bad=1.0, seed=0
+        )
+        assert model.delivered(0, 1)       # good -> transitions to bad
+        model.advance_slot(0, 1)           # bad -> recovers (p_recover=1)
+        assert model.delivered(0, 1)
+
+    def test_bad_state_survives_json_round_trip(self):
+        model = GilbertElliottLink(
+            p_fail=1.0, p_recover=0.0, loss_bad=1.0, seed=0
+        )
+        model.delivered(0, 1)              # leaves link (0, 1) bad
+        state = json.loads(json.dumps(model.state_dict()))
+        fresh = GilbertElliottLink(
+            p_fail=1.0, p_recover=0.0, loss_bad=1.0, seed=0
+        )
+        fresh.load_state_dict(state)
+        assert not fresh.delivered(0, 1)   # still in the burst
