@@ -24,6 +24,8 @@ def run_experiment(
     experiment_id: str,
     fast: bool = False,
     obs_log: Optional[Union[str, Path]] = None,
+    obs_flush_every: Optional[int] = None,
+    obs_health: bool = False,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 10,
     resume: bool = False,
@@ -33,6 +35,10 @@ def run_experiment(
     ``obs_log`` turns instrumentation on for the run and writes the JSONL
     event log there (phase spans, per-round and per-FRA-iteration
     events); summarise it afterwards with ``repro-exp obs summarize``.
+    ``obs_flush_every=N`` flushes that log every N events so
+    ``repro-exp watch`` can tail the run live, and ``obs_health`` attaches
+    the health-rule engine so rule findings land in the log as ``alert``
+    events the moment they fire.
 
     ``checkpoint_dir`` installs an ambient checkpoint policy (see
     :mod:`repro.runtime.checkpoint`): every engine ``run()`` the
@@ -51,7 +57,13 @@ def run_experiment(
                 resume=resume,
             )))
         if obs_log is not None:
-            obs = Instrumentation.to_jsonl(obs_log)
+            obs = Instrumentation.to_jsonl(
+                obs_log, flush_every=obs_flush_every
+            )
+            if obs_health:
+                from repro.obs.health import HealthSink
+
+                obs.bus.add_sink(HealthSink(obs.bus))
             stack.callback(obs.close)
             stack.enter_context(use_instrumentation(obs))
         return spec.runner(fast)

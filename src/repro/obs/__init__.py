@@ -1,34 +1,69 @@
-"""Observability: structured run events, metrics, and phase profiling.
+"""Observability: events, metrics, tracing, export, monitoring, diffing.
 
-The instrumentation substrate every perf / scaling PR measures against:
+The instrumentation substrate every perf / scaling PR measures against,
+plus the deep-telemetry read side:
 
 * :mod:`.events` — a process-local :class:`EventBus` of typed,
   timestamped events,
 * :mod:`.metrics` — counters, gauges and quantile summaries in a
   :class:`MetricsRegistry`,
 * :mod:`.timing` — nestable phase spans built on ``perf_counter``,
-* :mod:`.sinks` — JSONL file sink (the replayable run log), in-memory
-  sink for tests, null sink for the disabled default,
+  with round-context fields threaded by the scheduler middleware,
+* :mod:`.sinks` — JSONL file sink (the replayable run log, strict-JSON
+  with NaN/Inf → null and optional ``flush_every`` auto-flush),
+  in-memory sink for tests, null sink for the disabled default,
 * :mod:`.instrument` — the :class:`Instrumentation` bundle, off by
   default with a near-zero-overhead fast path, plus the ambient
   ``use_instrumentation`` context,
+* :mod:`.trace` — causal message tracing: deterministic beacon trace
+  ids and the ``msg_*`` life-cycle events that explain every
+  :class:`~repro.core.cma.NeighborObservation`'s provenance,
 * :mod:`.report` — aggregate a run log into per-phase wall-time shares
-  and round-level metric aggregates, no rerun needed.
+  and round-level metric aggregates, no rerun needed,
+* :mod:`.export` — convert a run log to Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``) with per-phase tracks and message
+  flow arrows,
+* :mod:`.watch` — tail a growing run log live (``repro-exp watch``)
+  and render an OpenMetrics snapshot,
+* :mod:`.diff` — align two run logs, localise the first divergent
+  round/event, report phase-time deltas,
+* :mod:`.health` — rules that turn event streams into ``alert`` events
+  (δ stall, divergence, dead fleet, disconnection bursts).
 
 Quick start::
 
     from repro.obs import Instrumentation, use_instrumentation
 
-    obs = Instrumentation.to_jsonl("run.jsonl")
+    obs = Instrumentation.to_jsonl("run.jsonl", flush_every=50)
     with use_instrumentation(obs):
         MobileSimulation(problem).run()
     obs.close()
 
     # later, or from another process:
     #   repro-exp obs summarize run.jsonl
+    #   repro-exp obs trace run.jsonl        # -> Perfetto
+    #   repro-exp obs diff a.jsonl b.jsonl   # first divergence
+    #   repro-exp watch run.jsonl            # live, while it runs
 """
 
+from repro.obs.diff import (
+    RunDiff,
+    diff_run_logs,
+    diff_runs,
+    format_diff,
+)
 from repro.obs.events import Event, EventBus
+from repro.obs.export import export_run_log, to_chrome_trace
+from repro.obs.health import (
+    Alert,
+    HealthMonitor,
+    HealthRule,
+    HealthSink,
+    check_events,
+    check_run_log,
+    default_rules,
+    format_alerts,
+)
 from repro.obs.instrument import (
     DISABLED,
     Instrumentation,
@@ -45,27 +80,61 @@ from repro.obs.report import (
 )
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
 from repro.obs.timing import PhaseTimer, Span
+from repro.obs.trace import (
+    MessageTracer,
+    beacon_trace_id,
+    observation_trace_id,
+)
+from repro.obs.watch import (
+    WatchState,
+    follow,
+    render_openmetrics,
+    render_watch,
+    watch,
+)
 
 __all__ = [
+    "Alert",
     "Counter",
     "DISABLED",
     "Event",
     "EventBus",
     "Gauge",
+    "HealthMonitor",
+    "HealthRule",
+    "HealthSink",
     "Instrumentation",
     "JsonlSink",
     "MemorySink",
+    "MessageTracer",
     "MetricsRegistry",
     "NullSink",
     "PhaseTimer",
+    "RunDiff",
     "RunSummary",
     "Sink",
     "Span",
     "Summary",
+    "WatchState",
+    "beacon_trace_id",
+    "check_events",
+    "check_run_log",
+    "default_rules",
+    "diff_run_logs",
+    "diff_runs",
+    "export_run_log",
+    "follow",
+    "format_alerts",
+    "format_diff",
     "format_summary",
     "get_instrumentation",
     "load_run_log",
+    "observation_trace_id",
+    "render_openmetrics",
+    "render_watch",
     "summarize_events",
     "summarize_run_log",
+    "to_chrome_trace",
     "use_instrumentation",
+    "watch",
 ]

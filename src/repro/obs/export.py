@@ -1,0 +1,226 @@
+"""Export a run log as Chrome trace-event JSON (Perfetto-viewable).
+
+``repro-exp obs trace run.jsonl -o run.trace.json`` converts the JSONL
+event stream into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+that ``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* every ``span`` event becomes a complete slice (``ph: "X"``) on a track
+  named after its phase path, so the ``step/sense`` … ``step/measure``
+  pipeline renders as parallel per-phase lanes with real durations;
+* every ``msg_*`` event becomes a thin slice on its node's track in a
+  separate "network" process, and each beacon's life-cycle
+  (send → retry → deliver → use) is stitched with flow arrows
+  (``ph: "s"/"t"/"f"``) keyed by the beacon's trace id — the causal
+  chain is literally drawn across node tracks;
+* ``round`` events become instants on a "rounds" track and ``alert``
+  events become instants on an "alerts" track, so health findings line
+  up against the phase timeline.
+
+Timestamps are the bus's monotonic seconds scaled to microseconds (the
+format's unit). Span events are emitted at span *exit*, so each slice
+starts at ``t − dur_s``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.report import load_run_log
+
+__all__ = [
+    "to_chrome_trace",
+    "export_run_log",
+]
+
+#: Process ids of the exported tracks (arbitrary but stable).
+PID_PHASES = 1
+PID_NETWORK = 2
+PID_MARKERS = 3
+
+#: Width given to point-like message slices so they are clickable (µs).
+_MSG_SLICE_US = 1.0
+
+#: Life-cycle stage of each ``msg_*`` event inside its flow (Chrome flow
+#: phases: ``s`` opens, ``t`` continues, ``f`` terminates).
+_FLOW_PHASE = {
+    "msg_send": "s",
+    "msg_drop": "t",
+    "msg_retry": "t",
+    "msg_delay": "t",
+    "msg_deliver": "t",
+    "msg_use": "t",
+    "msg_lost": "f",
+    "msg_expire": "f",
+}
+
+#: Events that sit on the *sender's* node track; the rest sit on the
+#: receiver's (where the state change happens).
+_SENDER_SIDE = {"msg_send", "msg_drop", "msg_retry", "msg_lost"}
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _process_meta(pid: int, name: str) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": "process_name",
+        "pid": pid,
+        "args": {"name": name},
+    }
+
+
+class _TrackAllocator:
+    """Stable name → tid mapping, first come first numbered."""
+
+    def __init__(self) -> None:
+        self._tids: Dict[str, int] = {}
+
+    def tid(self, name: str) -> int:
+        if name not in self._tids:
+            self._tids[name] = len(self._tids)
+        return self._tids[name]
+
+    def items(self):
+        return self._tids.items()
+
+
+def to_chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert event dicts (log rows / MemorySink dicts) to a trace dict.
+
+    Returns the ``{"traceEvents": [...]}`` object ready for
+    ``json.dump``; use :func:`export_run_log` for the file-to-file path.
+    """
+    out: List[Dict[str, Any]] = []
+    phase_tracks = _TrackAllocator()
+    node_tracks = _TrackAllocator()
+    marker_tracks = _TrackAllocator()
+    flow_ids: Dict[str, int] = {}
+    # A flow may only terminate once; msg_use can recur for many rounds,
+    # so the arrow chain keeps "t" steps and never force-closes.
+    for row in events:
+        name = row.get("event")
+        t = float(row.get("t", 0.0))
+        ts_us = t * 1e6
+        if name == "span":
+            dur_us = float(row.get("dur_s", 0.0)) * 1e6
+            path = str(row.get("path", row.get("phase", "?")))
+            args = {
+                k: v
+                for k, v in row.items()
+                if k not in ("event", "t", "phase", "path")
+            }
+            out.append({
+                "ph": "X",
+                "name": str(row.get("phase", path)),
+                "cat": "phase",
+                "pid": PID_PHASES,
+                "tid": phase_tracks.tid(path),
+                "ts": ts_us - dur_us,
+                "dur": dur_us,
+                "args": args,
+            })
+        elif isinstance(name, str) and name.startswith("msg_"):
+            side = "sender" if name in _SENDER_SIDE else "receiver"
+            node = row.get(side, 0)
+            track = f"node {node}"
+            tid = node_tracks.tid(track)
+            args = {
+                k: v for k, v in row.items() if k not in ("event", "t")
+            }
+            slice_event = {
+                "ph": "X",
+                "name": name,
+                "cat": "message",
+                "pid": PID_NETWORK,
+                "tid": tid,
+                "ts": ts_us,
+                "dur": _MSG_SLICE_US,
+                "args": args,
+            }
+            out.append(slice_event)
+            trace_id = row.get("trace_id")
+            if trace_id is not None:
+                flow_ph = _FLOW_PHASE.get(name, "t")
+                fid = flow_ids.setdefault(str(trace_id), len(flow_ids) + 1)
+                flow = {
+                    "ph": flow_ph,
+                    "name": str(trace_id),
+                    "cat": "beacon",
+                    "id": fid,
+                    "pid": PID_NETWORK,
+                    "tid": tid,
+                    "ts": ts_us,
+                }
+                if flow_ph == "t":
+                    # Bind steps to the enclosing slice start.
+                    flow["bp"] = "e"
+                out.append(flow)
+        elif name in ("round", "alert", "fra_refine", "fra_stop"):
+            track = "alerts" if name == "alert" else "rounds"
+            args = {
+                k: v for k, v in row.items() if k not in ("event", "t")
+            }
+            label = name
+            if name == "round":
+                label = f"round {row.get('round', '?')}"
+            elif name == "alert":
+                label = f"alert:{row.get('rule', '?')}"
+            out.append({
+                "ph": "i",
+                "name": label,
+                "cat": name,
+                "s": "p",
+                "pid": PID_MARKERS,
+                "tid": marker_tracks.tid(track),
+                "ts": ts_us,
+                "args": args,
+            })
+        # Everything else (metrics, lcm_pass, faults_point, …) has no
+        # natural timeline geometry; the summarizer covers it.
+
+    meta: List[Dict[str, Any]] = [
+        _process_meta(PID_PHASES, "phases"),
+        _process_meta(PID_NETWORK, "network"),
+        _process_meta(PID_MARKERS, "markers"),
+    ]
+    for path, tid in phase_tracks.items():
+        meta.append(_thread_meta(PID_PHASES, tid, path))
+    for node, tid in node_tracks.items():
+        meta.append(_thread_meta(PID_NETWORK, tid, node))
+    for track, tid in marker_tracks.items():
+        meta.append(_thread_meta(PID_MARKERS, tid, track))
+    return {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ms",
+    }
+
+
+def export_run_log(
+    log_path: Union[str, Path],
+    out_path: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Convert a JSONL run log into a Chrome trace JSON file.
+
+    ``out_path`` defaults to the log path with a ``.trace.json`` suffix.
+    Returns the written path.
+    """
+    log_path = Path(log_path)
+    if out_path is None:
+        out_path = log_path.with_suffix(".trace.json")
+    out_path = Path(out_path)
+    trace = to_chrome_trace(load_run_log(log_path))
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with out_path.open("w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return out_path

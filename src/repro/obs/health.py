@@ -1,0 +1,347 @@
+"""Health rules: turn an event stream into ``alert`` events.
+
+A run log already contains everything needed to say "this run is going
+wrong" — δ that stopped improving, a component count that keeps
+flickering above 1, a fleet bleeding nodes. The rule engine here watches
+the stream *incrementally* (one event at a time, bounded state), so the
+same rules serve three consumers:
+
+* **live** — :class:`HealthSink` sits on the event bus during a run and
+  re-emits findings as ``alert`` events, which land in the same JSONL
+  log (and any other sink) as they fire;
+* **tailing** — ``repro-exp watch`` feeds tailed events through a
+  :class:`HealthMonitor` and surfaces alerts on the dashboard;
+* **post-hoc** — ``repro-exp obs health run.jsonl`` replays a finished
+  log through :func:`check_run_log`.
+
+Rules are deliberately cheap heuristics with explicit thresholds — the
+point is a loud early signal, not a verdict. Each alert names its rule,
+the round it fired on and a human-readable message.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "Alert",
+    "HealthRule",
+    "DeltaStallRule",
+    "DivergenceRule",
+    "DeadFleetRule",
+    "DisconnectionBurstRule",
+    "default_rules",
+    "HealthMonitor",
+    "HealthSink",
+    "check_events",
+    "check_run_log",
+    "format_alerts",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One health finding: which rule fired, when, and why."""
+
+    rule: str
+    round: int
+    severity: str  # "warning" | "critical"
+    message: str
+
+    def as_fields(self) -> Dict[str, Any]:
+        """Flat payload for an ``alert`` event."""
+        return {
+            "rule": self.rule,
+            "round": self.round,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class HealthRule:
+    """Base rule: feed events one at a time, get alerts back.
+
+    Subclasses override :meth:`on_round` (the common case — every
+    shipped rule reads only ``round`` events) or :meth:`feed` for rules
+    that watch other event kinds. Rules keep bounded state so they can
+    run forever against a live stream.
+    """
+
+    name = "rule"
+
+    def feed(self, event: Dict[str, Any]) -> List[Alert]:
+        if event.get("event") == "round":
+            return self.on_round(event)
+        return []
+
+    def on_round(self, row: Dict[str, Any]) -> List[Alert]:
+        return []
+
+
+def _round_delta(row: Dict[str, Any]) -> float:
+    value = row.get("delta")
+    if value is None:
+        return float("nan")
+    return float(value)
+
+
+class DeltaStallRule(HealthRule):
+    """δ has not improved by ``min_improvement`` for ``window`` rounds.
+
+    Fires once per stall (re-arms after δ improves again) — a converged
+    run would otherwise alert on every remaining round.
+    """
+
+    name = "delta_stall"
+
+    def __init__(
+        self, window: int = 20, min_improvement: float = 1e-3
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = int(window)
+        self.min_improvement = float(min_improvement)
+        self._best = float("inf")
+        self._best_round: Optional[int] = None
+        self._fired = False
+
+    def on_round(self, row: Dict[str, Any]) -> List[Alert]:
+        delta = _round_delta(row)
+        rnd = int(row.get("round", -1))
+        if math.isnan(delta):
+            return []
+        if delta < self._best - self.min_improvement:
+            self._best = delta
+            self._best_round = rnd
+            self._fired = False
+            return []
+        if self._best_round is None:
+            self._best = delta
+            self._best_round = rnd
+            return []
+        if not self._fired and rnd - self._best_round >= self.window:
+            self._fired = True
+            return [Alert(
+                rule=self.name,
+                round=rnd,
+                severity="warning",
+                message=(
+                    f"delta stalled at {self._best:.4g} for "
+                    f"{rnd - self._best_round} rounds "
+                    f"(< {self.min_improvement:g} improvement)"
+                ),
+            )]
+        return []
+
+
+class DivergenceRule(HealthRule):
+    """δ rose on ``streak`` consecutive rounds — the fleet is diverging."""
+
+    name = "divergence"
+
+    def __init__(self, streak: int = 5, min_rise: float = 0.0) -> None:
+        if streak < 2:
+            raise ValueError(f"streak must be >= 2, got {streak}")
+        self.streak = int(streak)
+        self.min_rise = float(min_rise)
+        self._prev = float("nan")
+        self._rising = 0
+        self._fired = False
+
+    def on_round(self, row: Dict[str, Any]) -> List[Alert]:
+        delta = _round_delta(row)
+        rnd = int(row.get("round", -1))
+        alerts: List[Alert] = []
+        if not math.isnan(delta) and not math.isnan(self._prev):
+            if delta > self._prev + self.min_rise:
+                self._rising += 1
+            else:
+                self._rising = 0
+                self._fired = False
+            if self._rising >= self.streak and not self._fired:
+                self._fired = True
+                alerts.append(Alert(
+                    rule=self.name,
+                    round=rnd,
+                    severity="critical",
+                    message=(
+                        f"delta rose {self._rising} rounds in a row "
+                        f"(now {delta:.4g})"
+                    ),
+                ))
+        self._prev = delta
+        return alerts
+
+
+class DeadFleetRule(HealthRule):
+    """No node is alive — the run can only flatline from here."""
+
+    name = "dead_fleet"
+
+    def __init__(self) -> None:
+        self._fired = False
+
+    def on_round(self, row: Dict[str, Any]) -> List[Alert]:
+        n_alive = row.get("n_alive")
+        rnd = int(row.get("round", -1))
+        if n_alive is None or int(n_alive) > 0:
+            self._fired = False
+            return []
+        if self._fired:
+            return []
+        self._fired = True
+        return [Alert(
+            rule=self.name,
+            round=rnd,
+            severity="critical",
+            message="entire fleet is dead (n_alive = 0)",
+        )]
+
+
+class DisconnectionBurstRule(HealthRule):
+    """≥ ``threshold`` disconnected rounds within the last ``window``.
+
+    Single disconnected rounds are routine under churn (LCM repairs
+    them); a *burst* means repair is losing the race.
+    """
+
+    name = "disconnection_burst"
+
+    def __init__(self, window: int = 10, threshold: int = 3) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 1 <= threshold <= window:
+            raise ValueError(
+                f"threshold must be in [1, window], got {threshold}"
+            )
+        self.window = int(window)
+        self.threshold = int(threshold)
+        self._recent: List[bool] = []
+        self._fired = False
+
+    def on_round(self, row: Dict[str, Any]) -> List[Alert]:
+        disconnected = not row.get("connected", True)
+        rnd = int(row.get("round", -1))
+        self._recent.append(disconnected)
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+        burst = sum(self._recent)
+        if burst >= self.threshold:
+            if not self._fired:
+                self._fired = True
+                return [Alert(
+                    rule=self.name,
+                    round=rnd,
+                    severity="warning",
+                    message=(
+                        f"{burst} disconnected rounds in the last "
+                        f"{len(self._recent)} (threshold {self.threshold})"
+                    ),
+                )]
+        else:
+            self._fired = False
+        return []
+
+
+def default_rules() -> List[HealthRule]:
+    """The standard rule set with default thresholds."""
+    return [
+        DeltaStallRule(),
+        DivergenceRule(),
+        DeadFleetRule(),
+        DisconnectionBurstRule(),
+    ]
+
+
+class HealthMonitor:
+    """Run a rule set over an event stream, collecting every alert."""
+
+    def __init__(self, rules: Optional[Iterable[HealthRule]] = None) -> None:
+        self.rules: List[HealthRule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+        self.alerts: List[Alert] = []
+
+    def feed(self, event: Dict[str, Any]) -> List[Alert]:
+        """Process one event dict; returns alerts fired by it."""
+        fired: List[Alert] = []
+        for rule in self.rules:
+            fired.extend(rule.feed(event))
+        self.alerts.extend(fired)
+        return fired
+
+    def feed_all(self, events: Iterable[Dict[str, Any]]) -> List[Alert]:
+        """Process a whole stream; returns alerts fired by it."""
+        fired: List[Alert] = []
+        for event in events:
+            fired.extend(self.feed(event))
+        return fired
+
+
+class HealthSink:
+    """A bus sink that re-emits rule findings as ``alert`` events.
+
+    Attach it to the same bus the run writes to::
+
+        obs = Instrumentation.to_jsonl("run.jsonl", flush_every=50)
+        obs.bus.add_sink(HealthSink(obs.bus))
+
+    Every ``alert`` event then lands in the log (and every other sink)
+    the moment its rule fires — the live-run signal ``repro-exp watch``
+    and the future ``repro-serve`` surface to clients. Incoming
+    ``alert`` events are ignored, so the sink never feeds on itself.
+    """
+
+    def __init__(self, bus, rules: Optional[Iterable[HealthRule]] = None):
+        self.bus = bus
+        self.monitor = HealthMonitor(rules)
+
+    def write(self, event) -> None:
+        if event.name == "alert":
+            return
+        row = {"event": event.name, **event.fields}
+        for alert in self.monitor.feed(row):
+            self.bus.emit("alert", **alert.as_fields())
+
+    def flush(self) -> None:  # pragma: no cover - nothing buffered
+        pass
+
+    def close(self) -> None:  # pragma: no cover - nothing owned
+        pass
+
+
+def check_events(
+    events: Iterable[Dict[str, Any]],
+    rules: Optional[Iterable[HealthRule]] = None,
+) -> List[Alert]:
+    """Replay an event-dict stream through the rules; all alerts fired."""
+    monitor = HealthMonitor(rules)
+    monitor.feed_all(events)
+    return monitor.alerts
+
+
+def check_run_log(
+    path: Union[str, Path],
+    rules: Optional[Iterable[HealthRule]] = None,
+) -> List[Alert]:
+    """Replay a JSONL run log through the rules; all alerts fired."""
+    from repro.obs.report import load_run_log
+
+    return check_events(load_run_log(path), rules)
+
+
+def format_alerts(alerts: List[Alert], title: str = "run") -> str:
+    """Render an alert list for the terminal."""
+    lines = [f"== health: {title} =="]
+    if not alerts:
+        lines.append("no alerts — all rules quiet")
+        return "\n".join(lines)
+    for alert in alerts:
+        lines.append(
+            f"[{alert.severity:8s}] round {alert.round:>4} "
+            f"{alert.rule}: {alert.message}"
+        )
+    return "\n".join(lines)

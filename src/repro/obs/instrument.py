@@ -72,9 +72,19 @@ class Instrumentation:
 
     # -- constructors ---------------------------------------------------
     @classmethod
-    def to_jsonl(cls, path: Union[str, Path]) -> "Instrumentation":
-        """Enabled instrumentation writing the run log to ``path``."""
-        return cls(sinks=[JsonlSink(path)], enabled=True)
+    def to_jsonl(
+        cls,
+        path: Union[str, Path],
+        flush_every: Optional[int] = None,
+    ) -> "Instrumentation":
+        """Enabled instrumentation writing the run log to ``path``.
+
+        ``flush_every=N`` flushes the log after every N events so a live
+        tailer (``repro-exp watch``) sees the run as it happens.
+        """
+        return cls(
+            sinks=[JsonlSink(path, flush_every=flush_every)], enabled=True
+        )
 
     @classmethod
     def in_memory(cls) -> "Instrumentation":

@@ -16,6 +16,7 @@ from __future__ import annotations
 import abc
 import io
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -25,8 +26,18 @@ __all__ = ["Sink", "JsonlSink", "MemorySink", "NullSink"]
 
 
 def json_safe(value: Any) -> Any:
-    """Coerce numpy scalars/arrays (and nested containers) to JSON types."""
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    """Coerce numpy scalars/arrays (and nested containers) to JSON types.
+
+    Non-finite floats (NaN, ±Inf) become ``None``: bare ``NaN``/
+    ``Infinity`` tokens are Python-specific extensions that strict JSON
+    parsers (browsers, jq, most languages) reject, and a run log exists
+    to be read by *any* consumer. ``JsonlSink`` additionally serialises
+    with ``allow_nan=False`` so a non-finite value can never slip
+    through unsanitised.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
         return value
     if isinstance(value, dict):
         return {str(k): json_safe(v) for k, v in value.items()}
@@ -35,12 +46,12 @@ def json_safe(value: Any) -> Any:
     item = getattr(value, "item", None)
     if callable(item) and getattr(value, "ndim", None) in (0, None):
         try:
-            return item()
+            return json_safe(item())
         except (TypeError, ValueError):
             pass
     tolist = getattr(value, "tolist", None)
     if callable(tolist):
-        return tolist()
+        return json_safe(tolist())
     return str(value)
 
 
@@ -89,10 +100,26 @@ class JsonlSink(Sink):
     dominate the cost); call ``close`` (or use the owning instrumentation
     as a context manager) when the run ends. Lines are self-contained, so
     a log truncated by a crash is still parseable up to the last newline.
+
+    ``flush_every=N`` flushes the buffer after every ``N``-th write, so a
+    live tailer (``repro-exp watch``) sees events at most ``N`` writes
+    behind the run. The default (``None``) keeps the previous behaviour:
+    the file buffers until ``flush``/``close``, the cheapest option for
+    batch runs nobody is watching.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        flush_every: Optional[int] = None,
+    ) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1 or None, got {flush_every}"
+            )
         self.path = Path(path)
+        self.flush_every = flush_every
+        self._writes = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: Optional[io.TextIOWrapper] = self.path.open(
             "w", encoding="utf-8"
@@ -101,8 +128,16 @@ class JsonlSink(Sink):
     def write(self, event: Event) -> None:
         if self._fh is None:
             raise ValueError(f"sink for {self.path} is closed")
-        self._fh.write(json.dumps(json_safe(event.as_dict())))
+        self._fh.write(
+            json.dumps(json_safe(event.as_dict()), allow_nan=False)
+        )
         self._fh.write("\n")
+        self._writes += 1
+        if (
+            self.flush_every is not None
+            and self._writes % self.flush_every == 0
+        ):
+            self._fh.flush()
 
     def flush(self) -> None:
         if self._fh is not None:

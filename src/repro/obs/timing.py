@@ -16,7 +16,7 @@ a disabled span is one attribute load and two empty calls.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
@@ -91,6 +91,26 @@ class PhaseTimer:
         self.bus = bus
         self.registry = registry
         self._stack: List[Span] = []
+        self._context: Dict[str, Any] = {}
+
+    # -- span context fields -------------------------------------------
+    def push_context(self, **fields: Any) -> Dict[str, Any]:
+        """Stamp ``fields`` onto every span event until ``pop_context``.
+
+        The scheduler's observability middleware uses this to thread the
+        current round index through the phase spans — each ``span`` event
+        then carries ``round=N``, which is what lets the trace exporter
+        and run differ group phase timings by round without timestamp
+        heuristics. Returns the previous context (pass it back to
+        :meth:`pop_context`); nesting merges, innermost wins.
+        """
+        previous = self._context
+        self._context = {**previous, **fields}
+        return previous
+
+    def pop_context(self, previous: Dict[str, Any]) -> None:
+        """Restore the context returned by the matching ``push_context``."""
+        self._context = previous
 
     @property
     def current_path(self) -> str:
@@ -111,4 +131,5 @@ class PhaseTimer:
                 path=span.path,
                 dur_s=dur,
                 depth=span.depth,
+                **self._context,
             )

@@ -1,0 +1,322 @@
+"""Live run monitoring: tail a growing JSONL log, render a dashboard.
+
+``repro-exp watch run.jsonl`` follows a run log *while the run writes
+it* (pair with ``--obs-log``'s ``--obs-flush-every`` so events reach the
+file promptly) and keeps a terminal view current:
+
+* the latest round's δ / RMSE / components / alive count, with a δ
+  sparkline over the recent window,
+* per-phase wall-time totals from the ``span`` events,
+* network counters from the ``msg_*`` causal-trace events (sent,
+  delivered, lost, stale-served),
+* health alerts — both ``alert`` events already in the log (a live
+  :class:`~repro.obs.health.HealthSink` on the writer side) and alerts
+  the watcher's own :class:`~repro.obs.health.HealthMonitor` derives
+  while tailing, deduplicated by (rule, round).
+
+The tailer (:func:`follow`) is deliberately boring: poll the file,
+yield complete lines, keep a partial trailing line buffered until its
+newline arrives (a half-written JSON object is *pending*, not an
+error), and pick up content that existed before the watcher started.
+It also serves as the read-side substrate the future ``repro-serve``
+will publish over SSE/WebSocket.
+
+:func:`render_openmetrics` formats a metrics-registry snapshot (the
+``metrics`` event payload, or a live :class:`MetricsRegistry`) as
+OpenMetrics / Prometheus text exposition — ``repro-exp obs metrics``
+prints it, and a scrape endpoint can serve it verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.obs.health import Alert, HealthMonitor
+
+__all__ = [
+    "follow",
+    "WatchState",
+    "render_watch",
+    "watch",
+    "render_openmetrics",
+]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def follow(
+    path: Union[str, Path],
+    poll_interval: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[Dict[str, Any]]:
+    """Yield event dicts from a growing JSONL file until ``stop()``.
+
+    Starts at the beginning (existing content is replayed first), then
+    polls for appended bytes. A trailing line without its newline stays
+    buffered — mid-write JSON is pending, not malformed. A line that
+    *is* newline-terminated but unparseable is skipped (a crashed
+    writer's torn tail), matching the "parseable up to the last
+    newline" contract of :class:`~repro.obs.sinks.JsonlSink`.
+
+    ``stop`` is checked between polls; ``stop=lambda: True`` drains the
+    current file content exactly once and returns (the ``--once`` mode).
+    """
+    path = Path(path)
+    buffer = ""
+    position = 0
+    while True:
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                fh.seek(position)
+                chunk = fh.read()
+                position = fh.tell()
+        except FileNotFoundError:
+            chunk = ""
+        if chunk:
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a crashed producer
+                if isinstance(row, dict) and "event" in row:
+                    yield row
+        if stop is not None and stop():
+            return
+        sleep(poll_interval)
+
+
+@dataclass
+class WatchState:
+    """Everything the dashboard shows, updated event by event."""
+
+    n_events: int = 0
+    last_round: Optional[Dict[str, Any]] = None
+    deltas: List[float] = dataclass_field(default_factory=list)
+    phase_totals: Dict[str, float] = dataclass_field(default_factory=dict)
+    phase_counts: Dict[str, int] = dataclass_field(default_factory=dict)
+    net_counts: Dict[str, int] = dataclass_field(default_factory=dict)
+    alerts: List[Alert] = dataclass_field(default_factory=list)
+    #: (rule, round) pairs already listed — dedupes log-side ``alert``
+    #: events against the watcher's own monitor findings.
+    _seen_alerts: Set[Tuple[str, int]] = dataclass_field(
+        default_factory=set
+    )
+    monitor: HealthMonitor = dataclass_field(default_factory=HealthMonitor)
+
+    #: δ history kept for the sparkline (bounded).
+    max_deltas: int = 120
+
+    def _add_alert(self, alert: Alert) -> None:
+        key = (alert.rule, alert.round)
+        if key in self._seen_alerts:
+            return
+        self._seen_alerts.add(key)
+        self.alerts.append(alert)
+
+    def feed(self, row: Dict[str, Any]) -> None:
+        """Fold one event dict into the view state."""
+        self.n_events += 1
+        name = row.get("event")
+        if name == "round":
+            self.last_round = row
+            delta = row.get("delta")
+            if isinstance(delta, (int, float)) and not (
+                isinstance(delta, float) and math.isnan(delta)
+            ):
+                self.deltas.append(float(delta))
+                if len(self.deltas) > self.max_deltas:
+                    self.deltas.pop(0)
+        elif name == "span":
+            path = str(row.get("path", row.get("phase", "?")))
+            self.phase_totals[path] = (
+                self.phase_totals.get(path, 0.0)
+                + float(row.get("dur_s", 0.0))
+            )
+            self.phase_counts[path] = self.phase_counts.get(path, 0) + 1
+        elif isinstance(name, str) and name.startswith("msg_"):
+            self.net_counts[name] = self.net_counts.get(name, 0) + 1
+        elif name == "alert":
+            self._add_alert(Alert(
+                rule=str(row.get("rule", "?")),
+                round=int(row.get("round", -1)),
+                severity=str(row.get("severity", "warning")),
+                message=str(row.get("message", "")),
+            ))
+        for alert in self.monitor.feed(row):
+            self._add_alert(alert)
+
+
+def _sparkline(values: List[float], width: int = 40) -> str:
+    if not values:
+        return ""
+    tail = values[-width:]
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return _SPARK[0] * len(tail)
+    span = hi - lo
+    return "".join(
+        _SPARK[int((v - lo) / span * (len(_SPARK) - 1))] for v in tail
+    )
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1e3:.1f}ms" if s < 1.0 else f"{s:.2f}s"
+
+
+def render_watch(state: WatchState, title: str = "run") -> str:
+    """Render the live view as plain text (one frame)."""
+    lines = [f"== watching: {title} ==  events: {state.n_events}"]
+    r = state.last_round
+    if r is not None:
+        delta = r.get("delta")
+        rmse = r.get("rmse")
+        delta_s = f"{delta:.4g}" if isinstance(delta, (int, float)) else "-"
+        rmse_s = f"{rmse:.4g}" if isinstance(rmse, (int, float)) else "-"
+        lines.append(
+            f"round {r.get('round', '?'):>4}   delta {delta_s}   "
+            f"rmse {rmse_s}   alive {r.get('n_alive', '?')}   "
+            f"components {r.get('n_components', '?')}   "
+            f"moved {r.get('n_moved', '?')}"
+        )
+    else:
+        lines.append("round    -   (no round events yet)")
+    if state.deltas:
+        lines.append(
+            f"delta {_sparkline(state.deltas)}  "
+            f"[{min(state.deltas):.4g} .. {max(state.deltas):.4g}]"
+        )
+    if state.phase_totals:
+        lines.append("-- phase wall time --")
+        for path in sorted(state.phase_totals):
+            total = state.phase_totals[path]
+            count = state.phase_counts[path]
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {path:<24} {_fmt_seconds(total):>10}  "
+                f"n={count:<6} mean {_fmt_seconds(mean)}"
+            )
+    if state.net_counts:
+        parts = [
+            f"{name[len('msg_'):]}={state.net_counts[name]}"
+            for name in sorted(state.net_counts)
+        ]
+        lines.append("network: " + "  ".join(parts))
+    if state.alerts:
+        lines.append("-- alerts --")
+        for alert in state.alerts[-8:]:
+            lines.append(
+                f"  [{alert.severity}] round {alert.round} "
+                f"{alert.rule}: {alert.message}"
+            )
+    return "\n".join(lines)
+
+
+def watch(
+    path: Union[str, Path],
+    interval: float = 1.0,
+    once: bool = False,
+    out: Callable[[str], None] = print,
+    max_frames: Optional[int] = None,
+    clear: bool = False,
+) -> WatchState:
+    """Tail ``path`` and render the dashboard every ``interval`` seconds.
+
+    ``once`` drains the log's current content, renders a single frame
+    and returns — the scriptable/testable mode. ``max_frames`` bounds
+    the number of rendered frames (``None`` = until interrupted).
+    Returns the final :class:`WatchState`.
+    """
+    state = WatchState()
+    title = str(path)
+    if once:
+        for row in follow(path, stop=lambda: True):
+            state.feed(row)
+        out(render_watch(state, title))
+        return state
+    frames = 0
+    last_render = 0.0
+    try:
+        for row in follow(path, poll_interval=min(interval, 0.5)):
+            state.feed(row)
+            now = time.monotonic()
+            if now - last_render >= interval:
+                last_render = now
+                frames += 1
+                out(("\x1b[2J\x1b[H" if clear else "") +
+                    render_watch(state, title))
+                if max_frames is not None and frames >= max_frames:
+                    break
+    except KeyboardInterrupt:
+        pass
+    out(render_watch(state, title))
+    return state
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics text exposition
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    safe = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def render_openmetrics(
+    snapshot: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Format a metrics snapshot as OpenMetrics text exposition.
+
+    ``snapshot`` is what :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+    returns (and what the run log's final ``metrics`` event carries):
+    scalar values for counters/gauges, ``{count,total,mean,min,max,p50,
+    p95}`` dicts for summaries. Summaries map onto the OpenMetrics
+    summary family (``_count``/``_sum`` plus ``quantile`` labels); the
+    registry does not distinguish counters from gauges in a snapshot, so
+    scalars are exposed as gauges (the semantically safe choice — a
+    counter re-read from a snapshot is not guaranteed monotone across
+    runs). Ends with ``# EOF`` per the OpenMetrics spec.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        metric = _metric_name(name, prefix)
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {metric} summary")
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95")):
+                q_value = value.get(q_key)
+                if q_value is not None:
+                    lines.append(
+                        f'{metric}{{quantile="{q_label}"}} {float(q_value):g}'
+                    )
+            lines.append(f"{metric}_count {int(value.get('count', 0))}")
+            lines.append(f"{metric}_sum {float(value.get('total', 0.0)):g}")
+        else:
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {float(value):g}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -188,11 +188,31 @@ class ExchangePhase:
     With a :class:`~repro.sim.netmodel.network.NetworkModel` on the
     engine, the exchange runs through the unreliable-network pipeline
     (loss, retries, latency, last-known-neighbour staleness); otherwise
-    it is the plain radio, bit-identical to the seed.
+    it is the plain radio, bit-identical to the seed. When the engine is
+    instrumented, the networked path is narrated by a
+    :class:`~repro.obs.trace.MessageTracer` — every beacon's
+    emit→drop→retry→deliver→use chain lands on the event bus as
+    ``msg_*`` events keyed by a deterministic trace id. Tracing draws no
+    RNG, so traced runs stay bit-identical to untraced ones.
     """
 
     name = "exchange"
     span_name = "exchange"
+
+    def __init__(self) -> None:
+        # One tracer per (phase, instrumentation) pairing; rebuilt if the
+        # facade swaps its ``obs`` between rounds.
+        self._tracer = None
+
+    def _tracer_for(self, engine):
+        obs = engine.obs
+        if not obs.enabled:
+            return None
+        if self._tracer is None or self._tracer.obs is not obs:
+            from repro.obs.trace import MessageTracer
+
+            self._tracer = MessageTracer(obs)
+        return self._tracer
 
     def run(self, ctx: MobileRoundContext) -> None:
         engine = ctx.engine
@@ -202,6 +222,7 @@ class ExchangePhase:
             ctx.inboxes = network.exchange(
                 engine.radio, ctx.positions, curvatures, ctx.alive_mask,
                 engine.round_index,
+                tracer=self._tracer_for(engine),
             )
         else:
             ctx.inboxes = engine.radio.exchange(

@@ -21,7 +21,7 @@ any recorder side effects, exactly as before).
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from typing import Any, ContextManager, Optional
 
 from repro.runtime.phase import Phase, RoundContext
@@ -71,7 +71,26 @@ class ObsMiddleware(Middleware):
         self._record_event = record_event
 
     def around_round(self, ctx: RoundContext) -> ContextManager:
-        return self._engine.obs.span("step")
+        obs = self._engine.obs
+        if not obs.enabled:
+            return obs.span("step")  # the shared no-op span
+        return self._traced_round(obs)
+
+    @contextmanager
+    def _traced_round(self, obs):
+        """The ``step`` span with the round index threaded onto every span.
+
+        ``push_context(round=N)`` stamps the engine's current round onto
+        each ``span`` event emitted inside the round — the trace context
+        that lets the exporter and differ line phase timings up with the
+        ``round`` and ``msg_*`` events without timestamp matching.
+        """
+        previous = obs.timer.push_context(round=self._engine.round_index)
+        try:
+            with obs.span("step"):
+                yield
+        finally:
+            obs.timer.pop_context(previous)
 
     def around_phase(self, phase: Phase, ctx: RoundContext) -> ContextManager:
         if phase.span_name is None:

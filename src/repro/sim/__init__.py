@@ -20,7 +20,7 @@ package is that testbed:
 
 from repro.sim.sensing import DiskSensor, TraceSampler
 from repro.sim.radio import Radio
-from repro.sim.messages import TellMessage
+from repro.sim.messages import BeaconMessage, TellMessage
 from repro.sim.netmodel import (
     BernoulliLink,
     CrashSchedule,
@@ -53,6 +53,7 @@ from repro.sim.recorders import (
 )
 
 __all__ = [
+    "BeaconMessage",
     "BernoulliLink",
     "CentralizedResult",
     "CentralizedSimulation",

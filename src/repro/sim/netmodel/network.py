@@ -124,17 +124,40 @@ class NetworkModel:
         self._cache: Dict[str, Dict[str, List[float]]] = {}
 
     # ------------------------------------------------------------------
-    def _attempt_delivery(self, sender: int, receiver: int, dist: float) -> bool:
-        """One logical delivery: first attempt plus bounded retries."""
+    def _attempt_delivery(
+        self, sender: int, receiver: int, dist: float, tracer=None
+    ) -> bool:
+        """One logical delivery: first attempt plus bounded retries.
+
+        With a :class:`~repro.obs.trace.MessageTracer` the attempt
+        sequence is narrated as ``msg_drop``/``msg_retry``/``msg_lost``
+        events; tracing never consumes RNG draws, so traced and untraced
+        runs are bit-identical.
+        """
         if self.link.delivered(sender, receiver, dist):
             return True
+        if tracer is not None:
+            tracer.drop(sender, receiver, attempt=0)
         if self.retry is None:
+            if tracer is not None:
+                tracer.lost(sender, receiver, attempts=1)
             return False
         for attempt in range(self.retry.max_retries):
-            for _ in range(self.retry.backoff_slots(attempt)):
+            slots = self.retry.backoff_slots(attempt)
+            if tracer is not None:
+                tracer.retry(
+                    sender, receiver, attempt=attempt + 1, backoff_slots=slots
+                )
+            for _ in range(slots):
                 self.link.advance_slot(sender, receiver)
             if self.link.delivered(sender, receiver, dist):
                 return True
+            if tracer is not None:
+                tracer.drop(sender, receiver, attempt=attempt + 1)
+        if tracer is not None:
+            tracer.lost(
+                sender, receiver, attempts=self.retry.max_retries + 1
+            )
         return False
 
     def _store(
@@ -161,13 +184,22 @@ class NetworkModel:
         curvatures: List[float],
         alive: Optional[np.ndarray],
         round_index: int,
+        tracer=None,
     ) -> List[List[NeighborObservation]]:
         """One beacon round under the full unreliable-network pipeline.
 
         Deterministic iteration order (due beacons in queue order, then
         receivers ascending, then senders ascending) keeps every RNG
         stream's draw sequence a pure function of the simulation state.
+
+        ``tracer`` (a :class:`~repro.obs.trace.MessageTracer`) narrates
+        every beacon's emit→drop→retry→deliver→use chain as ``msg_*``
+        events. It observes without perturbing: no RNG draw, no cache
+        mutation, so a traced run's positions are bit-identical to an
+        untraced one.
         """
+        if tracer is not None:
+            tracer.begin_round(round_index)
         pts = np.asarray(positions, dtype=float).reshape(-1, 2)
         n = len(pts)
         live = (
@@ -185,12 +217,18 @@ class NetworkModel:
                     beacon.receiver, beacon.sender, beacon.x, beacon.y,
                     beacon.curvature, beacon.sent_round,
                 )
+                if tracer is not None:
+                    tracer.deliver(
+                        beacon.sender, beacon.receiver, beacon.sent_round
+                    )
 
         # 2. This round's transmissions: loss, retries, then latency.
         for i in range(n):
             for j in ids[i]:
                 dist = float(np.hypot(*(pts[j] - pts[i])))
-                if not self._attempt_delivery(j, i, dist):
+                if tracer is not None:
+                    tracer.send(j, i)
+                if not self._attempt_delivery(j, i, dist, tracer):
                     continue
                 lag = self.delay.sample() if self.delay is not None else 0
                 if lag == 0:
@@ -198,6 +236,8 @@ class NetworkModel:
                         i, j, pts[j, 0], pts[j, 1],
                         float(curvatures[j]), round_index,
                     )
+                    if tracer is not None:
+                        tracer.deliver(j, i, round_index)
                 else:
                     self.queue.push(PendingBeacon(
                         deliver_round=round_index + lag,
@@ -206,6 +246,8 @@ class NetworkModel:
                         curvature=float(curvatures[j]),
                         sent_round=round_index,
                     ))
+                    if tracer is not None:
+                        tracer.delay(j, i, deliver_round=round_index + lag)
 
         # 3. Inboxes from the caches: fresh + tolerably stale entries,
         # ascending sender id (the order the plain radio produced).
@@ -222,7 +264,11 @@ class NetworkModel:
                 age = round_index - int(sent_round)
                 if age > self.max_age:
                     del cached[key]
+                    if tracer is not None:
+                        tracer.expire(int(key), i, int(sent_round), age)
                     continue
+                if tracer is not None:
+                    tracer.use(int(key), i, int(sent_round), age)
                 inbox.append(NeighborObservation(
                     node_id=int(key),
                     position=np.array([x, y], dtype=float),

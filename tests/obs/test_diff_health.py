@@ -1,0 +1,203 @@
+"""Tests for run diffing and the health-rule engine."""
+
+import json
+
+from repro.obs import Event, EventBus, MemorySink
+from repro.obs.diff import diff_run_logs, diff_runs, format_diff
+from repro.obs.health import (
+    DeadFleetRule,
+    DeltaStallRule,
+    DisconnectionBurstRule,
+    DivergenceRule,
+    HealthMonitor,
+    HealthSink,
+    check_events,
+    check_run_log,
+    default_rules,
+    format_alerts,
+)
+
+
+def _round(i, delta, **extra):
+    row = {"event": "round", "t": float(i), "round": i, "delta": delta,
+           "rmse": 1.0, "connected": True, "n_components": 1,
+           "n_alive": 8, "n_moved": 2}
+    row.update(extra)
+    return row
+
+
+def _span(path, t, dur):
+    return {"event": "span", "t": t, "phase": path.rsplit("/", 1)[-1],
+            "path": path, "dur_s": dur, "depth": path.count("/")}
+
+
+class TestDiffRuns:
+    def test_identical_runs(self):
+        rows = [_round(0, 3.0), _round(1, 2.5)]
+        diff = diff_runs(rows, [dict(r) for r in rows])
+        assert diff.identical
+        assert diff.first_divergent_round is None
+        assert diff.first_divergent_event is None
+
+    def test_wall_clock_never_diverges(self):
+        a = [_round(0, 3.0)]
+        b = [dict(a[0], t=99.0)]
+        assert diff_runs(a, b).identical
+
+    def test_first_divergent_round_names_field_and_values(self):
+        a = [_round(0, 3.0), _round(1, 2.5), _round(2, 2.0)]
+        b = [_round(0, 3.0), _round(1, 2.6), _round(2, 1.9)]
+        diff = diff_runs(a, b)
+        d = diff.first_divergent_round
+        assert (d.round, d.field) == (1, "delta")
+        assert (d.value_a, d.value_b) == (2.5, 2.6)
+
+    def test_first_divergent_event_can_precede_the_round(self):
+        a = [{"event": "lcm_pass", "t": 0.1, "round": 0, "moves": 0},
+             _round(0, 3.0)]
+        b = [{"event": "lcm_pass", "t": 0.1, "round": 0, "moves": 2},
+             _round(0, 3.0)]
+        diff = diff_runs(a, b)
+        assert diff.first_divergent_round is None
+        e = diff.first_divergent_event
+        assert e.index == 0
+        assert e.kind == "lcm_pass"
+
+    def test_timing_events_excluded_from_event_sequence(self):
+        a = [_span("step", 1.0, 0.5), _round(0, 3.0)]
+        b = [_span("step", 1.0, 0.9), _round(0, 3.0),
+             {"event": "metrics", "t": 2.0, "snapshot": {"x": 1}}]
+        assert diff_runs(a, b).identical
+
+    def test_truncated_run_reports_stream_end(self):
+        a = [_round(0, 3.0), _round(1, 2.5)]
+        b = [_round(0, 3.0)]
+        diff = diff_runs(a, b)
+        assert not diff.identical
+        assert diff.first_divergent_round.field == "<missing round>"
+        e = diff.first_divergent_event
+        assert e.index == 1 and e.event_b is None
+
+    def test_tolerance_forgives_small_float_drift(self):
+        a = [_round(0, 3.0)]
+        b = [_round(0, 3.0 + 1e-12)]
+        assert not diff_runs(a, b).identical
+        assert diff_runs(a, b, rtol=1e-9).identical
+
+    def test_nan_equals_nan(self):
+        a = [_round(0, float("nan"))]
+        b = [_round(0, float("nan"))]
+        assert diff_runs(a, b).identical
+
+    def test_phase_deltas_are_informational(self):
+        a = [_span("step", 1.0, 0.5), _round(0, 3.0)]
+        b = [_span("step", 1.0, 1.0), _round(0, 3.0)]
+        diff = diff_runs(a, b)
+        assert diff.identical
+        (delta,) = diff.phase_deltas
+        assert delta.path == "step"
+        assert delta.pct == 100.0
+
+    def test_format_mentions_divergence(self):
+        a = [_round(0, 3.0)]
+        b = [_round(0, 2.9)]
+        text = format_diff(diff_runs(a, b), "a.jsonl", "b.jsonl")
+        assert "first divergent round: 0" in text
+        assert "'delta'" in text
+
+    def test_diff_run_logs_roundtrip(self, tmp_path):
+        pa, pb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        pa.write_text(json.dumps(_round(0, 3.0)) + "\n")
+        pb.write_text(json.dumps(_round(0, 2.0)) + "\n")
+        diff = diff_run_logs(pa, pb)
+        assert diff.first_divergent_round.round == 0
+
+
+class TestHealthRules:
+    def test_delta_stall_fires_once_and_rearms(self):
+        rule = DeltaStallRule(window=3, min_improvement=0.1)
+        rows = [_round(i, 5.0) for i in range(6)]
+        alerts = [a for r in rows for a in rule.feed(r)]
+        assert [a.round for a in alerts] == [3]
+        # Improvement re-arms; a second stall fires again.
+        assert rule.feed(_round(6, 1.0)) == []
+        rows = [_round(7 + i, 1.0) for i in range(4)]
+        alerts = [a for r in rows for a in rule.feed(r)]
+        assert [a.round for a in alerts] == [9]
+
+    def test_divergence_needs_consecutive_rises(self):
+        rule = DivergenceRule(streak=3)
+        deltas = [1.0, 2.0, 3.0, 2.5, 3.0, 3.5, 4.0]
+        fired = [
+            a.round
+            for i, d in enumerate(deltas)
+            for a in rule.feed(_round(i, d))
+        ]
+        # Rise at rounds 1, 2 (streak 2, reset), then 4, 5, 6 → fires at 6.
+        assert fired == [6]
+
+    def test_dead_fleet_fires_on_zero_alive(self):
+        rule = DeadFleetRule()
+        assert rule.feed(_round(0, 3.0, n_alive=4)) == []
+        (alert,) = rule.feed(_round(1, 3.0, n_alive=0))
+        assert alert.severity == "critical"
+        assert rule.feed(_round(2, 3.0, n_alive=0)) == []
+
+    def test_disconnection_burst_sliding_window(self):
+        rule = DisconnectionBurstRule(window=4, threshold=2)
+        rows = [
+            _round(0, 3.0, connected=False),
+            _round(1, 3.0, connected=True),
+            _round(2, 3.0, connected=False),
+        ]
+        alerts = [a for r in rows for a in rule.feed(r)]
+        assert [a.round for a in alerts] == [2]
+
+    def test_non_round_events_are_ignored(self):
+        monitor = HealthMonitor()
+        assert monitor.feed({"event": "msg_send", "t": 0.0}) == []
+
+    def test_check_events_collects_across_rules(self):
+        rows = [_round(i, 3.0, n_alive=0, connected=False)
+                for i in range(25)]
+        alerts = check_events(rows)
+        assert {a.rule for a in alerts} >= {"dead_fleet",
+                                            "disconnection_burst"}
+
+    def test_default_rules_are_fresh_instances(self):
+        a, b = default_rules(), default_rules()
+        assert all(x is not y for x, y in zip(a, b))
+
+    def test_check_run_log(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("".join(
+            json.dumps(_round(i, 3.0, n_alive=0)) + "\n" for i in range(2)
+        ))
+        alerts = check_run_log(path)
+        assert [a.rule for a in alerts] == ["dead_fleet"]
+
+    def test_format_alerts(self):
+        assert "no alerts" in format_alerts([])
+        alerts = check_events([_round(0, 3.0, n_alive=0)])
+        assert "dead_fleet" in format_alerts(alerts)
+
+
+class TestHealthSink:
+    def test_alerts_land_on_the_same_bus(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        bus.add_sink(HealthSink(bus))
+        bus.emit("round", **{k: v for k, v in _round(0, 3.0, n_alive=0).items()
+                             if k not in ("event", "t")})
+        names = [e.name for e in sink.events]
+        assert names == ["round", "alert"]
+        alert = sink.events[1]
+        assert alert.fields["rule"] == "dead_fleet"
+
+    def test_sink_ignores_alert_events(self):
+        bus = EventBus([])
+        health = HealthSink(bus)
+        health.write(Event("alert", 0.0, {"rule": "dead_fleet", "round": 0,
+                                          "severity": "critical",
+                                          "message": "x"}))
+        assert health.monitor.alerts == []

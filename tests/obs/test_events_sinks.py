@@ -83,6 +83,20 @@ class TestJsonSafe:
 
         assert isinstance(json_safe(Weird()), str)
 
+    def test_non_finite_floats_become_null(self):
+        """Regression: bare NaN/Infinity tokens are not strict JSON and
+        break every non-Python consumer of the run log."""
+        assert json_safe(float("nan")) is None
+        assert json_safe(float("inf")) is None
+        assert json_safe(float("-inf")) is None
+        assert json_safe(np.float64("nan")) is None
+        assert json_safe(np.array([1.0, float("inf")])) == [1.0, None]
+        assert json_safe({"delta": float("nan")}) == {"delta": None}
+
+    def test_finite_floats_pass_through(self):
+        assert json_safe(0.0) == 0.0
+        assert json_safe(-1.5) == -1.5
+
 
 class TestJsonlSink:
     def test_roundtrip(self, tmp_path):
@@ -110,6 +124,48 @@ class TestJsonlSink:
         sink.close()  # idempotent
         with pytest.raises(ValueError):
             sink.write(Event("a", 0.0))
+
+    def test_non_finite_fields_serialise_as_null(self, tmp_path):
+        """Regression: the written log must be strict JSON even when an
+        instrumented value is NaN/Inf (e.g. delta before first measure)."""
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        sink.write(Event("round", 0.1, {
+            "delta": float("nan"),
+            "rmse": float("inf"),
+            "forces": np.array([1.0, float("-inf")]),
+        }))
+        sink.close()
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        (row,) = [json.loads(line) for line in text.splitlines()]
+        assert row["delta"] is None
+        assert row["rmse"] is None
+        assert row["forces"] == [1.0, None]
+
+    def test_flush_every_makes_events_visible(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.write(Event("a", 0.1))
+        assert path.read_text() == ""  # buffered: below the threshold
+        sink.write(Event("b", 0.2))
+        assert len(path.read_text().splitlines()) == 2  # auto-flushed
+        sink.write(Event("c", 0.3))
+        assert len(path.read_text().splitlines()) == 2  # buffered again
+        sink.close()
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_flush_every_default_buffers_until_close(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        for i in range(50):
+            sink.write(Event("tick", float(i), {"i": i}))
+        sink.close()
+        assert len(path.read_text().splitlines()) == 50
+
+    def test_flush_every_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "run.jsonl", flush_every=0)
 
 
 class TestMemorySink:

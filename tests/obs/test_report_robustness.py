@@ -1,0 +1,107 @@
+"""Robustness of the run-log reader: empty, truncated, malformed logs."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    load_run_log,
+    summarize_events,
+    summarize_run_log,
+)
+
+
+def _round(i, delta):
+    return {"event": "round", "t": float(i), "round": i, "delta": delta,
+            "rmse": 1.0, "connected": True, "n_components": 1,
+            "n_alive": 8, "n_moved": 2, "n_lcm_moves": 0, "mean_force": 0.1,
+            "n_trace_samples": 0}
+
+
+class TestLoadRunLog:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        assert load_run_log(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n" + json.dumps(_round(0, 3.0)) + "\n\n\n")
+        assert len(load_run_log(path)) == 1
+
+    def test_crash_truncated_tail_is_dropped(self, tmp_path):
+        """A process dying mid-write leaves a torn final line; the intact
+        prefix must still load."""
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(_round(0, 3.0)) + "\n"
+            + json.dumps(_round(1, 2.5)) + "\n"
+            + '{"event": "round", "round": 2, "del'
+        )
+        events = load_run_log(path)
+        assert [e["round"] for e in events] == [0, 1]
+
+    def test_garbage_mid_file_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(_round(0, 3.0)) + "\n"
+            + "not json at all\n"
+            + json.dumps(_round(1, 2.5)) + "\n"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            load_run_log(path)
+
+    def test_garbage_only_file_raises(self, tmp_path):
+        """A torn first line with nothing before it is not a truncated
+        log — it is not a run log at all."""
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "round", "rou')
+        with pytest.raises(ValueError):
+            load_run_log(path)
+
+    def test_non_event_row_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"no_event": 1}\n')
+        with pytest.raises(ValueError, match="missing 'event'"):
+            load_run_log(path)
+
+    def test_non_dict_row_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("[1, 2, 3]\n" + json.dumps(_round(0, 3.0)) + "\n")
+        with pytest.raises(ValueError, match="missing 'event'"):
+            load_run_log(path)
+
+
+class TestSummarizeRobustness:
+    def test_summary_of_empty_log(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("")
+        summary = summarize_run_log(path)
+        assert summary.n_events == 0
+        assert summary.duration_s == 0.0
+        assert summary.rounds is None
+        assert summary.phases == []
+
+    def test_summary_of_crash_truncated_log(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(_round(0, 3.0)) + "\n"
+            + json.dumps(_round(1, 2.5)) + "\n"
+            + '{"event": "round", "round": 2'
+        )
+        summary = summarize_run_log(path)
+        assert summary.rounds.n_rounds == 2
+        assert summary.rounds.delta_final == 2.5
+
+    def test_summary_tolerates_rows_without_timestamps(self):
+        summary = summarize_events([
+            {"event": "round", "round": 0, "delta": 3.0},
+        ])
+        assert summary.duration_s == 0.0
+        assert summary.rounds.n_rounds == 1
+
+    def test_summary_with_nan_deltas(self):
+        rows = [_round(0, float("nan")), _round(1, 2.0)]
+        summary = summarize_events(rows)
+        assert summary.rounds.delta_min == 2.0
+        assert summary.rounds.delta_mean == 2.0

@@ -1,0 +1,149 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.obs.export import (
+    PID_MARKERS,
+    PID_NETWORK,
+    PID_PHASES,
+    export_run_log,
+    to_chrome_trace,
+)
+
+
+def span(path, t, dur, **extra):
+    phase = path.rsplit("/", 1)[-1]
+    return {"event": "span", "t": t, "phase": phase, "path": path,
+            "dur_s": dur, "depth": path.count("/"), **extra}
+
+
+def msg(name, t, trace_id, sender, receiver, **extra):
+    return {"event": name, "t": t, "trace_id": trace_id,
+            "round": 0, "sender": sender, "receiver": receiver, **extra}
+
+
+class TestToChromeTrace:
+    def test_spans_become_complete_slices(self):
+        doc = to_chrome_trace([span("step", 1.0, 0.25)])
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        (sl,) = slices
+        assert sl["pid"] == PID_PHASES
+        assert sl["name"] == "step"
+        # Span events fire at exit, so the slice starts at t - dur.
+        assert sl["ts"] == (1.0 - 0.25) * 1e6
+        assert sl["dur"] == 0.25 * 1e6
+
+    def test_nested_paths_get_distinct_tracks(self):
+        doc = to_chrome_trace([
+            span("step", 1.0, 0.5),
+            span("step/sense", 0.8, 0.1),
+            span("step", 2.0, 0.5),
+        ])
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tids = {e["name"]: e["tid"] for e in slices}
+        assert tids["step"] != tids["sense"]
+        thread_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == PID_PHASES
+        }
+        assert thread_names == {"step", "step/sense"}
+
+    def test_message_events_form_a_flow(self):
+        rows = [
+            msg("msg_send", 1.0, "r0.n1>n0", 1, 0),
+            msg("msg_drop", 1.1, "r0.n1>n0", 1, 0, attempt=0),
+            msg("msg_retry", 1.2, "r0.n1>n0", 1, 0, attempt=1),
+            msg("msg_deliver", 1.3, "r0.n1>n0", 1, 0, sent_round=0, lag=0),
+        ]
+        doc = to_chrome_trace(rows)
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "t", "f")]
+        assert [e["ph"] for e in flows] == ["s", "t", "t", "t"]
+        assert len({e["id"] for e in flows}) == 1
+        assert all(e["name"] == "r0.n1>n0" for e in flows)
+        # Steps bind to the enclosing slice so arrows land on the slices.
+        assert all(e["bp"] == "e" for e in flows if e["ph"] == "t")
+
+    def test_terminal_events_close_the_flow(self):
+        doc = to_chrome_trace([
+            msg("msg_send", 1.0, "r0.n1>n0", 1, 0),
+            msg("msg_lost", 1.1, "r0.n1>n0", 1, 0, attempts=3),
+        ])
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "t", "f")]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+
+    def test_sender_and_receiver_side_tracks(self):
+        doc = to_chrome_trace([
+            msg("msg_send", 1.0, "r0.n1>n0", 1, 0),
+            msg("msg_deliver", 1.1, "r0.n1>n0", 1, 0, sent_round=0, lag=0),
+        ])
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == PID_NETWORK
+        }
+        send, deliver = slices
+        assert send["tid"] == names["node 1"]  # sender side
+        assert deliver["tid"] == names["node 0"]  # receiver side
+
+    def test_distinct_beacons_get_distinct_flow_ids(self):
+        doc = to_chrome_trace([
+            msg("msg_send", 1.0, "r0.n1>n0", 1, 0),
+            msg("msg_send", 1.1, "r0.n2>n0", 2, 0),
+        ])
+        flows = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        assert len({e["id"] for e in flows}) == 2
+
+    def test_rounds_and_alerts_become_instants(self):
+        doc = to_chrome_trace([
+            {"event": "round", "t": 1.0, "round": 0, "delta": 3.0},
+            {"event": "alert", "t": 2.0, "rule": "delta_stall",
+             "round": 0, "severity": "warning", "message": "x"},
+        ])
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["round 0", "alert:delta_stall"]
+        assert all(e["pid"] == PID_MARKERS for e in instants)
+        tids = [e["tid"] for e in instants]
+        assert tids[0] != tids[1]  # rounds and alerts tracks
+
+    def test_unknown_events_are_skipped(self):
+        doc = to_chrome_trace([
+            {"event": "metrics", "t": 1.0, "snapshot": {}},
+            {"event": "lcm_pass", "t": 1.0, "round": 0, "moves": 0},
+        ])
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+    def test_output_is_json_serialisable(self):
+        doc = to_chrome_trace([
+            span("step", 1.0, 0.5),
+            msg("msg_send", 1.0, "r0.n1>n0", 1, 0),
+            {"event": "round", "t": 1.0, "round": 0},
+        ])
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["displayTimeUnit"] == "ms"
+        assert isinstance(parsed["traceEvents"], list)
+
+
+class TestExportRunLog:
+    def _write_log(self, path, rows):
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in rows), encoding="utf-8"
+        )
+
+    def test_default_output_path(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        self._write_log(log, [span("step", 1.0, 0.5)])
+        out = export_run_log(log)
+        assert out == tmp_path / "run.trace.json"
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_explicit_output_path(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        self._write_log(log, [span("step", 1.0, 0.5)])
+        out = export_run_log(log, tmp_path / "deep" / "t.json")
+        assert out.exists()
+        json.loads(out.read_text())

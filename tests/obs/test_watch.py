@@ -1,0 +1,174 @@
+"""Tests for live monitoring: the tailer, the dashboard, OpenMetrics."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.watch import (
+    WatchState,
+    follow,
+    render_openmetrics,
+    render_watch,
+    watch,
+)
+
+
+def _round(i, delta, **extra):
+    row = {"event": "round", "t": float(i), "round": i, "delta": delta,
+           "rmse": 1.0, "connected": True, "n_components": 1,
+           "n_alive": 8, "n_moved": 2}
+    row.update(extra)
+    return row
+
+
+class TestFollow:
+    def test_replays_existing_content_in_once_mode(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rows = [_round(0, 3.0), _round(1, 2.5)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        got = list(follow(path, stop=lambda: True))
+        assert [r["round"] for r in got] == [0, 1]
+
+    def test_partial_trailing_line_is_pending_not_malformed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        full = json.dumps(_round(0, 3.0)) + "\n"
+        partial = json.dumps(_round(1, 2.5))
+        path.write_text(full + partial[: len(partial) // 2])
+
+        polls = []
+
+        def stop():
+            polls.append(None)
+            return len(polls) >= 2
+
+        def sleep(_):
+            # Between polls the writer finishes the line and appends more.
+            with path.open("a") as fh:
+                fh.write(partial[len(partial) // 2:] + "\n")
+                fh.write(json.dumps(_round(2, 2.0)) + "\n")
+
+        got = list(follow(path, stop=stop, sleep=sleep))
+        assert [r["round"] for r in got] == [0, 1, 2]
+
+    def test_torn_terminated_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps(_round(0, 3.0)) + "\n"
+            + '{"event": "round", "rou\n'
+            + json.dumps(_round(2, 2.0)) + "\n"
+        )
+        got = list(follow(path, stop=lambda: True))
+        assert [r["round"] for r in got] == [0, 2]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        got = list(follow(tmp_path / "nope.jsonl", stop=lambda: True))
+        assert got == []
+
+    def test_non_event_rows_are_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"no_event_key": 1}\n[1, 2]\n'
+                        + json.dumps(_round(0, 3.0)) + "\n")
+        got = list(follow(path, stop=lambda: True))
+        assert [r["round"] for r in got] == [0]
+
+
+class TestWatchState:
+    def test_folds_rounds_spans_and_messages(self):
+        state = WatchState()
+        state.feed(_round(0, 3.0))
+        state.feed({"event": "span", "t": 1.0, "phase": "sense",
+                    "path": "step/sense", "dur_s": 0.25, "depth": 1})
+        state.feed({"event": "msg_send", "t": 1.0, "trace_id": "r0.n1>n0",
+                    "round": 0, "sender": 1, "receiver": 0})
+        assert state.n_events == 3
+        assert state.last_round["round"] == 0
+        assert state.deltas == [3.0]
+        assert state.phase_totals["step/sense"] == 0.25
+        assert state.net_counts["msg_send"] == 1
+
+    def test_nan_delta_is_not_plotted(self):
+        state = WatchState()
+        state.feed(_round(0, float("nan")))
+        assert state.deltas == []
+
+    def test_delta_history_is_bounded(self):
+        state = WatchState()
+        state.max_deltas = 5
+        for i in range(12):
+            state.feed(_round(i, float(i)))
+        assert state.deltas == [7.0, 8.0, 9.0, 10.0, 11.0]
+
+    def test_log_alerts_dedupe_against_own_monitor(self):
+        # Feed a dead-fleet round: the watcher's own monitor fires, and
+        # the writer-side alert event for the same (rule, round) must not
+        # double-count.
+        state = WatchState()
+        state.feed(_round(3, 2.0, n_alive=0))
+        assert [a.rule for a in state.alerts] == ["dead_fleet"]
+        state.feed({"event": "alert", "t": 3.5, "rule": "dead_fleet",
+                    "round": 3, "severity": "critical", "message": "x"})
+        assert len(state.alerts) == 1
+
+    def test_render_includes_all_sections(self):
+        state = WatchState()
+        state.feed(_round(0, 3.0))
+        state.feed({"event": "span", "t": 1.0, "phase": "step",
+                    "path": "step", "dur_s": 0.5, "depth": 0})
+        state.feed({"event": "msg_lost", "t": 1.0, "trace_id": "r0.n1>n0",
+                    "round": 0, "sender": 1, "receiver": 0, "attempts": 3})
+        state.feed({"event": "alert", "t": 1.0, "rule": "divergence",
+                    "round": 0, "severity": "critical", "message": "boom"})
+        text = render_watch(state, "demo")
+        assert "watching: demo" in text
+        assert "round    0" in text
+        assert "step" in text
+        assert "lost=1" in text
+        assert "divergence: boom" in text
+
+    def test_render_with_no_events(self):
+        text = render_watch(WatchState(), "empty")
+        assert "no round events yet" in text
+
+
+class TestWatchOnce:
+    def test_once_renders_single_frame_and_returns_state(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("".join(
+            json.dumps(_round(i, 3.0 - i * 0.1)) + "\n" for i in range(4)
+        ))
+        frames = []
+        state = watch(path, once=True, out=frames.append)
+        assert len(frames) == 1
+        assert state.n_events == 4
+        assert "round    3" in frames[0]
+
+
+class TestRenderOpenmetrics:
+    def test_scalars_become_gauges(self):
+        text = render_openmetrics({"net.sent": 42, "rounds": 6})
+        assert "# TYPE repro_net_sent gauge" in text
+        assert "repro_net_sent 42" in text
+        assert text.endswith("# EOF\n")
+
+    def test_summaries_expose_quantiles_count_and_sum(self):
+        snapshot = {"phase.step": {
+            "count": 6, "total": 1.2, "mean": 0.2,
+            "min": 0.1, "max": 0.4, "p50": 0.18, "p95": 0.38,
+        }}
+        text = render_openmetrics(snapshot)
+        assert "# TYPE repro_phase_step summary" in text
+        assert 'repro_phase_step{quantile="0.5"} 0.18' in text
+        assert 'repro_phase_step{quantile="0.95"} 0.38' in text
+        assert "repro_phase_step_count 6" in text
+        assert "repro_phase_step_sum 1.2" in text
+
+    def test_names_are_sanitised(self):
+        text = render_openmetrics({"9weird-name/x": 1.0}, prefix="")
+        assert "_9weird_name_x 1" in text
+
+    def test_live_registry_snapshot_renders(self):
+        registry = MetricsRegistry()
+        registry.counter("net.sent").inc(3)
+        registry.summary("dt").observe(0.5)
+        text = render_openmetrics(registry.snapshot())
+        assert "repro_net_sent 3" in text
+        assert "repro_dt_count 1" in text

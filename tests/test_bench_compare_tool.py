@@ -1,0 +1,102 @@
+"""Tests for tools/bench_compare.py, pairwise and trajectory modes."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_compare  # noqa: E402
+
+
+def dump(path, stats):
+    """Write a minimal pytest-benchmark JSON with name → min seconds."""
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": name, "stats": {"min": value, "mean": value}}
+            for name, value in stats.items()
+        ],
+    }))
+
+
+class TestPairwise:
+    def test_no_regression_exits_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump(a, {"bench_x": 1.0})
+        dump(b, {"bench_x": 1.1})
+        assert bench_compare.main([str(a), str(b)]) == 0
+        assert "+10.0%" in capsys.readouterr().out
+
+    def test_regression_sets_exit_status(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        dump(a, {"bench_x": 1.0, "bench_y": 1.0})
+        dump(b, {"bench_x": 2.0, "bench_y": 3.0})
+        assert bench_compare.main([str(a), str(b)]) == 2
+        assert bench_compare.main([str(a), str(b), "--warn-only"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path):
+        a = tmp_path / "a.json"
+        dump(a, {"bench_x": 1.0})
+        with pytest.raises(SystemExit) as exc:
+            bench_compare.main([str(a), str(tmp_path / "nope.json")])
+        assert exc.value.code == 2
+
+    def test_missing_positionals_error(self):
+        with pytest.raises(SystemExit):
+            bench_compare.main([])
+
+
+class TestTrajectory:
+    def _snapshots(self, tmp_path):
+        dump(tmp_path / "BENCH_pr2.json", {"bench_x": 1.0})
+        dump(tmp_path / "BENCH_pr6.json", {"bench_x": 0.8, "bench_y": 2.0})
+        dump(tmp_path / "BENCH_pr10.json", {"bench_x": 0.7, "bench_y": 2.1})
+
+    def test_snapshots_sort_in_pr_order(self, tmp_path):
+        self._snapshots(tmp_path)
+        names = [Path(p).name
+                 for p in bench_compare.find_snapshots(str(tmp_path))]
+        assert names == [
+            "BENCH_pr2.json", "BENCH_pr6.json", "BENCH_pr10.json",
+        ]
+
+    def test_walks_all_snapshots(self, tmp_path, capsys):
+        self._snapshots(tmp_path)
+        assert bench_compare.main(["--trajectory", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pr2" in out and "pr6" in out and "pr10" in out
+        # bench_y is absent from the oldest snapshot: a "-" cell, not an error.
+        assert "-" in out
+
+    def test_regression_judged_on_last_step_only(self, tmp_path, capsys):
+        # pr2 → pr6 regressed hugely, pr6 → pr10 is flat: exit 0 because
+        # only the newest step is the verdict.
+        dump(tmp_path / "BENCH_pr2.json", {"bench_x": 0.1})
+        dump(tmp_path / "BENCH_pr6.json", {"bench_x": 1.0})
+        dump(tmp_path / "BENCH_pr10.json", {"bench_x": 1.01})
+        assert bench_compare.main(["--trajectory", str(tmp_path)]) == 0
+
+        dump(tmp_path / "BENCH_pr10.json", {"bench_x": 2.0})
+        assert bench_compare.main(["--trajectory", str(tmp_path)]) == 1
+        assert bench_compare.main(
+            ["--trajectory", str(tmp_path), "--warn-only"]
+        ) == 0
+
+    def test_current_json_appends_as_newest_column(self, tmp_path, capsys):
+        self._snapshots(tmp_path)
+        current = tmp_path / "bench_current.json"
+        dump(current, {"bench_x": 0.71, "bench_y": 2.0})
+        code = bench_compare.main(
+            ["--trajectory", str(tmp_path), str(current)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench_current" in out
+
+    def test_too_few_snapshots_exits_two(self, tmp_path):
+        dump(tmp_path / "BENCH_pr2.json", {"bench_x": 1.0})
+        with pytest.raises(SystemExit) as exc:
+            bench_compare.main(["--trajectory", str(tmp_path)])
+        assert exc.value.code == 2

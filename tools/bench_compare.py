@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Compare two pytest-benchmark JSON dumps and flag regressions.
+"""Compare pytest-benchmark JSON dumps and flag regressions.
 
 Usage::
 
     python tools/bench_compare.py BASELINE.json CURRENT.json [options]
+    python tools/bench_compare.py --trajectory [DIR] [CURRENT.json] [options]
 
 Benchmarks are matched by name; for each pair the change in the chosen
 statistic (default ``min`` — the least noise-sensitive on shared
@@ -12,6 +13,13 @@ hardware) is reported, and any slowdown beyond ``--threshold`` (default
 unless ``--warn-only`` is given — CI uses ``--warn-only`` because the
 runners' wall clocks are far too noisy to gate merges on, but the table
 in the job log still surfaces drift early.
+
+``--trajectory`` walks every committed ``BENCH_*.json`` snapshot in
+``DIR`` (default: the current directory) in PR order and prints each
+benchmark's full history side by side — the repo's perf trajectory
+across PRs, not just one pairwise delta. An optional ``CURRENT.json``
+is appended as the newest column; regressions are judged on the final
+adjacent pair only (history is context, the latest step is the verdict).
 
 Benchmarks present in only one file are listed but never counted as
 regressions (new benchmarks should not fail the suite that adds them).
@@ -26,8 +34,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 
 def _die(message: str) -> None:
@@ -70,10 +80,112 @@ def load_stats(path: str, stat: str) -> Tuple[Dict[str, float], List[str]]:
     return out, skipped
 
 
+def _natural_key(name: str) -> List[object]:
+    """Sort key putting ``BENCH_pr10`` after ``BENCH_pr2``."""
+    return [
+        int(part) if part.isdigit() else part
+        for part in re.split(r"(\d+)", name)
+    ]
+
+
+def _snapshot_label(path: str) -> str:
+    stem = Path(path).stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def find_snapshots(directory: str) -> List[str]:
+    """Committed ``BENCH_*.json`` snapshots in PR order."""
+    return sorted(
+        (str(p) for p in Path(directory).glob("BENCH_*.json")),
+        key=_natural_key,
+    )
+
+
+def run_trajectory(
+    paths: List[str], stat: str, threshold: float, warn_only: bool
+) -> int:
+    """Print every benchmark's history across the snapshots.
+
+    Regressions are judged on the last adjacent pair only: the history
+    columns show drift, the newest step is what the current change did.
+    """
+    if len(paths) < 2:
+        _die(
+            "bench_compare: trajectory needs at least two snapshots, "
+            f"found {len(paths)}: {', '.join(paths) or '(none)'}"
+        )
+    series: List[Tuple[str, Dict[str, float]]] = []
+    for path in paths:
+        stats, skipped = load_stats(path, stat)
+        if skipped:
+            print(
+                f"skipped in {path} (no '{stat}' stat): "
+                + ", ".join(sorted(skipped))
+            )
+        series.append((_snapshot_label(path), stats))
+
+    names = sorted(set().union(*(set(s) for _, s in series)))
+    width = max((len(n) for n in names), default=9)
+    col = max(10, max(len(label) for label, _ in series) + 2)
+    header = f"{'benchmark':<{width}}"
+    for label, _ in series:
+        header += f"{label:>{col}}"
+    header += "    last step"
+    print(header)
+    regressions = []
+    prev_label, prev = series[-2]
+    last_label, last = series[-1]
+    for name in names:
+        line = f"{name:<{width}}"
+        for _, stats in series:
+            cell = f"{stats[name] * 1e3:.3f}ms" if name in stats else "-"
+            line += f"{cell:>{col}}"
+        if name in prev and name in last and prev[name] > 0:
+            pct = (last[name] / prev[name] - 1.0) * 100.0
+            marker = ""
+            if pct > threshold:
+                marker = "  REGRESSION"
+                regressions.append((name, pct))
+            line += f"  {pct:+9.1f}%{marker}"
+        elif name in last:
+            line += f"  {'(new)':>10}"
+        else:
+            line += f"  {'(gone)':>10}"
+        print(line)
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond {threshold:.0f}% "
+            f"on '{stat}' between {prev_label} and {last_label}:",
+            file=sys.stderr,
+        )
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        return 0 if warn_only else len(regressions)
+    print(
+        f"\nno regressions beyond {threshold:.0f}% on '{stat}' "
+        f"between {prev_label} and {last_label}"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="benchmark JSON to compare against")
-    parser.add_argument("current", help="benchmark JSON under test")
+    parser.add_argument(
+        "baseline", nargs="?", default=None,
+        help="benchmark JSON to compare against (pairwise mode), or the "
+        "current JSON to append in --trajectory mode",
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None,
+        help="benchmark JSON under test (pairwise mode)",
+    )
+    parser.add_argument(
+        "--trajectory", nargs="?", const=".", default=None, metavar="DIR",
+        help="walk DIR's committed BENCH_*.json snapshots in PR order "
+        "(default DIR: .); a positional JSON is appended as the newest "
+        "column",
+    )
     parser.add_argument(
         "--stat", default="min", choices=("min", "mean", "median"),
         help="statistic to compare (default: min)",
@@ -87,6 +199,17 @@ def main(argv=None) -> int:
         help="always exit 0; regressions are reported but not fatal",
     )
     args = parser.parse_args(argv)
+
+    if args.trajectory is not None:
+        paths = find_snapshots(args.trajectory)
+        for extra in (args.baseline, args.current):
+            if extra is not None:
+                paths.append(extra)
+        return run_trajectory(
+            paths, args.stat, args.threshold, args.warn_only
+        )
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required without --trajectory")
 
     base, base_skipped = load_stats(args.baseline, args.stat)
     curr, curr_skipped = load_stats(args.current, args.stat)
