@@ -6,10 +6,13 @@ substrate that the paper's algorithms rest on:
 * robust-enough orientation and in-circle predicates (:mod:`.predicates`),
 * Andrew monotone-chain convex hull (:mod:`.hull`),
 * incremental Bowyer--Watson Delaunay triangulation with walk-based point
-  location (:mod:`.delaunay`),
+  location, vertex removal and localized position updates
+  (:mod:`.delaunay`),
 * vectorised piecewise-linear evaluation of the triangulated surface
   ``z* = DT(x, y)`` used by the paper's reconstruction metric
-  (:mod:`.interpolation`).
+  (:mod:`.interpolation`),
+* a cell-list spatial hash for fixed-radius neighbor queries, bit-exact
+  against the dense pairwise-distance oracle (:mod:`.spatial_index`).
 
 The triangulation is cross-validated against :mod:`scipy.spatial` in the
 test suite but does not depend on it at runtime.
@@ -31,10 +34,19 @@ from repro.geometry.primitives import (
     midpoint,
     unit_vector,
 )
-from repro.geometry.delaunay import DelaunayTriangulation, Triangle
+from repro.geometry.delaunay import (
+    DelaunayTriangulation,
+    Triangle,
+    canonical_simplices,
+)
 from repro.geometry.interpolation import (
     LinearSurfaceInterpolator,
     barycentric_coordinates,
+)
+from repro.geometry.spatial_index import (
+    SpatialHashGrid,
+    radius_adjacency,
+    radius_neighbor_lists,
 )
 
 __all__ = [
@@ -43,8 +55,10 @@ __all__ = [
     "LinearSurfaceInterpolator",
     "Point2",
     "Point3",
+    "SpatialHashGrid",
     "Triangle",
     "barycentric_coordinates",
+    "canonical_simplices",
     "convex_hull",
     "distance",
     "distance_squared",
@@ -53,6 +67,8 @@ __all__ = [
     "orientation",
     "point_in_convex_polygon",
     "point_in_triangle",
+    "radius_adjacency",
+    "radius_neighbor_lists",
     "triangle_area",
     "unit_vector",
 ]

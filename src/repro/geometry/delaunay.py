@@ -77,6 +77,29 @@ class DuplicatePointError(ValueError):
     """Raised when inserting a point that coincides with an existing vertex."""
 
 
+def canonical_simplices(simplices: np.ndarray) -> np.ndarray:
+    """Order-independent canonical form of an ``(m, 3)`` triangle array.
+
+    Each row is rotated so its smallest vertex index comes first —
+    preserving cyclic orientation, hence each triangle's barycentric
+    arithmetic bit-for-bit — then rows are sorted lexicographically. Two
+    triangulations over the same point set with the same triangle *set*
+    (e.g. an incrementally maintained mesh and a from-scratch rebuild)
+    canonicalise to the same array regardless of construction history,
+    which makes downstream order-sensitive consumers (the rasteriser's
+    shared-edge tie-break, extrapolation's first-improvement winner)
+    bit-identical across the two.
+    """
+    simp = np.asarray(simplices, dtype=int).reshape(-1, 3)
+    if simp.size == 0:
+        return simp.copy()
+    rot = np.argmin(simp, axis=1)
+    idx = (rot[:, None] + np.arange(3)[None, :]) % 3
+    rows = np.take_along_axis(simp, idx, axis=1)
+    order = np.lexsort((rows[:, 2], rows[:, 1], rows[:, 0]))
+    return rows[order]
+
+
 #: Number of synthetic super-triangle vertices kept at internal indices 0..2.
 _N_SUPER = 3
 
@@ -120,6 +143,7 @@ class DelaunayTriangulation:
     ) -> None:
         self._dedup_tol = float(dedup_tol)
         self._skip_duplicates = bool(skip_duplicates)
+        self._span = float(span)
 
         # Vertex store: (capacity, 2) float buffer, first _nv rows valid,
         # mirrored by a plain list of (x, y) tuples for the scalar paths
@@ -127,6 +151,12 @@ class DelaunayTriangulation:
         self._vert_buf = np.empty((_INITIAL_CAPACITY, 2), dtype=float)
         self._vert_list: List[Tuple[float, float]] = []
         self._nv = 0
+        # Public-index → internal-slot mapping. Identity (+_N_SUPER offset)
+        # until the first remove() punches a hole; _holes flags that the
+        # arithmetic fast paths are no longer valid and lookups must go
+        # through the mapping.
+        self._pub_to_slot: List[int] = []
+        self._holes = False
         # Deliberately asymmetric super-triangle to dodge degeneracies with
         # axis-aligned / diagonal input.
         for x, y in (
@@ -173,26 +203,37 @@ class DelaunayTriangulation:
         self._vert_buf[self._nv] = (x, y)
         self._vert_list.append((x, y))
         self._nv += 1
+        if self._nv - 1 >= _N_SUPER:
+            self._pub_to_slot.append(self._nv - 1)
         return self._nv - 1
 
     def _pop_vertex(self) -> None:
         self._nv -= 1
         self._vert_list.pop()
+        if self._nv >= _N_SUPER:
+            self._pub_to_slot.pop()
+
+    def _grow_triangle_buffers(self, needed: int) -> None:
+        cap = len(self._tri_buf)
+        while cap < needed:
+            cap *= 2
+        if cap == len(self._tri_buf):
+            return
+        for name in ("_tri_buf", "_tri_live", "_tri_orient"):
+            old = getattr(self, name)
+            grown = np.zeros((cap,) + old.shape[1:], dtype=old.dtype)
+            grown[: self._nt] = old[: self._nt]
+            setattr(self, name, grown)
+        grown_xy = np.zeros((6, cap), dtype=float)
+        grown_xy[:, : self._nt] = self._tri_xy[:, : self._nt]
+        self._tri_xy = grown_xy
+        grown_cc = np.zeros((4, cap), dtype=float)
+        grown_cc[:, : self._nt] = self._tri_cc[:, : self._nt]
+        self._tri_cc = grown_cc
 
     def _new_slot(self) -> int:
         if self._nt == len(self._tri_buf):
-            cap = 2 * len(self._tri_buf)
-            for name in ("_tri_buf", "_tri_live", "_tri_orient"):
-                old = getattr(self, name)
-                grown = np.zeros((cap,) + old.shape[1:], dtype=old.dtype)
-                grown[: self._nt] = old[: self._nt]
-                setattr(self, name, grown)
-            grown_xy = np.zeros((6, cap), dtype=float)
-            grown_xy[:, : self._nt] = self._tri_xy[:, : self._nt]
-            self._tri_xy = grown_xy
-            grown_cc = np.zeros((4, cap), dtype=float)
-            grown_cc[:, : self._nt] = self._tri_cc[:, : self._nt]
-            self._tri_cc = grown_cc
+            self._grow_triangle_buffers(self._nt + 1)
         self._nt += 1
         return self._nt - 1
 
@@ -214,12 +255,20 @@ class DelaunayTriangulation:
     @property
     def n_points(self) -> int:
         """Number of real (non-synthetic) vertices."""
-        return self._nv - _N_SUPER
+        return len(self._pub_to_slot)
 
     @property
     def points(self) -> np.ndarray:
-        """Real vertices as an ``(n, 2)`` float array (insertion order)."""
-        return self._vert_buf[_N_SUPER : self._nv].copy()
+        """Real vertices as an ``(n, 2)`` float array (public-index order)."""
+        if not self._holes:
+            return self._vert_buf[_N_SUPER : self._nv].copy()
+        return self._vert_buf[np.asarray(self._pub_to_slot, dtype=np.intp)]
+
+    def _points_view(self) -> np.ndarray:
+        """Real vertices for read-only internal use (no copy when compact)."""
+        if not self._holes:
+            return self._vert_buf[_N_SUPER : self._nv]
+        return self._vert_buf[np.asarray(self._pub_to_slot, dtype=np.intp)]
 
     @property
     def triangles(self) -> List[Triangle]:
@@ -231,8 +280,20 @@ class DelaunayTriangulation:
         """Triangles as an ``(m, 3)`` int array (scipy-compatible view)."""
         if self._simplices_cache is None:
             tris = self._tri_buf[: self._nt][self._tri_live[: self._nt]]
-            real = (tris >= _N_SUPER).all(axis=1)
-            self._simplices_cache = (tris[real] - _N_SUPER).astype(int)
+            if not self._holes:
+                real = (tris >= _N_SUPER).all(axis=1)
+                self._simplices_cache = (tris[real] - _N_SUPER).astype(int)
+            else:
+                # Slot → public translation: freed and synthetic slots map
+                # to -1, so any triangle touching one is filtered out
+                # (freed slots never appear in live triangles anyway).
+                slot_to_pub = np.full(self._nv, -1, dtype=np.int64)
+                slot_to_pub[np.asarray(self._pub_to_slot, dtype=np.intp)] = (
+                    np.arange(len(self._pub_to_slot))
+                )
+                pub = slot_to_pub[tris]
+                real = (pub >= 0).all(axis=1)
+                self._simplices_cache = pub[real].astype(int)
             self._simplices_cache.setflags(write=False)
         return self._simplices_cache
 
@@ -240,8 +301,8 @@ class DelaunayTriangulation:
         """The coordinates of public vertex ``index``."""
         if not 0 <= index < self.n_points:
             raise IndexError(f"vertex index {index} out of range")
-        x, y = self._vert_buf[index + _N_SUPER]
-        return Point2(float(x), float(y))
+        x, y = self._vert_list[self._pub_to_slot[index]]
+        return Point2(x, y)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -284,10 +345,250 @@ class DelaunayTriangulation:
         boundary = self._cavity_boundary(bad_slots)
         self._tri_live[bad_slots] = False
         self._n_live -= len(bad_slots)
-        for u, v in boundary:
-            self._add_triangle(u, v, internal_index)
+        u = np.fromiter((e[0] for e in boundary), dtype=np.intp, count=len(boundary))
+        v = np.fromiter((e[1] for e in boundary), dtype=np.intp, count=len(boundary))
+        self._add_triangles(u, v, np.full(len(boundary), internal_index, dtype=np.intp))
         self._simplices_cache = None
-        return internal_index - _N_SUPER
+        return self.n_points - 1
+
+    def remove(self, index: int) -> None:
+        """Remove public vertex ``index`` and re-triangulate its cavity.
+
+        The star of the vertex is replaced by a Delaunay ear-clipping of
+        its link polygon (Devillers-style deletion): only the hole's
+        boundary vertices can appear in the new triangles, and the
+        empty-circumcircle test against those boundary vertices suffices
+        to keep the whole mesh Delaunay. Public indices above ``index``
+        shift down by one, exactly like deleting from a list; the freed
+        internal vertex slot is leaked until the next full rebuild (the
+        leak is bounded by the number of removals).
+
+        Raises :class:`RuntimeError` when the star is too degenerate to
+        re-triangulate reliably (flat triangles breaking the link cycle);
+        the triangulation is left untouched in that case — callers fall
+        back to a from-scratch rebuild.
+        """
+        if not 0 <= index < self.n_points:
+            raise IndexError(f"vertex index {index} out of range")
+        if self._nt > 2 * _INITIAL_CAPACITY and 2 * self._n_live < self._nt:
+            self._compact()
+        slot = self._pub_to_slot[index]
+        star, ears = self._plan_detach(slot)
+        self._tri_live[star] = False
+        self._n_live -= len(star)
+        for a, b, c in ears:
+            self._add_triangle(a, b, c)
+        del self._pub_to_slot[index]
+        self._holes = True
+        self._simplices_cache = None
+
+    def update_positions(
+        self,
+        moved_ids: Sequence[int],
+        new_points: np.ndarray,
+        tol: float = 0.0,
+        full_rebuild: bool = False,
+    ) -> int:
+        """Displace existing vertices, re-triangulating only around them.
+
+        Parameters
+        ----------
+        moved_ids:
+            Public indices of the vertices to update (no duplicates).
+        new_points:
+            ``(len(moved_ids), 2)`` array of their new coordinates.
+        tol:
+            Vertices displaced by at most ``tol`` (Euclidean) keep their
+            old coordinates. The default 0.0 moves every vertex whose new
+            coordinates differ bitwise.
+        full_rebuild:
+            Escape hatch: rebuild the whole triangulation from scratch at
+            the updated coordinates instead of incremental detach/reinsert.
+            Same final mesh (up to triangle order — compare through
+            :func:`canonical_simplices`); used by tests as the oracle and
+            by callers that prefer predictable O(n log n) work.
+
+        Returns the number of vertices actually moved. Raises
+        :class:`DuplicatePointError` when a move lands on another vertex,
+        :class:`ValueError` for malformed input or out-of-span targets and
+        :class:`RuntimeError` for degenerate stars; on incremental-path
+        failures *after* the first successful move the mesh may hold a
+        partially applied update — callers should rebuild from scratch
+        (see :class:`repro.runtime.geometry.IncrementalGeometry`).
+        """
+        ids = np.asarray(moved_ids, dtype=int).reshape(-1)
+        pts = np.asarray(new_points, dtype=float)
+        if pts.ndim != 2 or pts.shape != (len(ids), 2):
+            raise ValueError(
+                f"new_points shape {pts.shape} != ({len(ids)}, 2)"
+            )
+        if len(ids) == 0:
+            return 0
+        if ids.min() < 0 or ids.max() >= self.n_points:
+            raise IndexError("moved_ids out of range")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("moved_ids contains duplicates")
+        current = self.points[ids]
+        if tol > 0.0:
+            disp = np.sqrt(((pts - current) ** 2).sum(axis=1))
+            movers = np.flatnonzero(disp > tol)
+        else:
+            movers = np.flatnonzero((pts != current).any(axis=1))
+        if movers.size == 0:
+            return 0
+        if full_rebuild:
+            allpts = self.points
+            allpts[ids[movers]] = pts[movers]
+            self._rebuild_from(allpts)
+            return int(movers.size)
+        order = movers[np.argsort(ids[movers], kind="stable")]
+        for m in order:
+            self._move_vertex(int(ids[m]), float(pts[m, 0]), float(pts[m, 1]))
+        return int(movers.size)
+
+    def _rebuild_from(self, points: np.ndarray) -> None:
+        """Re-run ``__init__`` over ``points`` (the full-rebuild path)."""
+        self.__init__(
+            points=points,
+            dedup_tol=self._dedup_tol,
+            skip_duplicates=self._skip_duplicates,
+            span=self._span,
+        )
+
+    def _move_vertex(self, index: int, x: float, y: float) -> None:
+        """Detach public vertex ``index`` and reinsert it at ``(x, y)``.
+
+        The duplicate check and the detach plan are validated *before*
+        any mutation, so those failures leave the mesh intact. A failure
+        during reinsertion (out-of-span target) leaves the mesh without
+        the vertex's triangles — callers must rebuild from scratch.
+        """
+        if self._nt > 2 * _INITIAL_CAPACITY and 2 * self._n_live < self._nt:
+            self._compact()
+        hit = self.find_vertex((x, y), tol=self._dedup_tol)
+        if hit is not None and hit != index:
+            raise DuplicatePointError(
+                f"moving vertex {index} onto existing vertex {hit}"
+            )
+        slot = self._pub_to_slot[index]
+        star, ears = self._plan_detach(slot)
+        self._tri_live[star] = False
+        self._n_live -= len(star)
+        for a, b, c in ears:
+            self._add_triangle(a, b, c)
+        self._vert_buf[slot] = (x, y)
+        self._vert_list[slot] = (float(x), float(y))
+        self._reinsert_slot(slot, float(x), float(y))
+        self._simplices_cache = None
+
+    def _reinsert_slot(self, slot: int, px: float, py: float) -> None:
+        """Bowyer–Watson insertion of an already-allocated vertex slot."""
+        bad_slots = self._bad_triangle_slots(px, py)
+        if bad_slots.size == 0:
+            bad_slots = self._bad_triangle_slots_nonstrict(px, py)
+        if bad_slots.size == 0:
+            raise ValueError(
+                f"point ({px}, {py}) is outside the triangulation's "
+                "working area; construct DelaunayTriangulation with a "
+                "larger span"
+            )
+        boundary = self._cavity_boundary(bad_slots)
+        self._tri_live[bad_slots] = False
+        self._n_live -= len(bad_slots)
+        u = np.fromiter((e[0] for e in boundary), dtype=np.intp, count=len(boundary))
+        v = np.fromiter((e[1] for e in boundary), dtype=np.intp, count=len(boundary))
+        self._add_triangles(u, v, np.full(len(boundary), slot, dtype=np.intp))
+
+    def _plan_detach(
+        self, slot: int
+    ) -> Tuple[np.ndarray, List[Tuple[int, int, int]]]:
+        """Plan the removal of vertex ``slot``: its star and the ear fill.
+
+        Pure computation — the mesh is not touched, so a
+        :class:`RuntimeError` here (non-manifold or unclosed link from
+        degenerate star triangles, no Delaunay ear) is safe to recover
+        from by full rebuild. Stored triangles are CCW (or flat), so the
+        edge opposite ``slot`` in stored cyclic order walks the link
+        counter-clockwise; chaining those edges yields the hole polygon.
+        """
+        n = self._nt
+        touch = self._tri_live[:n] & (self._tri_buf[:n] == slot).any(axis=1)
+        star = np.flatnonzero(touch)
+        succ: Dict[int, int] = {}
+        for a, b, c in self._tri_buf[star].tolist():
+            if a == slot:
+                u, v = b, c
+            elif b == slot:
+                u, v = c, a
+            else:
+                u, v = a, b
+            if u in succ:
+                raise RuntimeError(
+                    f"vertex slot {slot} has a non-manifold link"
+                )
+            succ[u] = v
+        if len(succ) < 3:
+            raise RuntimeError(f"vertex slot {slot} has a degenerate star")
+        start = next(iter(succ))
+        poly = [start]
+        cur = succ[start]
+        while cur != start:
+            poly.append(cur)
+            if len(poly) > len(succ):
+                raise RuntimeError(
+                    f"vertex slot {slot}'s link does not close"
+                )
+            nxt = succ.get(cur)
+            if nxt is None:
+                raise RuntimeError(
+                    f"vertex slot {slot}'s link does not close"
+                )
+            cur = nxt
+        if len(poly) != len(succ):
+            raise RuntimeError(f"vertex slot {slot}'s link is disconnected")
+        return star, self._delaunay_ears(poly)
+
+    def _delaunay_ears(self, poly: List[int]) -> List[Tuple[int, int, int]]:
+        """Delaunay triangulation of a CCW link polygon by ear clipping.
+
+        An ear ``(u, v, w)`` qualifies when it is strictly CCW and no
+        *other* polygon vertex lies strictly inside its circumcircle —
+        for the link of a removed Delaunay vertex this local test is
+        sufficient for global Delaunayhood (the hole is shielded from the
+        rest of the mesh by its boundary). Uses the scalar predicates, so
+        the result is exactly what the validation oracle expects.
+        """
+        verts = self._vert_list
+        work = list(poly)
+        ears: List[Tuple[int, int, int]] = []
+        while len(work) > 3:
+            found = False
+            for i in range(len(work)):
+                u = work[i - 1] if i else work[-1]
+                v = work[i]
+                w = work[(i + 1) % len(work)]
+                pu, pv, pw = verts[u], verts[v], verts[w]
+                if orientation(pu, pv, pw) <= 0:
+                    continue
+                ok = True
+                for q in work:
+                    if q in (u, v, w):
+                        continue
+                    if incircle(pu, pv, pw, verts[q]) > 0:
+                        ok = False
+                        break
+                if ok:
+                    ears.append((u, v, w))
+                    work.pop(i)
+                    found = True
+                    break
+            if not found:
+                raise RuntimeError("no Delaunay ear found in link polygon")
+        a, b, c = work
+        if orientation(verts[a], verts[b], verts[c]) <= 0:
+            raise RuntimeError("link polygon closes on a flat triangle")
+        ears.append((a, b, c))
+        return ears
 
     def _bad_triangle_slots(self, px: float, py: float) -> np.ndarray:
         """Slots whose circumcircle strictly contains ``(px, py)``.
@@ -421,7 +722,13 @@ class DelaunayTriangulation:
             d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
             ux = (asq * (by - cy) + bsq * (cy - ay) + csq * (ay - by)) / d
             uy = (asq * (cx - bx) + bsq * (ax - cx) + csq * (bx - ax)) / d
-            r2 = (ax - ux) ** 2 + (ay - uy) ** 2
+            # Plain multiplication, not ** 2: libm pow and numpy's square
+            # can differ in the last ulp, and the batched adder must store
+            # bitwise-identical parameters. (A 1-ulp r^2 shift only moves
+            # queries in or out of the exact-retest band — never changes a
+            # cavity decision.)
+            rx, ry = ax - ux, ay - uy
+            r2 = rx * rx + ry * ry
             self._tri_cc[:, slot] = (ux, uy, r2, EPSILON / abs(det))
         else:
             # Degenerate triangle: no finite circumcircle; r^2 = -inf
@@ -430,11 +737,94 @@ class DelaunayTriangulation:
         self._n_live += 1
         self._simplices_cache = None
 
+    def _add_triangles(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+        """Batched :meth:`_add_triangle` over parallel vertex-slot arrays.
+
+        Same scalar formulas evaluated elementwise and the same sequential
+        slot order, so the stored buffers are bitwise what the one-at-a-time
+        loop would produce — this only strips the per-triangle Python
+        overhead (~6 calls per insert).
+        """
+        e = len(a)
+        if e == 0:
+            return
+        self._grow_triangle_buffers(self._nt + e)
+        tri = np.empty((e, 3), dtype=self._tri_buf.dtype)
+        tri[:, 0] = a
+        tri[:, 1] = b
+        tri[:, 2] = c
+        xy = self._vert_buf[tri.ravel()].reshape(e, 3, 2)
+        ax, ay = xy[:, 0, 0], xy[:, 0, 1]
+        bx, by = xy[:, 1, 0], xy[:, 1, 1]
+        cx, cy = xy[:, 2, 0], xy[:, 2, 1]
+        det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+        swap = np.flatnonzero(det < -EPSILON)
+        if swap.size:
+            tri[swap, 0], tri[swap, 1] = tri[swap, 1], tri[swap, 0]
+            xy[swap, 0], xy[swap, 1] = xy[swap, 1], xy[swap, 0]
+            sa, sb, sc = xy[swap, 0], xy[swap, 1], xy[swap, 2]
+            det[swap] = (sb[:, 0] - sa[:, 0]) * (sc[:, 1] - sa[:, 1]) - (
+                sb[:, 1] - sa[:, 1]
+            ) * (sc[:, 0] - sa[:, 0])
+        s0 = self._nt
+        s1 = s0 + e
+        self._nt = s1
+        self._tri_buf[s0:s1] = tri
+        self._tri_live[s0:s1] = True
+        orient = np.zeros(e, dtype=self._tri_orient.dtype)
+        orient[det > EPSILON] = 1
+        orient[det < -EPSILON] = -1
+        self._tri_orient[s0:s1] = orient
+        self._tri_xy[:, s0:s1] = xy.reshape(e, 6).T
+        sq = xy[:, :, 0] * xy[:, :, 0] + xy[:, :, 1] * xy[:, :, 1]
+        asq, bsq, csq = sq[:, 0], sq[:, 1], sq[:, 2]
+        t1, t2, t3 = by - cy, cy - ay, ay - by
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d = 2.0 * (ax * t1 + bx * t2 + cx * t3)
+            ux = (asq * t1 + bsq * t2 + csq * t3) / d
+            uy = (asq * (cx - bx) + bsq * (ax - cx) + csq * (bx - ax)) / d
+            rx, ry = ax - ux, ay - uy
+            r2 = rx * rx + ry * ry
+            thr = EPSILON / np.abs(det)
+        cc = self._tri_cc
+        cc[0, s0:s1] = ux
+        cc[1, s0:s1] = uy
+        cc[2, s0:s1] = r2
+        cc[3, s0:s1] = thr
+        degenerate = np.flatnonzero(orient == 0)
+        if degenerate.size:
+            cols = s0 + degenerate
+            cc[0, cols] = 0.0
+            cc[1, cols] = 0.0
+            cc[2, cols] = -np.inf
+            cc[3, cols] = 0.0
+        self._n_live += e
+        self._simplices_cache = None
+
     def _cavity_boundary(self, bad_slots: np.ndarray) -> List[Tuple[int, int]]:
-        """Directed edges of the cavity border, interior on the left."""
+        """Directed edges of the cavity border, interior on the left.
+
+        Edges appearing in exactly one cavity triangle, in first-occurrence
+        order of the triangles' ``(a,b) (b,c) (c,a)`` edge scan — the same
+        sequence the original dict accumulation produced, so downstream
+        triangle slots are assigned identically.
+        """
+        rows = self._tri_buf[bad_slots]
+        if len(rows) > 4:
+            u = rows[:, (0, 1, 2)].ravel()
+            v = rows[:, (1, 2, 0)].ravel()
+            lo = np.minimum(u, v).astype(np.int64)
+            hi = np.maximum(u, v).astype(np.int64)
+            _, first, counts = np.unique(
+                lo * np.int64(self._nv + 1) + hi,
+                return_index=True,
+                return_counts=True,
+            )
+            pos = np.sort(first[counts == 1])
+            return list(zip(u[pos].tolist(), v[pos].tolist()))
         count: Dict[Tuple[int, int], int] = {}
         directed: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        for row in self._tri_buf[bad_slots].tolist():
+        for row in rows.tolist():
             a, b, c = row
             for u, v in ((a, b), (b, c), (c, a)):
                 key = (u, v) if u < v else (v, u)
@@ -448,7 +838,7 @@ class DelaunayTriangulation:
     def find_vertex(self, point: PointLike, tol: float = 1e-9) -> Optional[int]:
         """Public index of an existing vertex within ``tol``, else ``None``."""
         p = Point2.of(point)
-        real = self._vert_buf[_N_SUPER : self._nv]
+        real = self._points_view()
         if len(real) == 0:
             return None
         dx = np.abs(real[:, 0] - p.x)
@@ -473,7 +863,7 @@ class DelaunayTriangulation:
         simp = self.simplices
         if simp.size == 0:
             return None
-        pts = self._vert_buf[_N_SUPER : self._nv]
+        pts = self._points_view()
         a = pts[simp[:, 0]]
         b = pts[simp[:, 1]]
         c = pts[simp[:, 2]]

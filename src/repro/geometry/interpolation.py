@@ -39,7 +39,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.delaunay import DelaunayTriangulation, canonical_simplices
 from repro.geometry.predicates import barycentric_weights
 
 #: Barycentric slack treated as "inside" to absorb rounding on shared edges.
@@ -106,6 +106,14 @@ class LinearSurfaceInterpolator:
     extrapolate:
         ``"clamp"`` (default) extends the surface outside the sample hull via
         clamped barycentric coordinates; ``"nan"`` returns NaN there.
+    canonical:
+        When true, the triangle array is put into the order-independent
+        canonical form of :func:`repro.geometry.delaunay.canonical_simplices`
+        before use. The surface is the same; the rasteriser's shared-edge
+        tie-break and the extrapolation winner become functions of the
+        triangle *set* alone, so interpolators built from an incrementally
+        maintained triangulation and a from-scratch one evaluate
+        bit-identically.
     """
 
     def __init__(
@@ -114,6 +122,7 @@ class LinearSurfaceInterpolator:
         values: np.ndarray,
         triangulation: Union[DelaunayTriangulation, np.ndarray, None] = None,
         extrapolate: str = "clamp",
+        canonical: bool = False,
     ) -> None:
         if extrapolate not in ("clamp", "nan"):
             raise ValueError(f"unknown extrapolate mode: {extrapolate!r}")
@@ -146,6 +155,8 @@ class LinearSurfaceInterpolator:
             self.simplices = np.asarray(triangulation, dtype=int).reshape(-1, 3)
         if self.simplices.size and self.simplices.max() >= len(self.points):
             raise ValueError("triangle index out of range for the point set")
+        if canonical:
+            self.simplices = canonical_simplices(self.simplices)
         self.simplices = self._drop_degenerate(self.simplices)
         self._tables: Optional[Tuple[np.ndarray, ...]] = None
         self._prune: Optional[Tuple[np.ndarray, ...]] = None
@@ -483,7 +494,14 @@ class LinearSurfaceInterpolator:
             simp = self.simplices
             gx = self.points[simp, 0].mean(axis=1)
             gy = self.points[simp, 1].mean(axis=1)
-            self._prune = (fa, fb, fc, gx, gy)
+            # Worst-case violation growth rate: the violation increases
+            # from a triangle at most as fast as the steepest affine row.
+            # Slivers have enormous row gradients, so plain
+            # nearest-centroid picks them as candidates while their
+            # violations are huge; weighting distance by this rate makes
+            # the candidate the *least-violated* nearby triangle instead.
+            grad2 = (fa * fa + fb * fb).reshape(3, -1).max(axis=0)
+            self._prune = (fa, fb, fc, gx, gy, grad2)
         return self._prune
 
     def _extrapolate_winners_pruned(
@@ -503,7 +521,7 @@ class LinearSurfaceInterpolator:
         which is precisely where the dense scan wastes its work.
         """
         q = px.size
-        fa, fb, fc, gx, gy = self._prune_tables()
+        fa, fb, fc, gx, gy, grad2 = self._prune_tables()
         m = len(gx)
         # Morton-order the queries first so each block is spatially compact
         # (row-major miss cells from a grid would otherwise pair far-apart
@@ -523,8 +541,9 @@ class LinearSurfaceInterpolator:
         # its own box corner, then max over the triangle's three rows.
         xsel = np.where(fa[:, None] >= 0.0, bx0[None, :], bx1[None, :])
         ysel = np.where(fb[:, None] >= 0.0, by0[None, :], by1[None, :])
-        lb = (fa[:, None] * xsel + fb[:, None] * ysel + fc[:, None])
-        lb = lb.reshape(3, m, nb).max(axis=0)
+        lb3 = (fa[:, None] * xsel + fb[:, None] * ysel + fc[:, None])
+        lb3 = lb3.reshape(3, m, nb)
+        lb = lb3.max(axis=0)
         scale = np.abs(fa) * max(np.abs(qxp).max(), 1.0) + np.abs(fb) * max(
             np.abs(qyp).max(), 1.0
         ) + np.abs(fc)
@@ -537,6 +556,7 @@ class LinearSurfaceInterpolator:
         # and shrinks the surviving pair set for the main evaluation).
         bcx, bcy = (bx0 + bx1) / 2.0, (by0 + by1) / 2.0
         d2 = (gx[:, None] - bcx[None, :]) ** 2 + (gy[:, None] - bcy[None, :]) ** 2
+        d2 *= grad2[:, None]  # approximate violation², not raw distance²
         cand1 = np.repeat(np.argmin(d2, axis=0), _PRUNE_BLOCK)
         best = self._violations(cand1, qxp, qyp)
         if m > 2:
@@ -553,22 +573,29 @@ class LinearSurfaceInterpolator:
 
         survive = lb - slack[:, None] <= best_blk[None, :]
         bpair, tpair = np.nonzero(survive.T)
-        tid = np.repeat(tpair, _PRUNE_BLOCK)
-        qidx = (
-            np.repeat(bpair, _PRUNE_BLOCK) * _PRUNE_BLOCK
-            + np.tile(np.arange(_PRUNE_BLOCK), len(tpair))
-        )
-        # Per-query tightening: the block filter above uses the *loosest*
-        # candidate violation in the block, so spread-out blocks expand
-        # many hopeless (triangle, query) pairs. A triangle can win query
-        # s only if its block lower bound (minus slack) is at or below
-        # s's own exact candidate violation — every optimal triangle
-        # passes (lb <= violation(s) <= best[s]) and so does s's argmin
-        # candidate, so each query keeps at least one pair and ties are
+        # Per-query tightening: the block filter above compares a
+        # whole-box lower bound against the *loosest* candidate violation
+        # in the block, so spread-out blocks admit many hopeless
+        # (triangle, query) pairs. Re-bound each surviving pair at the
+        # individual queries with the affine row that dominated the box
+        # bound: that row evaluated at the query is still a lower bound
+        # on the exact violation (the violation is the max of the three
+        # rows) but is tight for far triangles, where one row dominates —
+        # precisely where the box bound over-admits. Every triangle
+        # achieving a query's exact minimum passes (row <= violation =
+        # min <= best) and so does the query's argmin candidate, so each
+        # query keeps at least one pair and winners and ties are
         # unaffected.
-        keep = np.repeat(lb[tpair, bpair] - slack[tpair], _PRUNE_BLOCK) <= best[qidx]
-        tid = tid[keep]
-        qidx = qidx[keep]
+        ridx = lb3[:, tpair, bpair].argmax(axis=0) * m + tpair
+        rv = (
+            fa[ridx][:, None] * bx[bpair]
+            + fb[ridx][:, None] * by[bpair]
+            + fc[ridx][:, None]
+        )
+        keep = rv - slack[tpair][:, None] <= best.reshape(nb, _PRUNE_BLOCK)[bpair]
+        pair_idx, qoff = np.nonzero(keep)
+        tid = tpair[pair_idx]
+        qidx = bpair[pair_idx] * _PRUNE_BLOCK + qoff
         viol = self._violations(tid, qxp[qidx], qyp[qidx])
 
         order = np.argsort(qidx, kind="stable")

@@ -20,6 +20,7 @@ from repro.graphs.unionfind import UnionFind
 from repro.graphs.traversal import (
     bfs_order,
     connected_components,
+    hop_counts,
     is_connected,
     shortest_hop_path,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "connected_components",
     "count_required_relays",
     "graph_from_positions",
+    "hop_counts",
     "is_biconnected",
     "is_connected",
     "kruskal_mst",

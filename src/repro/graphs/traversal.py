@@ -61,6 +61,26 @@ def is_connected(graph: Graph) -> bool:
     return len(bfs_order(graph, 0)) == graph.n_vertices
 
 
+def hop_counts(graph: Graph, source: int) -> List[int]:
+    """BFS hop distance from ``source`` to every vertex; -1 if unreachable.
+
+    One O(V + E) sweep replacing per-target :func:`shortest_hop_path`
+    calls: hop distance is unique, so ``hop_counts(g, s)[t]`` equals
+    ``len(shortest_hop_path(g, t, s)) - 1`` for every reachable ``t``.
+    """
+    graph._check(source)
+    dist = [-1] * graph.n_vertices
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
 def shortest_hop_path(graph: Graph, source: int, target: int) -> Optional[List[int]]:
     """Minimum-hop path from ``source`` to ``target``; ``None`` if unreachable."""
     graph._check(source)

@@ -30,6 +30,7 @@ phases + middleware into a scheduler and expose ``step()``/``run()``
 exactly as before.
 """
 
+from repro.runtime.geometry import IncrementalGeometry
 from repro.runtime.checkpoint import (
     Checkpoint,
     CheckpointConfig,
@@ -63,6 +64,7 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointManager",
     "FailureInjectionMiddleware",
+    "IncrementalGeometry",
     "Middleware",
     "ObsMiddleware",
     "Phase",

@@ -15,7 +15,7 @@ from repro.core.cwd import solve_cwd
 from repro.core.fra import foresighted_refinement
 from repro.fields.base import sample_grid
 from repro.graphs.geometric import unit_disk_graph
-from repro.graphs.traversal import connected_components, shortest_hop_path
+from repro.graphs.traversal import connected_components, hop_counts
 from repro.runtime.phase import RoundContext
 from repro.runtime.records import CentralizedRound
 from repro.surfaces.reconstruction import reconstruct_surface
@@ -118,17 +118,15 @@ class ReplanPhase:
 
         Unreachable nodes (disconnected from the sink) fail to report;
         their traffic is not counted — they also receive no commands,
-        which is part of why centralized control is fragile.
+        which is part of why centralized control is fragile. One BFS from
+        the sink yields every node's hop count (distances are symmetric
+        and unique), replacing the former per-node path searches — same
+        integer totals at O(V + E) instead of O(V·E).
         """
         graph = unit_disk_graph(engine.positions, engine.problem.rc)
         sink = self._sink_index(engine)
-        hops = 0
-        for i in range(len(engine.positions)):
-            if i == sink:
-                continue
-            path = shortest_hop_path(graph, i, sink)
-            if path is not None:
-                hops += len(path) - 1
+        dist = hop_counts(graph, sink)
+        hops = sum(d for i, d in enumerate(dist) if i != sink and d > 0)
         return 2 * hops  # reports up + commands down
 
 
@@ -164,8 +162,14 @@ class CentralizedMeasurePhase:
             t=engine.t,
         )
         values = engine.problem.field.sample(engine.positions, engine.t)
+        geometry = getattr(engine, "geometry", None)
+        simp = (
+            geometry.simplices_for(engine.positions)
+            if geometry is not None
+            else None
+        )
         recon = reconstruct_surface(
-            reference, engine.positions, values=values
+            reference, engine.positions, values=values, triangulation=simp
         )
         components = connected_components(
             unit_disk_graph(engine.positions, engine.problem.rc)

@@ -34,7 +34,7 @@ from repro.core.cma import (
 )
 from repro.core.lcm import lcm_adjustment
 from repro.fields.base import sample_grid
-from repro.geometry.primitives import pairwise_distances
+from repro.geometry.spatial_index import radius_adjacency
 from repro.graphs.geometric import unit_disk_graph
 from repro.graphs.traversal import connected_components
 from repro.runtime.phase import RoundContext
@@ -320,8 +320,7 @@ class ConstrainMovePhase:
             if near.all():
                 return candidate
             if pair_linked is None:
-                pair_linked = pairwise_distances(nbr_pos) <= rc
-                np.fill_diagonal(pair_linked, False)
+                pair_linked = radius_adjacency(nbr_pos, rc)
             if bool((pair_linked[~near] & near).any(axis=1).all()):
                 return candidate
         return origin
@@ -495,7 +494,18 @@ class MeasurePhase:
                 n_trace_samples=0,
             )
 
-        reconstruction = reconstruct_surface(ctx.snapshot, pts, values=values)
+        # The maintained triangulation covers the node samples only; trace
+        # samples change the point set every round, so routes with extras
+        # fall back to the from-scratch build.
+        geometry = getattr(engine, "geometry", None)
+        simp = (
+            geometry.simplices_for(pts)
+            if geometry is not None and not ctx.extra_positions
+            else None
+        )
+        reconstruction = reconstruct_surface(
+            ctx.snapshot, pts, values=values, triangulation=simp
+        )
         graph = unit_disk_graph(alive_positions, engine.problem.rc)
         components = connected_components(graph)
         return RoundRecord(

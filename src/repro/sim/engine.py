@@ -38,6 +38,7 @@ from repro.core.baselines import uniform_grid_placement
 from repro.obs.instrument import Instrumentation, get_instrumentation
 from repro.runtime.checkpoint import CheckpointConfig, drive_run
 from repro.runtime.cma_phases import CMA_PHASES, MobileRoundContext
+from repro.runtime.geometry import IncrementalGeometry
 from repro.runtime.middleware import (
     FailureInjectionMiddleware,
     ObsMiddleware,
@@ -114,6 +115,7 @@ class MobileSimulation:
         sensor_noise_std: float = 0.0,
         sensor_noise_seed: int = 0,
         obs: Optional[Instrumentation] = None,
+        incremental_geometry: bool = False,
     ) -> None:
         self.problem = problem
         self.params = params or CMAParams(
@@ -161,6 +163,11 @@ class MobileSimulation:
         #: Gaussian read noise on every sensed value (paper: noiseless).
         self.sensor_noise_std = float(sensor_noise_std)
         self._sensor_rng = np.random.default_rng(sensor_noise_seed)
+        #: Opt-in cross-round maintenance of the measurement triangulation
+        #: (see :class:`repro.runtime.geometry.IncrementalGeometry`). The
+        #: cache is derivable from positions, so checkpoints are unchanged;
+        #: it is reset on restore and rebuilt lazily.
+        self.geometry = IncrementalGeometry() if incremental_geometry else None
 
         if initial_positions is not None:
             init = np.asarray(initial_positions, dtype=float).reshape(-1, 2)
@@ -281,6 +288,8 @@ class MobileSimulation:
             self.crash_model.load_state_dict(state.aux["crash"])
         if self.energy_model is not None and "energy" in state.aux:
             self.energy_model.load_state_dict(state.aux["energy"])
+        if self.geometry is not None:
+            self.geometry.reset()
 
     # ------------------------------------------------------------------
     def run(

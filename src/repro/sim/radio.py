@@ -14,12 +14,14 @@ unreliable-network pipeline on top.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cma import NeighborObservation
 from repro.geometry.primitives import pairwise_distances
+from repro.geometry.spatial_index import DENSE_CROSSOVER, SpatialHashGrid
+from repro.obs.instrument import get_instrumentation
 from repro.sim.netmodel.failures import MessageLossModel
 
 
@@ -31,11 +33,21 @@ class Radio:
             raise ValueError(f"Rc must be positive, got {rc}")
         self.rc = float(rc)
         self.loss = loss
+        # One-entry neighbour-table cache keyed on the *content* of the
+        # positions/alive arrays (the engine rebuilds those arrays every
+        # access, so identity would never hit). Within a round both the
+        # netmodel pipeline and the plain exchange ask for the same table;
+        # any position change invalidates the key.
+        self._nbr_cache: Optional[Tuple[Tuple[bytes, bytes], List[List[int]]]] = None
 
     def neighbor_ids(
         self, positions: np.ndarray, alive: Optional[np.ndarray] = None
     ) -> List[List[int]]:
-        """For each node, the ids of alive nodes within ``Rc`` (excluding self)."""
+        """For each node, the ids of alive nodes within ``Rc`` (excluding self).
+
+        The returned lists are cached per (positions, alive) content and
+        shared between callers within a round — treat them as read-only.
+        """
         pts = np.asarray(positions, dtype=float).reshape(-1, 2)
         n = len(pts)
         live = (
@@ -45,17 +57,34 @@ class Radio:
         )
         if n == 0:
             return []
-        # Whole-matrix adjacency in one shot: dead rows/columns masked,
-        # self-links cleared, then a single row-major nonzero split into
-        # per-node lists (column indices are sorted within each row, the
-        # same order the previous per-row scan produced).
-        adj = pairwise_distances(pts) <= self.rc
-        adj &= live[None, :]
-        adj &= live[:, None]
-        np.fill_diagonal(adj, False)
-        rows, cols = np.nonzero(adj)
-        splits = np.searchsorted(rows, np.arange(1, n))
-        return [c.tolist() for c in np.split(cols, splits)]
+        key = (pts.tobytes(), live.tobytes())
+        cached = self._nbr_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        if n <= DENSE_CROSSOVER:
+            # Whole-matrix adjacency in one shot: dead rows/columns masked,
+            # self-links cleared, then a single row-major nonzero split into
+            # per-node lists (column indices are sorted within each row, the
+            # same order the previous per-row scan produced).
+            adj = pairwise_distances(pts) <= self.rc
+            adj &= live[None, :]
+            adj &= live[:, None]
+            np.fill_diagonal(adj, False)
+            rows, cols = np.nonzero(adj)
+            splits = np.searchsorted(rows, np.arange(1, n))
+            ids = [c.tolist() for c in np.split(cols, splits)]
+        else:
+            # Cell-list neighbour discovery: O(k) at fixed density, no
+            # self-distances ever computed, bit-identical lists (the grid
+            # is differential-tested against the dense oracle).
+            grid = SpatialHashGrid(pts, self.rc)
+            ids = grid.neighbor_lists(alive=live)
+            obs = get_instrumentation()
+            if obs.enabled:
+                obs.counter("geom.grid_cells").inc(grid.n_cells)
+                obs.counter("geom.pairs_checked").inc(grid.pairs_checked)
+        self._nbr_cache = (key, ids)
+        return ids
 
     def exchange(
         self,

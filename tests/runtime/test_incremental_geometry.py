@@ -1,0 +1,152 @@
+"""Bit-identity regression: incremental geometry vs from-scratch rebuilds.
+
+``incremental_geometry=True`` must be purely a speed knob: full runs of
+both engines — including netmodel faults, sensor noise, and a
+checkpoint/resume cycle — must produce ``np.array_equal`` position and δ
+series with the flag on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import OSTDProblem
+from repro.fields.greenorbs import GreenOrbsLightField
+from repro.runtime.geometry import IncrementalGeometry
+from repro.sim.centralized import CentralizedSimulation
+from repro.sim.engine import MobileSimulation
+from repro.sim.netmodel.failures import MessageLossModel, NodeFailureSchedule
+
+N_ROUNDS = 8
+
+
+@pytest.fixture
+def problem():
+    field = GreenOrbsLightField(seed=7)
+    return OSTDProblem(
+        k=16, rc=10.0, rs=5.0, region=field.region, field=field,
+        speed=1.0, t0=600.0, duration=float(N_ROUNDS),
+    )
+
+
+def mobile_run(problem, incremental):
+    sim = MobileSimulation(
+        problem,
+        resolution=41,
+        message_loss=MessageLossModel(0.2, seed=3),
+        failure_schedule=NodeFailureSchedule({602.0: [1, 2]}),
+        sensor_noise_std=0.05,
+        sensor_noise_seed=11,
+        incremental_geometry=incremental,
+    )
+    return sim.run(N_ROUNDS)
+
+
+def series(result):
+    deltas = np.array([r.delta for r in result.rounds])
+    positions = np.array([r.positions for r in result.rounds])
+    return deltas, positions
+
+
+class TestEngineBitIdentity:
+    def test_mobile_with_faults(self, problem):
+        d_off, p_off = series(mobile_run(problem, False))
+        d_on, p_on = series(mobile_run(problem, True))
+        assert np.array_equal(d_off, d_on)
+        assert np.array_equal(p_off, p_on)
+
+    def test_centralized(self, problem):
+        runs = []
+        for flag in (False, True):
+            sim = CentralizedSimulation(
+                problem, resolution=41, incremental_geometry=flag
+            )
+            runs.append(series(sim.run(N_ROUNDS)))
+        assert np.array_equal(runs[0][0], runs[1][0])
+        assert np.array_equal(runs[0][1], runs[1][1])
+
+    def test_checkpoint_resume_cycle(self, problem):
+        def build():
+            return MobileSimulation(
+                problem,
+                resolution=41,
+                message_loss=MessageLossModel(0.2, seed=3),
+                incremental_geometry=True,
+            )
+
+        sim = build()
+        for _ in range(3):
+            sim.step()
+        state = sim.capture_state()
+        tail_a = [sim.step() for _ in range(3)]
+
+        resumed = build()
+        resumed.restore_state(state)
+        assert resumed.geometry is not None
+        assert resumed.geometry._tri is None  # cache dropped on restore
+        tail_b = [resumed.step() for _ in range(3)]
+
+        for ra, rb in zip(tail_a, tail_b):
+            assert ra.delta == rb.delta
+            assert np.array_equal(ra.positions, rb.positions)
+
+
+class TestIncrementalGeometryUnit:
+    def test_returns_canonical_simplices(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 50, size=(20, 2))
+        geom = IncrementalGeometry()
+        simp = geom.simplices_for(pts)
+        assert simp is not None
+        # canonical: each row min-first, rows lexsorted
+        assert (simp.argmin(axis=1) == 0).all()
+        assert np.array_equal(
+            simp, simp[np.lexsort((simp[:, 2], simp[:, 1], simp[:, 0]))]
+        )
+
+    def test_incremental_matches_rebuild_over_walk(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 50, size=(25, 2))
+        maintained = IncrementalGeometry()
+        for _ in range(6):
+            fresh = IncrementalGeometry()
+            a = maintained.simplices_for(pts)
+            b = fresh.simplices_for(pts)
+            assert np.array_equal(a, b)
+            ids = rng.choice(25, size=5, replace=False)
+            pts[ids] = np.clip(
+                pts[ids] + rng.uniform(-1, 1, size=(5, 2)), 0, 50
+            )
+
+    def test_duplicate_positions_fall_back(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        geom = IncrementalGeometry()
+        assert geom.simplices_for(pts) is None
+        assert geom._tri is None
+
+    def test_near_duplicate_positions_fall_back(self):
+        pts = np.array([[0.0, 0.0], [1e-12, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        geom = IncrementalGeometry()
+        assert geom.simplices_for(pts) is None
+
+    def test_too_few_points_fall_back(self):
+        geom = IncrementalGeometry()
+        assert geom.simplices_for(np.zeros((2, 2))) is None
+
+    def test_population_change_rebuilds(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 50, size=(12, 2))
+        geom = IncrementalGeometry()
+        geom.simplices_for(pts)
+        shrunk = pts[:-2]
+        simp = geom.simplices_for(shrunk)
+        fresh = IncrementalGeometry().simplices_for(shrunk)
+        assert np.array_equal(simp, fresh)
+
+    def test_reset_drops_cache(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 50, size=(10, 2))
+        geom = IncrementalGeometry()
+        geom.simplices_for(pts)
+        assert geom._tri is not None
+        geom.reset()
+        assert geom._tri is None and geom._pts is None

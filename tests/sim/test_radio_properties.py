@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+import repro.sim.radio as radio_module
 from repro.sim.radio import Radio
 
 RC = 5.0
@@ -128,3 +129,59 @@ class TestNetworkxDifferential:
         g = self.nx.random_geometric_graph(25, RC, pos=pos)
         for i, nbrs in enumerate(neighbor_sets(pts)):
             assert nbrs == set(g.neighbors(i))
+
+    def test_grid_path_agrees_with_networkx(self):
+        """Above DENSE_CROSSOVER, neighbor_ids routes through the cell
+        grid — differential it against networkx at fleet scale."""
+        rng = np.random.default_rng(9)
+        n = 120  # > DENSE_CROSSOVER
+        pts = rng.uniform(0, 40, size=(n, 2))
+        pos = {i: tuple(p) for i, p in enumerate(pts)}
+        g = self.nx.random_geometric_graph(n, RC, pos=pos)
+        for i, nbrs in enumerate(neighbor_sets(pts)):
+            assert nbrs == set(g.neighbors(i))
+
+
+class TestGridVsDensePath:
+    """The two neighbor_ids implementations must agree bit for bit.
+
+    The hypothesis tests patch the crossover directly (function-scoped
+    fixtures don't mix with ``@given``) and restore it in ``finally``.
+    """
+
+    def both_paths(self, points, alive=None):
+        pts = np.asarray(points, dtype=float)
+        original = radio_module.DENSE_CROSSOVER
+        try:
+            radio_module.DENSE_CROSSOVER = 10**9
+            dense = Radio(RC).neighbor_ids(pts, alive=alive)
+            radio_module.DENSE_CROSSOVER = 0
+            grid = Radio(RC).neighbor_ids(pts, alive=alive)
+        finally:
+            radio_module.DENSE_CROSSOVER = original
+        return dense, grid
+
+    @given(points=float_points)
+    def test_float_positions(self, points):
+        dense, grid = self.both_paths(points)
+        assert dense == grid
+
+    @given(points=int_points, data=st.data())
+    def test_exact_boundary_with_dead_nodes(self, points, data):
+        alive = np.array(
+            data.draw(
+                st.lists(
+                    st.booleans(),
+                    min_size=len(points),
+                    max_size=len(points),
+                )
+            )
+        )
+        dense, grid = self.both_paths(points, alive=alive)
+        assert dense == grid
+
+    def test_fleet_scale(self):
+        rng = np.random.default_rng(13)
+        pts = rng.uniform(0, 60, size=(400, 2))
+        dense, grid = self.both_paths(pts)
+        assert dense == grid
