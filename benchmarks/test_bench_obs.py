@@ -116,6 +116,43 @@ def test_disabled_overhead_with_tracing_below_two_percent():
     )
 
 
+def test_disabled_overhead_unchanged_by_profiling_layer():
+    """ISSUE 8 re-assertion: with the per-phase profiler in the tree, a
+    run that did not opt in pays only the engine's construction-time
+    :func:`get_profile_config` lookup — no middleware is installed, no
+    tracemalloc is started, and the disabled-step budget still holds."""
+    import tracemalloc
+
+    from repro.obs.profile import PhaseProfiler, get_profile_config
+
+    assert get_profile_config() is None  # off unless use_profiling is active
+    sim = make_sim()
+    assert not any(
+        isinstance(m, PhaseProfiler) for m in sim.scheduler.middleware
+    )
+    assert not tracemalloc.is_tracing()
+    sim.step()  # warm caches
+
+    start = perf_counter()
+    sim.step()
+    step_seconds = perf_counter() - start
+
+    obs = sim.obs
+    n = 20_000
+    start = perf_counter()
+    for _ in range(n):
+        noop_step_touches(obs)
+        get_profile_config()  # the construction-time lookup, amortised
+    touch_seconds = (perf_counter() - start) / n
+
+    overhead = touch_seconds / step_seconds
+    assert overhead <= 0.02, (
+        f"disabled instrumentation + profile lookup costs "
+        f"{touch_seconds * 1e6:.2f}µs/step, {overhead:.2%} of a "
+        f"{step_seconds * 1e3:.1f}ms step (budget: 2%)"
+    )
+
+
 def test_bench_noop_instrumentation_touches(benchmark):
     """Absolute cost of a disabled step's instrumentation touches."""
     sim = make_sim(k=25, resolution=41)

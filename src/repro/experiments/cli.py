@@ -8,6 +8,12 @@ Usage::
     repro-exp run fig10 --obs-log r.jsonl  # instrumented run -> event log
     repro-exp run fig10 --checkpoint-dir ck  # snapshot state as it runs
     repro-exp run fig10 --checkpoint-dir ck --resume  # continue from latest
+    repro-exp run fig10 --runs-dir runs  # recorded run: manifest + registry
+    repro-exp run fig10 --runs-dir runs --profile  # + per-phase profiling
+    repro-exp runs list --runs-dir runs  # registered runs, newest first
+    repro-exp runs show RUN_ID           # manifest + artifact verification
+    repro-exp runs compare ID_A ID_B     # outcome/counters side by side
+    repro-exp runs gc [--delete]         # orphaned artifacts under the root
     repro-exp all [--fast]               # run everything
     repro-exp all --processes 4 --obs-log r.jsonl  # pooled, merged log
     repro-exp faults --fast              # fault-intensity degradation curves
@@ -76,6 +82,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume each engine run from its newest checkpoint in "
         "--checkpoint-dir (bit-identical to an uninterrupted run)",
+    )
+    run_p.add_argument(
+        "--runs-dir", metavar="DIR",
+        help="record the run under DIR/<run_id>/: obs log, result table "
+        "and an atomic manifest (inspect with `repro-exp runs`)",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="per-phase CPU/allocation/counter-delta profiling as "
+        "profile.* events in the obs log (needs --obs-log or --runs-dir)",
+    )
+
+    runs_p = sub.add_parser(
+        "runs",
+        help="run registry: list, inspect, compare and garbage-collect "
+        "recorded runs (see `run --runs-dir`)",
+    )
+    runs_p.add_argument(
+        "--runs-dir", metavar="DIR", default="runs",
+        help="root directory holding the recorded runs (default: runs)",
+    )
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+    runs_list_p = runs_sub.add_parser(
+        "list", help="list recorded runs, newest first"
+    )
+    runs_list_p.add_argument(
+        "--scenario", metavar="ID", default=None,
+        help="only runs of this scenario/experiment id",
+    )
+    runs_list_p.add_argument(
+        "--status", metavar="S", default=None,
+        help="only runs with this status (complete/failed)",
+    )
+    runs_show_p = runs_sub.add_parser(
+        "show",
+        help="show one run's manifest and verify its artifacts' "
+        "content hashes",
+    )
+    runs_show_p.add_argument("run_id", help="run id (see `runs list`)")
+    runs_compare_p = runs_sub.add_parser(
+        "compare", help="compare outcome and counters across runs"
+    )
+    runs_compare_p.add_argument(
+        "run_ids", nargs="+", metavar="RUN_ID", help="two or more run ids"
+    )
+    runs_gc_p = runs_sub.add_parser(
+        "gc",
+        help="find files under the runs root no manifest references "
+        "(dry-run by default)",
+    )
+    runs_gc_p.add_argument(
+        "--delete", action="store_true",
+        help="actually remove the orphans (default: only report them)",
     )
 
     all_p = sub.add_parser("all", help="run every experiment")
@@ -218,23 +277,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         if (
             args.obs_flush_every is not None or args.obs_health
-        ) and not args.obs_log:
+        ) and not (args.obs_log or args.runs_dir):
             print(
-                "--obs-flush-every/--obs-health require --obs-log",
+                "--obs-flush-every/--obs-health require --obs-log or "
+                "--runs-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if args.profile and not (args.obs_log or args.runs_dir):
+            print(
+                "--profile requires --obs-log or --runs-dir (profile "
+                "events go into the obs log)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.runs_dir and (
+            args.obs_log or args.checkpoint_dir or args.resume
+        ):
+            print(
+                "--runs-dir owns the run's artifact layout; it conflicts "
+                "with --obs-log/--checkpoint-dir/--resume",
                 file=sys.stderr,
             )
             return 2
         try:
-            result = run_experiment(
-                args.experiment_id,
-                fast=args.fast,
-                obs_log=args.obs_log,
-                obs_flush_every=args.obs_flush_every,
-                obs_health=args.obs_health,
-                checkpoint_dir=args.checkpoint_dir,
-                checkpoint_every=args.checkpoint_every,
-                resume=args.resume,
-            )
+            if args.runs_dir:
+                from repro.experiments.harness import run_recorded
+
+                result, manifest = run_recorded(
+                    args.experiment_id,
+                    args.runs_dir,
+                    fast=args.fast,
+                    profile=args.profile,
+                    obs_flush_every=args.obs_flush_every,
+                    obs_health=args.obs_health,
+                )
+            else:
+                manifest = None
+                result = run_experiment(
+                    args.experiment_id,
+                    fast=args.fast,
+                    obs_log=args.obs_log,
+                    obs_flush_every=args.obs_flush_every,
+                    obs_health=args.obs_health,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume,
+                    profile=args.profile,
+                )
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -243,9 +333,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.experiments.export import write_csv
 
             print(f"wrote {write_csv(result, args.csv)}")
-        if args.obs_log:
+        if manifest is not None:
+            run_dir = f"{args.runs_dir}/{manifest.run_id}"
+            print(f"recorded run {manifest.run_id} under {run_dir}")
+            print(f"inspect: repro-exp runs --runs-dir {args.runs_dir} "
+                  f"show {manifest.run_id}")
+        elif args.obs_log:
             print(f"wrote event log {args.obs_log}")
         return 0
+    if args.command == "runs":
+        from repro.obs import (
+            RunRegistry,
+            format_compare,
+            format_run_detail,
+            format_runs_table,
+        )
+
+        registry = RunRegistry(args.runs_dir)
+        if args.runs_command == "list":
+            manifests = registry.list_runs(
+                scenario=args.scenario, status=args.status
+            )
+            print(format_runs_table(manifests))
+            _, problems = registry.scan()
+            for problem in problems:
+                print(f"warning: {problem}", file=sys.stderr)
+            return 0
+        if args.runs_command == "show":
+            try:
+                manifest = registry.get(args.run_id)
+                verify = registry.verify(args.run_id)
+            except (KeyError, ValueError) as exc:
+                # KeyError str() wraps the message in quotes; unwrap it.
+                print(exc.args[0] if exc.args else exc, file=sys.stderr)
+                return 2
+            print(format_run_detail(manifest, verify=verify))
+            return 0 if verify.ok else 1
+        if args.runs_command == "compare":
+            try:
+                manifests = [registry.get(rid) for rid in args.run_ids]
+            except (KeyError, ValueError) as exc:
+                print(exc.args[0] if exc.args else exc, file=sys.stderr)
+                return 2
+            print(format_compare(manifests))
+            return 0
+        if args.runs_command == "gc":
+            report = registry.gc(dry_run=not args.delete)
+            if not report.orphans:
+                print(f"{args.runs_dir}: no orphaned files")
+                return 0
+            for path in report.orphans:
+                removed = path in report.removed
+                print(f"{'removed' if removed else 'orphan'}: {path}")
+            if report.dry_run:
+                print(
+                    f"{report.n_orphans} orphaned file(s); re-run with "
+                    "--delete to remove them"
+                )
+            else:
+                print(f"removed {len(report.removed)} orphaned file(s)")
+            return 0
     if args.command == "all":
         if args.markdown:
             from repro.experiments.export import write_markdown_report
@@ -277,7 +424,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from contextlib import ExitStack
 
         from repro.experiments.faults import SWEEPS, run_faults_campaign
-        from repro.obs import Instrumentation, use_instrumentation
+        from repro.obs import (
+            Instrumentation,
+            emit_run_meta,
+            use_instrumentation,
+        )
 
         sweeps = (
             tuple(SWEEPS)
@@ -289,6 +440,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 obs = Instrumentation.to_jsonl(args.obs_log)
                 stack.callback(obs.close)
                 stack.enter_context(use_instrumentation(obs))
+                emit_run_meta(
+                    obs,
+                    scenario_id="faults",
+                    params={
+                        "sweeps": list(sweeps),
+                        "seeds": args.seeds,
+                        "fast": args.fast,
+                    },
+                )
             try:
                 result = run_faults_campaign(
                     sweeps=sweeps,
@@ -309,14 +469,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "obs":
         if args.obs_command == "summarize":
-            from repro.obs import format_summary, summarize_run_log
+            from repro.obs import (
+                format_profile,
+                format_summary,
+                load_run_log,
+                summarize_events,
+                summarize_profile,
+            )
 
             try:
-                summary = summarize_run_log(args.log)
+                rows = load_run_log(args.log)
             except (OSError, ValueError) as exc:
                 print(exc, file=sys.stderr)
                 return 2
-            print(format_summary(summary, title=args.log))
+            print(format_summary(summarize_events(rows), title=args.log))
+            profile = summarize_profile(rows)
+            if profile.has_data:
+                print()
+                print(format_profile(profile, title=args.log))
             return 0
         if args.obs_command == "trace":
             from repro.obs import export_run_log

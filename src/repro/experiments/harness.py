@@ -1,4 +1,12 @@
-"""Run experiments and format their results for the terminal."""
+"""Run experiments and format their results for the terminal.
+
+Beyond running and formatting, this module owns the run-provenance
+write side: ``run_recorded`` wraps one experiment run in a durable run
+directory — obs log, result table, checkpoints, and an atomic
+:class:`~repro.obs.manifest.RunManifest` tying them together — which is
+what ``repro-exp runs list/show/compare`` later queries through the
+:class:`~repro.obs.registry.RunRegistry`.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,7 @@ import tempfile
 import time
 from contextlib import ExitStack
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.registry import (
     ExperimentResult,
@@ -16,7 +24,7 @@ from repro.experiments.registry import (
 )
 from repro.obs import Instrumentation, use_instrumentation
 from repro.obs.events import Event
-from repro.obs.instrument import get_instrumentation
+from repro.obs.instrument import emit_run_meta, get_instrumentation
 from repro.runtime import CheckpointConfig, use_checkpointing
 
 
@@ -29,16 +37,25 @@ def run_experiment(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 10,
     resume: bool = False,
+    profile: bool = False,
 ) -> ExperimentResult:
     """Run one registered experiment by id.
 
     ``obs_log`` turns instrumentation on for the run and writes the JSONL
     event log there (phase spans, per-round and per-FRA-iteration
     events); summarise it afterwards with ``repro-exp obs summarize``.
-    ``obs_flush_every=N`` flushes that log every N events so
-    ``repro-exp watch`` can tail the run live, and ``obs_health`` attaches
-    the health-rule engine so rule findings land in the log as ``alert``
-    events the moment they fire.
+    The log opens with a ``run_meta`` header event identifying the
+    scenario, seed and launch parameters. ``obs_flush_every=N`` flushes
+    that log every N events so ``repro-exp watch`` can tail the run
+    live, and ``obs_health`` attaches the health-rule engine so rule
+    findings land in the log as ``alert`` events the moment they fire.
+
+    ``profile=True`` installs the ambient per-phase profiler
+    (:class:`repro.obs.profile.PhaseProfiler`): every engine the
+    experiment constructs records per-phase CPU time, allocation deltas
+    and obs-counter deltas as ``profile.*`` events in the obs log. It
+    only has an effect when instrumentation is on (``obs_log`` here, or
+    an enabled ambient instrumentation).
 
     ``checkpoint_dir`` installs an ambient checkpoint policy (see
     :mod:`repro.runtime.checkpoint`): every engine ``run()`` the
@@ -48,6 +65,8 @@ def run_experiment(
     its newest checkpoint and reproduces the remaining rounds
     bit-identically — how long Fig. 8–10 sweeps survive interruption.
     """
+    from repro.experiments.config import FIELD_SEED
+
     spec = get_experiment(experiment_id)
     with ExitStack() as stack:
         if checkpoint_dir is not None:
@@ -56,6 +75,10 @@ def run_experiment(
                 every=checkpoint_every,
                 resume=resume,
             )))
+        if profile:
+            from repro.obs.profile import ProfileConfig, use_profiling
+
+            stack.enter_context(use_profiling(ProfileConfig()))
         if obs_log is not None:
             obs = Instrumentation.to_jsonl(
                 obs_log, flush_every=obs_flush_every
@@ -66,6 +89,12 @@ def run_experiment(
                 obs.bus.add_sink(HealthSink(obs.bus))
             stack.callback(obs.close)
             stack.enter_context(use_instrumentation(obs))
+            emit_run_meta(
+                obs,
+                scenario_id=experiment_id,
+                seed=FIELD_SEED,
+                params={"experiment_id": experiment_id, "fast": fast},
+            )
         return spec.runner(fast)
 
 
@@ -123,35 +152,85 @@ def _run_one_timed(
     if obs_shard is None:
         result = spec.runner(fast)
     else:
+        from repro.experiments.config import FIELD_SEED
+
         obs = Instrumentation.to_jsonl(obs_shard)
         try:
             with use_instrumentation(obs):
+                emit_run_meta(
+                    obs,
+                    scenario_id=experiment_id,
+                    seed=FIELD_SEED,
+                    params={"experiment_id": experiment_id, "fast": fast},
+                    shard=True,
+                )
                 result = spec.runner(fast)
         finally:
             obs.close()
     return result, time.perf_counter() - start
 
 
-def _replay_shard(obs: Instrumentation, shard: Path) -> None:
+def _write_replayed(obs: Instrumentation, event: Event) -> None:
+    """Write one already-timestamped event straight to the parent's sinks
+    (``bus.emit`` would restamp it with the parent's clock)."""
+    for sink in obs.bus.sinks:
+        sink.write(event)
+
+
+def _replay_shard(obs: Instrumentation, shard: Path) -> List[Dict[str, Any]]:
     """Feed one worker's JSONL shard back through the parent's sinks.
 
-    Events keep their worker-relative timestamps (re-emitting through
-    ``bus.emit`` would restamp them with the parent's clock); they land
-    in whatever sinks the parent instrumentation carries — the JSONL run
-    log stays a single merged file, a memory sink sees every worker's
-    events.
+    Events keep their worker-relative timestamps; they land in whatever
+    sinks the parent instrumentation carries — the JSONL run log stays a
+    single merged file, a memory sink sees every worker's events.
+
+    A worker that crashed mid-write leaves a truncated (or otherwise
+    malformed) final line; that must not poison the merge of every other
+    worker's events, so the bad tail is skipped and recorded as a
+    ``log_warning`` event in the merged stream. Malformed content
+    *before* the last line means real corruption and still raises.
+
+    Returns the shard's ``metrics`` event rows so the caller can build a
+    fleet-level rollup without re-reading the file.
     """
-    with open(shard, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+    raw_lines = [
+        line.strip()
+        for line in shard.read_text(encoding="utf-8").splitlines()
+    ]
+    content = [
+        (lineno, line)
+        for lineno, line in enumerate(raw_lines, start=1)
+        if line
+    ]
+    metrics_rows: List[Dict[str, Any]] = []
+    for idx, (lineno, line) in enumerate(content):
+        try:
             row = json.loads(line)
             name = str(row.pop("event"))
             t = float(row.pop("t"))
-            event = Event(name=name, t=t, fields=row)
-            for sink in obs.bus.sinks:
-                sink.write(event)
+        except (
+            json.JSONDecodeError, AttributeError, KeyError, TypeError,
+            ValueError,
+        ) as exc:
+            if idx == len(content) - 1:
+                _write_replayed(obs, Event(
+                    name="log_warning",
+                    t=obs.bus.now(),
+                    fields={
+                        "reason": "truncated_shard_tail",
+                        "shard": shard.name,
+                        "line": lineno,
+                        "detail": str(exc),
+                    },
+                ))
+                break
+            raise ValueError(
+                f"{shard}:{lineno}: malformed shard line ({exc})"
+            ) from exc
+        if name == "metrics":
+            metrics_rows.append({"event": name, "t": t, **row})
+        _write_replayed(obs, Event(name=name, t=t, fields=row))
+    return metrics_rows
 
 
 def collect_results(
@@ -173,7 +252,11 @@ def collect_results(
     installed), each worker writes its events to its own shard, and the
     parent replays the shards — in registration order — into the target
     log/sinks after all futures resolve. Without this, child processes
-    silently dropped every obs event.
+    silently dropped every obs event. After replay the parent merges the
+    workers' ``metrics`` snapshots with per-kind semantics
+    (:func:`repro.obs.aggregate.merge_snapshots`) and appends one
+    fleet-level ``metrics`` event (``aggregated=True``), so the merged
+    log summarises the same way a single-process run does.
     """
     ids = [spec.experiment_id for spec in all_experiments()]
     if processes is None or processes <= 1:
@@ -182,6 +265,9 @@ def collect_results(
         obs = Instrumentation.to_jsonl(obs_log)
         try:
             with use_instrumentation(obs):
+                emit_run_meta(
+                    obs, scenario_id="all", params={"fast": fast}
+                )
                 return [_run_one_timed(eid, fast) for eid in ids]
         finally:
             obs.close()
@@ -212,12 +298,154 @@ def collect_results(
             if obs_log is not None:
                 target = Instrumentation.to_jsonl(obs_log)
                 stack.callback(target.bus.close)
+                emit_run_meta(
+                    target,
+                    scenario_id="all",
+                    params={"fast": fast, "processes": processes},
+                )
             else:
                 target = ambient
+            metrics_rows: List[Dict[str, Any]] = []
             for shard in shards:
                 if shard is not None and Path(shard).exists():
-                    _replay_shard(target, Path(shard))
+                    metrics_rows.extend(_replay_shard(target, Path(shard)))
+            if metrics_rows:
+                from repro.obs.aggregate import aggregate_metrics_events
+
+                merged, n_shards = aggregate_metrics_events(metrics_rows)
+                kinds: Dict[str, str] = {}
+                for row in metrics_rows:
+                    kinds.update(row.get("kinds") or {})
+                target.emit(
+                    "metrics",
+                    snapshot=merged,
+                    kinds=kinds,
+                    aggregated=True,
+                    shards=n_shards,
+                )
         return out
+
+
+def run_recorded(
+    experiment_id: str,
+    runs_dir: Union[str, Path],
+    fast: bool = False,
+    profile: bool = False,
+    obs_flush_every: Optional[int] = None,
+    obs_health: bool = False,
+    checkpoints: bool = False,
+    checkpoint_every: int = 10,
+) -> Tuple[ExperimentResult, "RunManifest"]:
+    """Run one experiment as a durable, registry-visible run.
+
+    Creates ``<runs_dir>/<run_id>/`` (a fresh :func:`new_run_id`), runs
+    the experiment with the obs log inside it, writes the result table
+    as ``result.json``, and finishes by atomically writing a
+    :class:`~repro.obs.manifest.RunManifest` tying the artifacts
+    together with content hashes, seeds, code version and the outcome
+    (round count, final δ, counter totals) lifted from the obs log. The
+    run then shows up in ``repro-exp runs list`` and survives
+    ``runs gc`` (only unmanifested files are orphans).
+
+    ``checkpoints=True`` stores engine checkpoints under the run
+    directory too (``checkpoints/``), manifested alongside the log. A
+    runner that raises still leaves a manifest behind — ``status`` is
+    ``"failed"`` and the artifacts are whatever made it to disk — so a
+    crashed run is visible in the registry rather than an orphan pile.
+    """
+    from repro.experiments.config import FIELD_SEED
+    from repro.obs.manifest import (
+        MANIFEST_NAME,
+        RunManifest,
+        artifact_ref,
+        code_version,
+        env_fingerprint,
+        new_run_id,
+        utc_now_iso,
+    )
+    from repro.obs.manifest import params_hash as hash_params
+    from repro.obs.report import summarize_run_log
+
+    run_id = new_run_id(experiment_id)
+    run_dir = Path(runs_dir) / run_id
+    run_dir.mkdir(parents=True, exist_ok=True)
+    obs_path = run_dir / "obs.jsonl"
+    result_path = run_dir / "result.json"
+    checkpoint_dir = run_dir / "checkpoints" if checkpoints else None
+
+    params = {"experiment_id": experiment_id, "fast": fast,
+              "profile": profile}
+    manifest = RunManifest(
+        run_id=run_id,
+        scenario_id=experiment_id,
+        params=params,
+        params_hash=hash_params(params),
+        seeds={"field": FIELD_SEED},
+        code_version=code_version(),
+        env=env_fingerprint(),
+        started_at=utc_now_iso(),
+    )
+    start = time.perf_counter()
+    result: Optional[ExperimentResult] = None
+    try:
+        result = run_experiment(
+            experiment_id,
+            fast=fast,
+            obs_log=obs_path,
+            obs_flush_every=obs_flush_every,
+            obs_health=obs_health,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            profile=profile,
+        )
+        result_path.write_text(
+            json.dumps({
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "columns": list(result.columns),
+                "rows": result.rows,
+                "notes": result.notes,
+            }, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    except BaseException:
+        manifest.status = "failed"
+        raise
+    finally:
+        manifest.finished_at = utc_now_iso()
+        manifest.duration_s = time.perf_counter() - start
+        if obs_path.exists():
+            try:
+                summary = summarize_run_log(obs_path)
+                if summary.rounds is not None:
+                    manifest.round_count = summary.rounds.n_rounds
+                    manifest.final_delta = summary.rounds.delta_final
+                manifest.counters = {
+                    name: float(value)
+                    for name, value in (summary.metrics or {}).items()
+                    if isinstance(value, (int, float))
+                }
+            except ValueError:
+                pass  # unreadable log on a failed run: manifest still lands
+            manifest.artifacts.append(
+                artifact_ref(obs_path, "obs_log", "jsonl", base=run_dir)
+            )
+        if result_path.exists():
+            manifest.artifacts.append(
+                artifact_ref(result_path, "result", "json", base=run_dir)
+            )
+        if checkpoint_dir is not None and checkpoint_dir.exists():
+            for ckpt in sorted(checkpoint_dir.rglob("*")):
+                if ckpt.is_file():
+                    manifest.artifacts.append(artifact_ref(
+                        ckpt,
+                        str(ckpt.relative_to(run_dir)),
+                        "checkpoint",
+                        base=run_dir,
+                    ))
+        manifest.save(run_dir / MANIFEST_NAME)
+    assert result is not None
+    return result, manifest
 
 
 def run_all(

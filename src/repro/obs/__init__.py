@@ -28,7 +28,16 @@ plus the deep-telemetry read side:
 * :mod:`.diff` — align two run logs, localise the first divergent
   round/event, report phase-time deltas,
 * :mod:`.health` — rules that turn event streams into ``alert`` events
-  (δ stall, divergence, dead fleet, disconnection bursts).
+  (δ stall, divergence, dead fleet, disconnection bursts),
+* :mod:`.manifest` / :mod:`.registry` — run provenance: a
+  :class:`RunManifest` (identity, params hash, code version, env
+  fingerprint, outcome, content-hashed artifacts) written next to each
+  run's artifacts, and a :class:`RunRegistry` that lists, verifies and
+  garbage-collects a runs directory (``repro-exp runs ...``),
+* :mod:`.aggregate` — merge per-worker metric snapshots into one
+  fleet-level rollup (sum/min/max/last per metric kind),
+* :mod:`.profile` — opt-in per-phase CPU / allocation / counter-delta
+  profiling as scheduler middleware (``--profile``).
 
 Quick start::
 
@@ -46,13 +55,19 @@ Quick start::
     #   repro-exp watch run.jsonl            # live, while it runs
 """
 
+from repro.obs.aggregate import (
+    aggregate_metrics_events,
+    aggregate_run_log,
+    merge_snapshots,
+    merge_summary_parts,
+)
 from repro.obs.diff import (
     RunDiff,
     diff_run_logs,
     diff_runs,
     format_diff,
 )
-from repro.obs.events import Event, EventBus
+from repro.obs.events import LOG_SCHEMA_VERSION, Event, EventBus
 from repro.obs.export import export_run_log, to_chrome_trace
 from repro.obs.health import (
     Alert,
@@ -67,10 +82,41 @@ from repro.obs.health import (
 from repro.obs.instrument import (
     DISABLED,
     Instrumentation,
+    emit_run_meta,
     get_instrumentation,
     use_instrumentation,
 )
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ArtifactRef,
+    RunManifest,
+    artifact_ref,
+    code_version,
+    env_fingerprint,
+    file_sha256,
+    new_run_id,
+    params_hash,
+)
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Summary
+from repro.obs.profile import (
+    PhaseProfile,
+    PhaseProfiler,
+    ProfileConfig,
+    ProfileSummary,
+    format_profile,
+    get_profile_config,
+    summarize_profile,
+    use_profiling,
+)
+from repro.obs.registry import (
+    ArtifactCheck,
+    GcReport,
+    RunRegistry,
+    VerifyReport,
+    format_compare,
+    format_run_detail,
+    format_runs_table,
+)
 from repro.obs.report import (
     RunSummary,
     format_summary,
@@ -95,46 +141,76 @@ from repro.obs.watch import (
 
 __all__ = [
     "Alert",
+    "ArtifactCheck",
+    "ArtifactRef",
     "Counter",
     "DISABLED",
     "Event",
     "EventBus",
     "Gauge",
+    "GcReport",
     "HealthMonitor",
     "HealthRule",
     "HealthSink",
     "Instrumentation",
     "JsonlSink",
+    "LOG_SCHEMA_VERSION",
+    "MANIFEST_VERSION",
     "MemorySink",
     "MessageTracer",
     "MetricsRegistry",
     "NullSink",
+    "PhaseProfile",
+    "PhaseProfiler",
     "PhaseTimer",
+    "ProfileConfig",
+    "ProfileSummary",
     "RunDiff",
+    "RunManifest",
+    "RunRegistry",
     "RunSummary",
     "Sink",
     "Span",
     "Summary",
+    "VerifyReport",
     "WatchState",
+    "aggregate_metrics_events",
+    "aggregate_run_log",
+    "artifact_ref",
     "beacon_trace_id",
     "check_events",
     "check_run_log",
+    "code_version",
     "default_rules",
     "diff_run_logs",
     "diff_runs",
+    "emit_run_meta",
+    "env_fingerprint",
     "export_run_log",
+    "file_sha256",
     "follow",
     "format_alerts",
+    "format_compare",
     "format_diff",
+    "format_profile",
+    "format_run_detail",
+    "format_runs_table",
     "format_summary",
     "get_instrumentation",
+    "get_profile_config",
     "load_run_log",
+    "merge_snapshots",
+    "merge_summary_parts",
+    "new_run_id",
     "observation_trace_id",
+    "params_hash",
     "render_openmetrics",
     "render_watch",
     "summarize_events",
+    "summarize_profile",
     "summarize_run_log",
     "to_chrome_trace",
     "use_instrumentation",
+    "use_profiling",
     "watch",
 ]

@@ -12,7 +12,8 @@ first divergent round, and the first divergent *event* is the
   compared exactly by default, with an optional tolerance for
   cross-platform comparisons);
 * **event alignment** — the deterministic event sequence (everything
-  except pure-timing payloads: ``span``, ``metrics``) is compared
+  except pure-timing payloads: ``span``, ``metrics``, ``profile.*``) is
+  compared
   position by position to find the first divergent event, which usually
   sits *earlier* than the first divergent round and names the phase or
   message where the runs forked;
@@ -45,8 +46,12 @@ __all__ = [
 _TIME_KEYS = frozenset({"t", "dur_s"})
 
 #: Event kinds whose payloads are pure timing or aggregation — excluded
-#: from the deterministic event-sequence comparison.
-_TIMING_EVENTS = frozenset({"span", "metrics"})
+#: from the deterministic event-sequence comparison. ``profile.*``
+#: events are CPU/allocation measurements, and ``log_warning`` records a
+#: shard-merge repair — none of it is determinism.
+_TIMING_EVENTS = frozenset({
+    "span", "metrics", "profile.phase", "profile.round", "log_warning",
+})
 
 
 @dataclass(frozen=True)

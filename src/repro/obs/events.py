@@ -19,7 +19,13 @@ from dataclasses import dataclass, field as dataclass_field
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List
 
-__all__ = ["Event", "EventBus"]
+__all__ = ["Event", "EventBus", "LOG_SCHEMA_VERSION"]
+
+#: Version of the JSONL run-log event schema, carried by the ``run_meta``
+#: header event every harness-produced log starts with. Bump when the
+#: meaning of existing event fields changes (adding events is not a bump:
+#: readers ignore events they do not know).
+LOG_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)

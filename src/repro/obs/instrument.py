@@ -43,10 +43,42 @@ from repro.obs.timing import NULL_SPAN, PhaseTimer
 
 __all__ = [
     "Instrumentation",
+    "emit_run_meta",
     "get_instrumentation",
     "use_instrumentation",
     "DISABLED",
 ]
+
+
+def emit_run_meta(
+    obs: "Instrumentation",
+    scenario_id: str,
+    seed: Optional[int] = None,
+    params: Optional[dict] = None,
+    **extra: Any,
+) -> None:
+    """Emit the ``run_meta`` header event — the first row of a run log.
+
+    The header makes a log self-identifying: schema version, scenario
+    id, seed and the canonical hash of the launch parameters, so
+    ``watch``/``diff``/``report`` can say *what* they are looking at
+    without external context. Call it immediately after constructing the
+    log's instrumentation, before any other event. Readers stay
+    backward-compatible with headerless logs (the event is additive).
+    """
+    from repro.obs.events import LOG_SCHEMA_VERSION
+    from repro.obs.manifest import params_hash
+
+    fields: dict = {
+        "schema_version": LOG_SCHEMA_VERSION,
+        "scenario_id": scenario_id,
+    }
+    if seed is not None:
+        fields["seed"] = int(seed)
+    if params:
+        fields["params_hash"] = params_hash(params)
+    fields.update(extra)
+    obs.emit("run_meta", **fields)
 
 
 class Instrumentation:
@@ -130,9 +162,19 @@ class Instrumentation:
         self.bus.flush()
 
     def close(self) -> None:
-        """Flush the metrics snapshot as a final event, then close sinks."""
+        """Flush the metrics snapshot as a final event, then close sinks.
+
+        The snapshot event carries the registry's kind map alongside the
+        values so downstream aggregation (:mod:`repro.obs.aggregate`)
+        can merge worker snapshots with per-kind semantics; readers that
+        predate the field simply ignore it.
+        """
         if self.enabled:
-            self.bus.emit("metrics", snapshot=self.metrics.snapshot())
+            self.bus.emit(
+                "metrics",
+                snapshot=self.metrics.snapshot(),
+                kinds=self.metrics.kinds(),
+            )
         self.bus.close()
 
     def __enter__(self) -> "Instrumentation":

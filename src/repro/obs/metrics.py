@@ -147,6 +147,25 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
+    def kinds(self) -> Dict[str, str]:
+        """``name -> "counter" | "gauge" | "summary"`` for every metric.
+
+        A snapshot alone cannot distinguish a counter from a gauge (both
+        serialise to a scalar); the kind map is what lets cross-worker
+        aggregation (:mod:`repro.obs.aggregate`) apply the right merge
+        semantics — sum for counters, last-write for gauges.
+        """
+        out: Dict[str, str] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = "counter"
+            elif isinstance(metric, Gauge):
+                out[name] = "gauge"
+            else:
+                out[name] = "summary"
+        return out
+
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view of every metric — JSON-ready."""
         out: Dict[str, Any] = {}

@@ -1,0 +1,299 @@
+"""Per-phase profiling: where inside a round the CPU and memory go.
+
+The obs layer's span events answer "how long did the sense phase take";
+they cannot say whether that time was CPU or blocking, how much memory
+the phase allocated, or which phase drove the ``geom.*``/``net.*``
+counters. :class:`PhaseProfiler` is an opt-in scheduler middleware that
+records, per phase and per round:
+
+* **CPU time** — ``time.process_time`` deltas (user+system of this
+  process), so a phase that sleeps shows wall > cpu;
+* **allocation deltas** — net allocated bytes and the phase's peak,
+  from :mod:`tracemalloc` (started by the first profiler constructed,
+  precisely because its bookkeeping is far too expensive to ever be
+  on by default);
+* **counter deltas** — per-round deltas of every scalar counter in the
+  engine's metrics registry, attributing ``net.sent`` or
+  ``geom.pairs_checked`` growth to the round that caused it.
+
+Emitted as ``profile.phase`` / ``profile.round`` events on the normal
+bus, so they land in the same JSONL log, survive shard merging, and are
+summarised offline by :func:`summarize_profile` — no new file formats.
+
+Cost discipline: profiling is **off unless requested**. The engines
+consult :func:`get_profile_config` once, at construction; when no
+ambient config is installed the middleware is never built and a run
+pays nothing — the ≤2% disabled-instrumentation budget pinned in
+``benchmarks/test_bench_obs.py`` is untouched. Turn it on with::
+
+    with use_profiling():
+        MobileSimulation(problem, obs=obs).run()
+
+or ``repro-exp run fig10 --profile --obs-log run.jsonl``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, ContextManager, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "PhaseProfile",
+    "PhaseProfiler",
+    "ProfileConfig",
+    "ProfileSummary",
+    "format_profile",
+    "get_profile_config",
+    "summarize_profile",
+    "use_profiling",
+]
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """What the profiler records; all three dimensions default on."""
+
+    cpu: bool = True
+    memory: bool = True
+    counters: bool = True
+
+
+_current: List[ProfileConfig] = []
+
+
+def get_profile_config() -> Optional[ProfileConfig]:
+    """The ambient profile config, or ``None`` when profiling is off."""
+    return _current[-1] if _current else None
+
+
+@contextmanager
+def use_profiling(
+    config: Optional[ProfileConfig] = None,
+) -> Iterator[ProfileConfig]:
+    """Install an ambient :class:`ProfileConfig` for a code region.
+
+    Engines constructed inside the region attach a
+    :class:`PhaseProfiler` to their scheduler (when their
+    instrumentation is enabled — profile events need a bus to land on).
+    """
+    cfg = config if config is not None else ProfileConfig()
+    _current.append(cfg)
+    try:
+        yield cfg
+    finally:
+        _current.pop()
+
+
+class PhaseProfiler:
+    """Scheduler middleware emitting ``profile.*`` events (see module doc).
+
+    Structurally a :class:`repro.runtime.middleware.Middleware` (the
+    scheduler duck-types its hooks); not a subclass because the obs
+    layer sits *below* the runtime — the runtime imports obs, never the
+    reverse. Appended *after* the stock middleware so its phase hook is
+    the innermost wrapper — the measured window is the phase body, not
+    the obs span bookkeeping around it.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        config: Optional[ProfileConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self.config = config if config is not None else ProfileConfig()
+        if self.config.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+        #: Scalar counter values at round start, for per-round deltas.
+        self._round_counters: Dict[str, float] = {}
+        self._round_cpu0 = 0.0
+
+    # -- helpers --------------------------------------------------------
+    def _scalar_counters(self) -> Dict[str, float]:
+        registry = self._engine.obs.metrics
+        kinds = registry.kinds()
+        snap: Dict[str, float] = {}
+        for name, kind in kinds.items():
+            if kind == "counter":
+                snap[name] = float(registry.counter(name).value)
+        return snap
+
+    # -- middleware hooks (duck-typed Middleware protocol) --------------
+    def on_round_start(self, ctx: Any) -> None:
+        pass
+
+    def on_round_end(self, ctx: Any, record: Any) -> None:
+        pass
+
+    def around_round(self, ctx: Any) -> ContextManager:
+        return self._profiled_round()
+
+    @contextmanager
+    def _profiled_round(self):
+        obs = self._engine.obs
+        if not obs.enabled:
+            yield
+            return
+        round_index = self._engine.round_index
+        if self.config.counters:
+            self._round_counters = self._scalar_counters()
+        cpu0 = time.process_time() if self.config.cpu else 0.0
+        try:
+            yield
+        finally:
+            fields: Dict[str, Any] = {"round": round_index}
+            if self.config.cpu:
+                fields["cpu_s"] = time.process_time() - cpu0
+            if self.config.counters:
+                after = self._scalar_counters()
+                deltas = {
+                    name: after[name] - self._round_counters.get(name, 0.0)
+                    for name in after
+                    if after[name] != self._round_counters.get(name, 0.0)
+                }
+                fields["counter_deltas"] = deltas
+            obs.emit("profile.round", **fields)
+
+    def around_phase(self, phase: Any, ctx: Any) -> ContextManager:
+        return self._profiled_phase(phase)
+
+    @contextmanager
+    def _profiled_phase(self, phase: Any):
+        obs = self._engine.obs
+        if not obs.enabled:
+            yield
+            return
+        mem = self.config.memory and tracemalloc.is_tracing()
+        if mem:
+            tracemalloc.reset_peak()
+            alloc0, _ = tracemalloc.get_traced_memory()
+        cpu0 = time.process_time() if self.config.cpu else 0.0
+        wall0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            fields: Dict[str, Any] = {
+                "phase": phase.name,
+                "round": self._engine.round_index,
+                "wall_s": time.perf_counter() - wall0,
+            }
+            if self.config.cpu:
+                fields["cpu_s"] = time.process_time() - cpu0
+            if mem:
+                alloc1, peak = tracemalloc.get_traced_memory()
+                fields["alloc_delta_b"] = alloc1 - alloc0
+                fields["alloc_peak_b"] = max(0, peak - alloc0)
+            obs.emit("profile.phase", **fields)
+
+
+# ----------------------------------------------------------------------
+# Offline summarisation (the read side, log-only like obs.report)
+
+
+@dataclass
+class PhaseProfile:
+    """Aggregated profile of one phase across every round."""
+
+    phase: str
+    count: int = 0
+    cpu_s: float = 0.0
+    wall_s: float = 0.0
+    alloc_delta_b: int = 0
+    alloc_peak_b: int = 0
+
+    @property
+    def cpu_mean_s(self) -> float:
+        return self.cpu_s / self.count if self.count else 0.0
+
+
+@dataclass
+class ProfileSummary:
+    """Everything :func:`summarize_profile` extracts from profile events."""
+
+    phases: List[PhaseProfile] = dataclass_field(default_factory=list)
+    n_rounds: int = 0
+    cpu_total_s: float = 0.0
+    counter_totals: Dict[str, float] = dataclass_field(default_factory=dict)
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.phases) or self.n_rounds > 0
+
+
+def summarize_profile(rows: Iterable[Dict[str, Any]]) -> ProfileSummary:
+    """Aggregate ``profile.*`` events from an event-dict stream."""
+    summary = ProfileSummary()
+    by_phase: Dict[str, PhaseProfile] = {}
+    for row in rows:
+        name = row.get("event")
+        if name == "profile.phase":
+            phase = str(row.get("phase", "?"))
+            agg = by_phase.setdefault(phase, PhaseProfile(phase=phase))
+            agg.count += 1
+            agg.cpu_s += float(row.get("cpu_s", 0.0))
+            agg.wall_s += float(row.get("wall_s", 0.0))
+            agg.alloc_delta_b += int(row.get("alloc_delta_b", 0) or 0)
+            agg.alloc_peak_b = max(
+                agg.alloc_peak_b, int(row.get("alloc_peak_b", 0) or 0)
+            )
+        elif name == "profile.round":
+            summary.n_rounds += 1
+            summary.cpu_total_s += float(row.get("cpu_s", 0.0))
+            for cname, delta in (row.get("counter_deltas") or {}).items():
+                summary.counter_totals[str(cname)] = (
+                    summary.counter_totals.get(str(cname), 0.0)
+                    + float(delta)
+                )
+    summary.phases = sorted(
+        by_phase.values(), key=lambda p: p.cpu_s, reverse=True
+    )
+    return summary
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:+.1f}{unit}" if unit == "B" else f"{value:+.2f}{unit}"
+        value /= 1024.0
+    return f"{value:+.2f}GiB"  # pragma: no cover - loop always returns
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1e3:.2f}ms" if s < 1.0 else f"{s:.2f}s"
+
+
+def format_profile(summary: ProfileSummary, title: str = "run") -> str:
+    """Render the per-phase CPU / allocation table for the terminal."""
+    lines = [f"== profile: {title} =="]
+    if not summary.has_data:
+        lines.append("(no profile.* events — run with --profile)")
+        return "\n".join(lines)
+    lines.append(
+        f"rounds profiled: {summary.n_rounds}   "
+        f"cpu total: {_fmt_seconds(summary.cpu_total_s)}"
+    )
+    if summary.phases:
+        width = max(len(p.phase) for p in summary.phases) + 2
+        lines.append(
+            f"{'phase'.ljust(width)}{'cpu':>10}{'wall':>10}{'cpu/round':>12}"
+            f"{'alloc':>12}{'peak':>12}{'n':>7}"
+        )
+        for p in summary.phases:
+            lines.append(
+                f"{p.phase.ljust(width)}"
+                f"{_fmt_seconds(p.cpu_s):>10}"
+                f"{_fmt_seconds(p.wall_s):>10}"
+                f"{_fmt_seconds(p.cpu_mean_s):>12}"
+                f"{_fmt_bytes(p.alloc_delta_b):>12}"
+                f"{_fmt_bytes(p.alloc_peak_b):>12}"
+                f"{p.count:>7}"
+            )
+    if summary.counter_totals:
+        lines.append("-- counter deltas over profiled rounds --")
+        for name in sorted(summary.counter_totals):
+            lines.append(f"  {name}: {summary.counter_totals[name]:g}")
+    return "\n".join(lines)

@@ -1,0 +1,362 @@
+"""The run registry: scan, query, verify and garbage-collect run records.
+
+A runs directory is the durable store the serving roadmap item demands:
+one sub-directory per run, each holding a ``manifest.json``
+(:class:`~repro.obs.manifest.RunManifest`) plus the artifacts it
+references (obs log, result table, checkpoints). :class:`RunRegistry`
+is the read side over that layout:
+
+* :meth:`RunRegistry.scan` / :meth:`list_runs` — enumerate every
+  manifest under the root, newest first, with optional scenario/status
+  filters; unreadable manifests are reported, not fatal (one corrupt
+  run must not hide the rest);
+* :meth:`get` — look one run up by id (ambiguous duplicates are an
+  error: two manifests claiming the same id means the store is
+  corrupt, and silently picking one would lie);
+* :meth:`verify` — recompute every artifact's content hash against the
+  manifest (missing / modified / ok per artifact);
+* :meth:`gc` — find files under the root that no manifest references
+  (a crashed run's leftovers, a deleted manifest's artifacts) and
+  optionally delete them. Dry-run by default: a garbage collector that
+  deletes on first contact is how stores get emptied by accident.
+
+Everything works from the filesystem alone — no database, no daemon —
+so the registry is equally usable from the CLI, tests, and the future
+``repro-serve`` replay endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    ArtifactRef,
+    RunManifest,
+    file_sha256,
+)
+
+__all__ = [
+    "ArtifactCheck",
+    "GcReport",
+    "RunRegistry",
+    "VerifyReport",
+    "format_run_detail",
+    "format_runs_table",
+    "format_compare",
+]
+
+
+@dataclass(frozen=True)
+class ArtifactCheck:
+    """Verification outcome for one artifact."""
+
+    artifact: ArtifactRef
+    status: str  # "ok" | "missing" | "hash_mismatch" | "size_mismatch"
+    detail: str = ""
+
+
+@dataclass
+class VerifyReport:
+    """Everything :meth:`RunRegistry.verify` finds for one run."""
+
+    run_id: str
+    checks: List[ArtifactCheck] = dataclass_field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.status == "ok" for c in self.checks)
+
+
+@dataclass
+class GcReport:
+    """What :meth:`RunRegistry.gc` found (and, unless dry-run, removed)."""
+
+    orphans: List[Path] = dataclass_field(default_factory=list)
+    removed: List[Path] = dataclass_field(default_factory=list)
+    dry_run: bool = True
+
+    @property
+    def n_orphans(self) -> int:
+        return len(self.orphans)
+
+
+class RunRegistry:
+    """Query interface over one runs directory (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- enumeration ----------------------------------------------------
+    def scan(self) -> Tuple[List[RunManifest], List[str]]:
+        """All readable manifests under the root, plus problem strings.
+
+        A missing root yields an empty listing (a registry you have not
+        written to yet is empty, not broken). Manifests that fail to
+        parse are reported in the problem list with their path.
+        """
+        manifests: List[RunManifest] = []
+        problems: List[str] = []
+        if not self.root.exists():
+            return manifests, problems
+        for path in sorted(self.root.glob(f"*/{MANIFEST_NAME}")):
+            try:
+                manifests.append(RunManifest.load(path))
+            except (OSError, ValueError) as exc:
+                problems.append(f"{path}: {exc}")
+        return manifests, problems
+
+    def list_runs(
+        self,
+        scenario: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> List[RunManifest]:
+        """Manifests matching the filters, newest ``started_at`` first."""
+        manifests, _ = self.scan()
+        if scenario is not None:
+            manifests = [m for m in manifests if m.scenario_id == scenario]
+        if status is not None:
+            manifests = [m for m in manifests if m.status == status]
+        manifests.sort(key=lambda m: (m.started_at, m.run_id), reverse=True)
+        return manifests
+
+    def run_dir(self, manifest: RunManifest) -> Path:
+        """The directory a manifest's artifacts resolve against."""
+        return self.root / manifest.run_id
+
+    def get(self, run_id: str) -> RunManifest:
+        """One run by id.
+
+        Raises ``KeyError`` when absent and ``ValueError`` when more
+        than one manifest claims the id — a corrupt store must surface,
+        not resolve arbitrarily.
+        """
+        matches = [
+            m for m in self.scan()[0] if m.run_id == run_id
+        ]
+        if not matches:
+            known = ", ".join(m.run_id for m in self.list_runs()[:8])
+            raise KeyError(
+                f"no run {run_id!r} under {self.root}"
+                + (f"; newest: {known}" if known else " (registry is empty)")
+            )
+        if len(matches) > 1:
+            raise ValueError(
+                f"duplicate run id {run_id!r}: {len(matches)} manifests "
+                f"under {self.root} claim it"
+            )
+        return matches[0]
+
+    # -- integrity ------------------------------------------------------
+    def verify(self, run_id: str) -> VerifyReport:
+        """Recompute every artifact hash of one run against its manifest."""
+        manifest = self.get(run_id)
+        base = self.run_dir(manifest)
+        report = VerifyReport(run_id=run_id)
+        for art in manifest.artifacts:
+            path = art.resolve(base)
+            if not path.exists():
+                report.checks.append(
+                    ArtifactCheck(art, "missing", str(path))
+                )
+                continue
+            size = path.stat().st_size
+            if art.bytes and size != art.bytes:
+                report.checks.append(ArtifactCheck(
+                    art, "size_mismatch",
+                    f"{size} bytes on disk, {art.bytes} recorded",
+                ))
+                continue
+            digest = file_sha256(path)
+            if art.sha256 and digest != art.sha256:
+                report.checks.append(ArtifactCheck(
+                    art, "hash_mismatch",
+                    f"{digest} on disk, {art.sha256} recorded",
+                ))
+            else:
+                report.checks.append(ArtifactCheck(art, "ok"))
+        return report
+
+    # -- garbage collection ---------------------------------------------
+    def _referenced_paths(self) -> set:
+        referenced = set()
+        manifests, _ = self.scan()
+        for manifest in manifests:
+            base = self.run_dir(manifest)
+            referenced.add((base / MANIFEST_NAME).resolve())
+            for art in manifest.artifacts:
+                referenced.add(art.resolve(base).resolve())
+        return referenced
+
+    def gc(self, dry_run: bool = True) -> GcReport:
+        """Find (and with ``dry_run=False`` delete) orphaned artifacts.
+
+        An orphan is any file under the runs root that no manifest
+        references: leftovers of a crashed run that never wrote its
+        manifest, or artifacts whose manifest was deleted. ``.tmp``
+        files from interrupted atomic writes count too. Deletion also
+        prunes directories emptied by the sweep.
+        """
+        report = GcReport(dry_run=dry_run)
+        if not self.root.exists():
+            return report
+        referenced = self._referenced_paths()
+        for path in sorted(self.root.rglob("*")):
+            if path.is_dir():
+                continue
+            if path.resolve() in referenced:
+                continue
+            report.orphans.append(path)
+        if not dry_run:
+            for path in report.orphans:
+                try:
+                    path.unlink()
+                    report.removed.append(path)
+                except OSError:
+                    pass
+            # Prune now-empty run directories, deepest first.
+            for directory in sorted(
+                (p for p in self.root.rglob("*") if p.is_dir()),
+                key=lambda p: len(p.parts), reverse=True,
+            ):
+                try:
+                    directory.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+        return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+
+
+def _fmt_delta(value: Optional[float]) -> str:
+    return f"{value:.4g}" if isinstance(value, float) else "-"
+
+
+def format_runs_table(manifests: Sequence[RunManifest]) -> str:
+    """The ``runs list`` view: one aligned row per run."""
+    if not manifests:
+        return "(no runs)"
+    headers = ["run_id", "scenario", "status", "started", "rounds",
+               "final_delta", "duration"]
+    rows = [
+        [
+            m.run_id, m.scenario_id, m.status, m.started_at,
+            str(m.round_count), _fmt_delta(m.final_delta),
+            f"{m.duration_s:.1f}s",
+        ]
+        for m in manifests
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows
+    )
+    return "\n".join(lines)
+
+
+def format_run_detail(
+    manifest: RunManifest, verify: Optional[VerifyReport] = None
+) -> str:
+    """The ``runs show`` view: full manifest plus verification results."""
+    lines = [
+        f"== run: {manifest.run_id} ==",
+        f"scenario: {manifest.scenario_id}   status: {manifest.status}   "
+        f"schema: v{manifest.schema_version}",
+        f"started: {manifest.started_at}   finished: {manifest.finished_at}"
+        f"   duration: {manifest.duration_s:.1f}s",
+        f"code: {manifest.code_version}   params: {manifest.params_hash}",
+    ]
+    if manifest.seeds:
+        lines.append("seeds: " + "  ".join(
+            f"{k}={v}" for k, v in sorted(manifest.seeds.items())
+        ))
+    if manifest.env:
+        lines.append("env: " + "  ".join(
+            f"{k}={manifest.env[k]}"
+            for k in ("python", "numpy", "platform")
+            if k in manifest.env
+        ))
+    lines.append(
+        f"rounds: {manifest.round_count}   "
+        f"final delta: {_fmt_delta(manifest.final_delta)}"
+    )
+    if manifest.params:
+        lines.append("-- params --")
+        for key in sorted(manifest.params):
+            lines.append(f"  {key}: {manifest.params[key]}")
+    if manifest.counters:
+        lines.append("-- counters --")
+        for name in sorted(manifest.counters):
+            lines.append(f"  {name}: {manifest.counters[name]:g}")
+    if manifest.artifacts:
+        lines.append("-- artifacts --")
+        for art in manifest.artifacts:
+            status = ""
+            if verify is not None:
+                for check in verify.checks:
+                    if check.artifact.name == art.name:
+                        status = (
+                            "  [ok]" if check.status == "ok"
+                            else f"  [{check.status}: {check.detail}]"
+                        )
+                        break
+            lines.append(
+                f"  {art.name} ({art.kind}): {art.path}  "
+                f"{art.bytes} bytes  {art.sha256[:23]}{status}"
+            )
+    if verify is not None:
+        lines.append(
+            "integrity: verified ok" if verify.ok
+            else "integrity: FAILED (see artifacts above)"
+        )
+    return "\n".join(lines)
+
+
+def format_compare(manifests: Sequence[RunManifest]) -> str:
+    """The ``runs compare`` view: runs side by side, metrics as rows.
+
+    Rows: scenario, status, rounds, final δ, duration, then the union of
+    every run's counters — missing values render as ``-`` so runs with
+    disjoint counter sets (e.g. networked vs perfect-link) still line up.
+    """
+    if not manifests:
+        return "(no runs to compare)"
+    headers = ["metric"] + [m.run_id for m in manifests]
+    rows: List[List[str]] = [
+        ["scenario"] + [m.scenario_id for m in manifests],
+        ["status"] + [m.status for m in manifests],
+        ["rounds"] + [str(m.round_count) for m in manifests],
+        ["final_delta"] + [_fmt_delta(m.final_delta) for m in manifests],
+        ["duration_s"] + [f"{m.duration_s:.1f}" for m in manifests],
+        ["params_hash"] + [m.params_hash for m in manifests],
+    ]
+    counter_names: List[str] = sorted(
+        {name for m in manifests for name in m.counters}
+    )
+    for name in counter_names:
+        rows.append([name] + [
+            f"{m.counters[name]:g}" if name in m.counters else "-"
+            for m in manifests
+        ])
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows
+    )
+    return "\n".join(lines)

@@ -85,6 +85,10 @@ class RunSummary:
     rounds: Optional[RoundAggregates] = None
     fra: Optional[FRAAggregates] = None
     metrics: Optional[Dict[str, Any]] = None
+    #: The ``run_meta`` header's fields (scenario id, seed, params hash),
+    #: when the log carries one. Headerless (pre-manifest) logs leave it
+    #: ``None`` — every reader here treats the header as optional.
+    run_meta: Optional[Dict[str, Any]] = None
 
 
 def load_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
@@ -212,6 +216,11 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> RunSummary:
     metrics = [r for r in rows if r["event"] == "metrics"]
     if metrics:
         summary.metrics = metrics[-1].get("snapshot")
+    metas = [r for r in rows if r["event"] == "run_meta"]
+    if metas:
+        summary.run_meta = {
+            k: v for k, v in metas[0].items() if k not in ("event", "t")
+        }
     return summary
 
 
@@ -231,6 +240,16 @@ def format_summary(summary: RunSummary, title: str = "run") -> str:
         f"events: {summary.n_events}   "
         f"log span: {_fmt_seconds(summary.duration_s)}",
     ]
+    if summary.run_meta:
+        meta = summary.run_meta
+        parts = [f"scenario: {meta.get('scenario_id', '?')}"]
+        if "seed" in meta:
+            parts.append(f"seed: {meta['seed']}")
+        if "params_hash" in meta:
+            parts.append(f"params: {meta['params_hash']}")
+        if "schema_version" in meta:
+            parts.append(f"log schema: v{meta['schema_version']}")
+        lines.append("   ".join(parts))
     if summary.phases:
         lines.append("")
         lines.append("-- phase wall time --")

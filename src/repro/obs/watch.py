@@ -111,6 +111,8 @@ class WatchState:
     """Everything the dashboard shows, updated event by event."""
 
     n_events: int = 0
+    #: The log's ``run_meta`` header fields, when one has been seen.
+    run_meta: Optional[Dict[str, Any]] = None
     last_round: Optional[Dict[str, Any]] = None
     deltas: List[float] = dataclass_field(default_factory=list)
     phase_totals: Dict[str, float] = dataclass_field(default_factory=dict)
@@ -138,7 +140,11 @@ class WatchState:
         """Fold one event dict into the view state."""
         self.n_events += 1
         name = row.get("event")
-        if name == "round":
+        if name == "run_meta":
+            self.run_meta = {
+                k: v for k, v in row.items() if k not in ("event", "t")
+            }
+        elif name == "round":
             self.last_round = row
             delta = row.get("delta")
             if isinstance(delta, (int, float)) and not (
@@ -187,6 +193,14 @@ def _fmt_seconds(s: float) -> str:
 def render_watch(state: WatchState, title: str = "run") -> str:
     """Render the live view as plain text (one frame)."""
     lines = [f"== watching: {title} ==  events: {state.n_events}"]
+    if state.run_meta:
+        meta = state.run_meta
+        parts = [f"scenario {meta.get('scenario_id', '?')}"]
+        if "seed" in meta:
+            parts.append(f"seed {meta['seed']}")
+        if "params_hash" in meta:
+            parts.append(f"params {meta['params_hash']}")
+        lines.append("   ".join(parts))
     r = state.last_round
     if r is not None:
         delta = r.get("delta")

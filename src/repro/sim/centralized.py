@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.problem import OSTDProblem
 from repro.obs.instrument import Instrumentation, get_instrumentation
+from repro.obs.profile import PhaseProfiler, get_profile_config
 from repro.runtime.centralized_phases import (
     CENTRALIZED_PHASES,
     CentralizedRoundContext,
@@ -145,6 +146,12 @@ class CentralizedSimulation:
             middleware=[ObsMiddleware(self)],
             advance=self._advance,
         )
+        # Opt-in per-phase profiling, same ambient contract as the
+        # mobile engine: nothing is installed (or paid) unless a
+        # use_profiling context is active at construction.
+        profile_cfg = get_profile_config()
+        if profile_cfg is not None and self.obs.enabled:
+            self.scheduler.middleware.append(PhaseProfiler(self, profile_cfg))
 
     # ------------------------------------------------------------------
     def _advance(self, ctx: CentralizedRoundContext) -> None:

@@ -36,6 +36,7 @@ from repro.core.cma import CMAParams
 from repro.core.problem import OSTDProblem
 from repro.core.baselines import uniform_grid_placement
 from repro.obs.instrument import Instrumentation, get_instrumentation
+from repro.obs.profile import PhaseProfiler, get_profile_config
 from repro.runtime.checkpoint import CheckpointConfig, drive_run
 from repro.runtime.cma_phases import CMA_PHASES, MobileRoundContext
 from repro.runtime.geometry import IncrementalGeometry
@@ -197,6 +198,12 @@ class MobileSimulation:
             ],
             advance=self._advance,
         )
+        # Opt-in per-phase CPU/allocation profiling (--profile / ambient
+        # use_profiling). Checked once at construction: when off, no
+        # middleware exists and a step pays nothing.
+        profile_cfg = get_profile_config()
+        if profile_cfg is not None and self.obs.enabled:
+            self.scheduler.middleware.append(PhaseProfiler(self, profile_cfg))
 
     # ------------------------------------------------------------------
     @property

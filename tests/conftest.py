@@ -32,6 +32,23 @@ from repro.fields.greenorbs import GreenOrbsLightField
 from repro.geometry.primitives import BoundingBox
 
 
+@pytest.fixture(autouse=True)
+def _no_tracemalloc_leak():
+    """Stop tracemalloc after any test that turned it on.
+
+    :class:`repro.obs.profile.PhaseProfiler` starts tracemalloc and has
+    no teardown hook (middleware lifetime is the engine's); left running
+    it would roughly double allocation cost for every test that follows.
+    The check is one ``is_tracing()`` call when nothing was started.
+    """
+    import tracemalloc
+
+    started_before = tracemalloc.is_tracing()
+    yield
+    if tracemalloc.is_tracing() and not started_before:
+        tracemalloc.stop()
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,150 @@
+"""Cross-worker metric aggregation: kind semantics, disjoint shards."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Instrumentation,
+    aggregate_metrics_events,
+    aggregate_run_log,
+    merge_snapshots,
+    merge_summary_parts,
+)
+
+
+class TestMergeSummaryParts:
+    def test_count_total_min_max_mean_exact(self):
+        parts = [
+            {"count": 2, "total": 10.0, "min": 1.0, "max": 9.0,
+             "p50": 5.0, "p95": 9.0},
+            {"count": 3, "total": 6.0, "min": 0.5, "max": 4.0,
+             "p50": 2.0, "p95": 4.0},
+        ]
+        merged = merge_summary_parts(parts)
+        assert merged["count"] == 5
+        assert merged["total"] == pytest.approx(16.0)
+        assert merged["mean"] == pytest.approx(16.0 / 5)
+        assert merged["min"] == pytest.approx(0.5)
+        assert merged["max"] == pytest.approx(9.0)
+        # Quantiles: count-weighted average of the per-shard quantiles.
+        assert merged["p50"] == pytest.approx((5.0 * 2 + 2.0 * 3) / 5)
+
+    def test_empty_shards_ignored(self):
+        merged = merge_summary_parts([
+            {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0},
+            {"count": 1, "total": 3.0, "min": 3.0, "max": 3.0,
+             "p50": 3.0, "p95": 3.0},
+        ])
+        assert merged["count"] == 1
+        assert merged["min"] == pytest.approx(3.0)
+
+    def test_all_empty(self):
+        merged = merge_summary_parts([{"count": 0}])
+        assert merged["count"] == 0
+        assert merged["mean"] == 0.0
+
+
+class TestMergeSnapshots:
+    def test_kind_semantics(self):
+        kinds = {"n.sent": "counter", "fleet.size": "gauge",
+                 "lat": "summary"}
+        merged = merge_snapshots(
+            [
+                {"n.sent": 10.0, "fleet.size": 5.0,
+                 "lat": {"count": 1, "total": 2.0, "min": 2.0, "max": 2.0,
+                         "p50": 2.0, "p95": 2.0}},
+                {"n.sent": 7.0, "fleet.size": 4.0,
+                 "lat": {"count": 1, "total": 4.0, "min": 4.0, "max": 4.0,
+                         "p50": 4.0, "p95": 4.0}},
+            ],
+            kinds=kinds,
+        )
+        assert merged["n.sent"] == pytest.approx(17.0)  # counters sum
+        assert merged["fleet.size"] == pytest.approx(4.0)  # last wins
+        assert merged["lat"]["count"] == 2
+        assert merged["lat"]["max"] == pytest.approx(4.0)
+
+    def test_disjoint_metric_name_sets(self):
+        merged = merge_snapshots(
+            [{"a.only": 1.0}, {"b.only": 2.0}, {"a.only": 3.0}],
+            kinds={"a.only": "counter", "b.only": "counter"},
+        )
+        assert merged == {"a.only": 4.0, "b.only": 2.0}
+
+    def test_headerless_fallback_shapes(self):
+        # No kind map: dicts merge as summaries, scalars sum as counters.
+        merged = merge_snapshots([
+            {"x": 2.0, "s": {"count": 1, "total": 5.0, "min": 5.0,
+                             "max": 5.0, "p50": 5.0, "p95": 5.0}},
+            {"x": 3.0},
+        ])
+        assert merged["x"] == pytest.approx(5.0)
+        assert merged["s"]["count"] == 1
+
+    def test_empty(self):
+        assert merge_snapshots([]) == {}
+
+
+class TestAggregateEvents:
+    def test_skips_already_aggregated_rows(self):
+        rows = [
+            {"event": "metrics", "t": 1.0, "snapshot": {"c": 1.0},
+             "kinds": {"c": "counter"}},
+            {"event": "metrics", "t": 2.0, "snapshot": {"c": 2.0},
+             "kinds": {"c": "counter"}},
+            {"event": "metrics", "t": 3.0, "snapshot": {"c": 3.0},
+             "aggregated": True, "shards": 2},
+            {"event": "round", "t": 0.5, "delta": 1.0},
+        ]
+        merged, n = aggregate_metrics_events(rows)
+        assert n == 2
+        assert merged["c"] == pytest.approx(3.0)
+        # Idempotent: re-aggregating the merged stream changes nothing.
+        rows.append({"event": "metrics", "t": 4.0, "snapshot": merged,
+                     "aggregated": True, "shards": n})
+        merged2, n2 = aggregate_metrics_events(rows)
+        assert (merged2, n2) == (merged, n)
+
+    def test_aggregate_run_log(self, tmp_path):
+        log = tmp_path / "merged.jsonl"
+        rows = [
+            {"event": "metrics", "t": 1.0, "snapshot": {"c": 1.5},
+             "kinds": {"c": "counter"}},
+            {"event": "metrics", "t": 2.0, "snapshot": {"c": 2.5},
+             "kinds": {"c": "counter"}},
+        ]
+        log.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        merged, n = aggregate_run_log(log)
+        assert n == 2
+        assert merged["c"] == pytest.approx(4.0)
+
+
+class TestKindMapTravelsInCloseEvent:
+    def test_close_emits_kinds(self):
+        obs = Instrumentation.in_memory()
+        obs.counter("n.sent").inc(3)
+        obs.gauge("fleet").set(5.0)
+        obs.summary("lat").observe(2.0)
+        obs.close()
+        metrics = [e for e in obs.memory_events() if e.name == "metrics"]
+        assert len(metrics) == 1
+        kinds = metrics[0].fields["kinds"]
+        assert kinds == {"n.sent": "counter", "fleet": "gauge",
+                         "lat": "summary"}
+
+    def test_two_worker_merge_matches_one_process(self):
+        """Two shards' counter totals merge to the one-process total."""
+        def worker(increments):
+            obs = Instrumentation.in_memory()
+            for n in increments:
+                obs.counter("net.sent").inc(n)
+            obs.close()
+            row = [e for e in obs.memory_events()
+                   if e.name == "metrics"][0]
+            return {"event": "metrics", "t": row.t, **row.fields}
+
+        shard_rows = [worker([1, 2, 3]), worker([10])]
+        merged, n = aggregate_metrics_events(shard_rows)
+        assert n == 2
+        assert merged["net.sent"] == pytest.approx(16.0)

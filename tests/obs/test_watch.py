@@ -142,7 +142,56 @@ class TestWatchOnce:
         assert "round    3" in frames[0]
 
 
+class TestWatchRunMeta:
+    def test_header_captured_and_rendered(self):
+        state = WatchState()
+        state.feed({
+            "event": "run_meta", "t": 0.0, "schema_version": 1,
+            "scenario_id": "fig10", "seed": 7,
+            "params_hash": "sha256:abcd1234abcd1234",
+        })
+        assert state.run_meta["scenario_id"] == "fig10"
+        assert "event" not in state.run_meta and "t" not in state.run_meta
+        text = render_watch(state, "demo")
+        assert "scenario fig10" in text
+        assert "seed 7" in text
+        assert "params sha256:abcd1234abcd1234" in text
+
+    def test_headerless_log_renders_without_meta_line(self):
+        text = render_watch(WatchState(), "demo")
+        assert "scenario" not in text
+
+
 class TestRenderOpenmetrics:
+    def test_exact_exposition_format(self):
+        """Pin the full text byte for byte — the scrape contract.
+
+        A scrape endpoint serves this verbatim; silent format drift would
+        break downstream parsers, so the whole rendering is pinned, not
+        just spot-checked, and it must terminate with ``# EOF`` per the
+        OpenMetrics spec.
+        """
+        snapshot = {
+            "net.sent": 42,
+            "phase.step": {
+                "count": 6, "total": 1.2, "mean": 0.2,
+                "min": 0.1, "max": 0.4, "p50": 0.18, "p95": 0.38,
+            },
+        }
+        assert render_openmetrics(snapshot) == (
+            "# TYPE repro_net_sent gauge\n"
+            "repro_net_sent 42\n"
+            "# TYPE repro_phase_step summary\n"
+            'repro_phase_step{quantile="0.5"} 0.18\n'
+            'repro_phase_step{quantile="0.95"} 0.38\n'
+            "repro_phase_step_count 6\n"
+            "repro_phase_step_sum 1.2\n"
+            "# EOF\n"
+        )
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert render_openmetrics({}) == "# EOF\n"
+
     def test_scalars_become_gauges(self):
         text = render_openmetrics({"net.sent": 42, "rounds": 6})
         assert "# TYPE repro_net_sent gauge" in text
