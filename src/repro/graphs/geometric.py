@@ -8,24 +8,34 @@ computations can reason about physical gaps.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.geometry.primitives import pairwise_distances
-from repro.geometry.spatial_index import DENSE_CROSSOVER, SpatialHashGrid
+from repro.geometry.spatial_index import (
+    DENSE_CROSSOVER,
+    SpatialHashGrid,
+    dense_crossover,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import connected_components
 
 
-def unit_disk_graph(positions: np.ndarray, radius: float) -> Graph:
+def unit_disk_graph(
+    positions: np.ndarray,
+    radius: float,
+    crossover: Optional[int] = None,
+) -> Graph:
     """Build ``G(i, Rc)``: edge between nodes at distance <= ``radius``.
 
     ``positions`` is an ``(n, 2)`` array. Distances are edge weights.
-    Above :data:`~repro.geometry.spatial_index.DENSE_CROSSOVER` points the
-    edge set comes from the cell-list grid instead of the dense distance
-    matrix — same edges, same weights, same insertion order, O(k) at
-    fixed density instead of O(k²).
+    Above the effective crossover (``crossover`` keyword >
+    ``REPRO_DENSE_CROSSOVER`` env var >
+    :data:`~repro.geometry.spatial_index.DENSE_CROSSOVER`) the edge set
+    comes from the cell-list grid instead of the dense distance matrix —
+    same edges, same weights, same insertion order, O(k) at fixed
+    density instead of O(k²).
     """
     pts = np.asarray(positions, dtype=float).reshape(-1, 2)
     if radius <= 0:
@@ -33,7 +43,7 @@ def unit_disk_graph(positions: np.ndarray, radius: float) -> Graph:
     graph = Graph(len(pts))
     if len(pts) < 2:
         return graph
-    if len(pts) <= DENSE_CROSSOVER:
+    if len(pts) <= dense_crossover(crossover, default=DENSE_CROSSOVER):
         dists = pairwise_distances(pts)
         iu, ju = np.nonzero(np.triu(dists <= radius, k=1))
         for u, v in zip(iu.tolist(), ju.tolist()):

@@ -114,6 +114,13 @@ class SensePhase:
 
     name = "sense"
     span_name = "sense"
+    #: Sensing reads the node's own Rs-disk of the (global, read-only)
+    #: field snapshot; noiseless reads draw no RNG, so a tile can sense
+    #: its owned+ghost nodes independently and bitwise-identically. The
+    #: sharded scheduler falls back to the barrier when noise is on (the
+    #: noise stream is drawn in fleet-wide node order) or while the
+    #: round-0 calibration below (a global mean) is still pending.
+    tile_safe = True
 
     def run(self, ctx: MobileRoundContext) -> None:
         # Imported here, not at module top: repro.sim's package init pulls
@@ -198,6 +205,12 @@ class ExchangePhase:
 
     name = "exchange"
     span_name = "exchange"
+    #: Beacons travel at most Rc, so a tile with an Rc-wide ghost halo
+    #: hears every beacon its owned nodes would hear fleet-wide. The
+    #: sharded scheduler falls back to the barrier when a loss model or
+    #: the netmodel pipeline is active — both consume RNG/state in
+    #: fleet-wide directed-pair order, which tiling would reorder.
+    tile_safe = True
 
     def __init__(self) -> None:
         # One tracer per (phase, instrumentation) pairing; rebuilt if the
@@ -235,6 +248,9 @@ class PlanPhase:
 
     name = "plan"
     span_name = "plan"
+    #: ``plan_move`` is a pure per-node function of the node's own
+    #: sensing and inbox — trivially decomposable over tiles.
+    tile_safe = True
 
     def run(self, ctx: MobileRoundContext) -> None:
         engine = ctx.engine

@@ -29,6 +29,21 @@ cocircular position sets admit several valid Delaunay triangulations, and
 a maintained mesh may legitimately pick a different one than a
 from-scratch build, which would show up in strict-bitwise comparisons
 against runs made with the flag off.
+
+Tile awareness
+--------------
+Under spatial sharding the engine hands the cache its
+:class:`~repro.runtime.sharding.partition.TilePartition` via
+:meth:`IncrementalGeometry.set_partition`. The measurement mesh stays
+global (δ is a fleet-wide quantity), but the repair policy becomes
+boundary-aware: a mover that crosses a tile boundary changes which tile
+owns its star, and the simplices spanning that boundary are exactly the
+ones whose cavity re-triangulation is hardest to patch locally — so such
+rounds take the *boundary re-triangulation fallback*, a full rebuild,
+instead of per-node repair. ``geom.tile_crossings`` counts the crossing
+movers and ``geom.boundary_movers`` the movers that finished within a
+halo of an internal tile edge (the cross-boundary-simplex population the
+fallback is protecting).
 """
 
 from __future__ import annotations
@@ -73,11 +88,44 @@ class IncrementalGeometry:
         self.tol = float(tol)
         self._tri: Optional[DelaunayTriangulation] = None
         self._pts: Optional[np.ndarray] = None
+        self._partition = None
+        self._halo = 0.0
+
+    def set_partition(self, partition, halo: float) -> None:
+        """Make the repair policy tile-aware (see module docstring).
+
+        ``partition`` is a
+        :class:`~repro.runtime.sharding.partition.TilePartition` (or any
+        object with ``assign`` and ``boundary_distance``); ``halo`` is
+        the sharding ghost-halo width, reused here as the "near a
+        boundary" band. Pass ``partition=None`` to switch back off.
+        """
+        self._partition = partition
+        self._halo = float(halo)
 
     def reset(self) -> None:
         """Drop the cached mesh (e.g. after a checkpoint restore)."""
         self._tri = None
         self._pts = None
+
+    def _crossed_boundary(self, pts: np.ndarray, moved: np.ndarray, obs) -> bool:
+        """True when any mover changed owner tile (forces a full rebuild)."""
+        if self._partition is None or not moved.size:
+            return False
+        assert self._pts is not None
+        before = self._partition.assign(self._pts[moved])
+        after = self._partition.assign(pts[moved])
+        crossed = int((before != after).sum())
+        if obs.enabled:
+            if crossed:
+                obs.counter("geom.tile_crossings").inc(crossed)
+            near = int(
+                (self._partition.boundary_distance(pts[moved]) <= self._halo)
+                .sum()
+            )
+            if near:
+                obs.counter("geom.boundary_movers").inc(near)
+        return crossed > 0
 
     def simplices_for(self, positions: np.ndarray) -> Optional[np.ndarray]:
         """Canonical simplices over ``positions``, maintained incrementally.
@@ -108,7 +156,9 @@ class IncrementalGeometry:
                 return None
         else:
             moved = np.flatnonzero((pts != self._pts).any(axis=1))
-            if moved.size > self.rebuild_fraction * len(pts):
+            if moved.size > self.rebuild_fraction * len(pts) or (
+                self._crossed_boundary(pts, moved, obs)
+            ):
                 try:
                     self._full_build(pts, obs)
                 except DuplicatePointError:

@@ -1,0 +1,38 @@
+"""Spatial sharding: tile partitions, ghost halos, per-tile pipelines.
+
+The package behind ``--tiles N``: :class:`TilePartition` splits the
+working area into an axis-aligned tile grid, :class:`ShardedWorldState`
+carries one tile's owned nodes plus ghost halo, :class:`TileRuntime`
+runs the tile-safe phase prefix against such a view, and
+:class:`ShardedScheduler` orchestrates the whole round — fan-out,
+barrier merge, ghost-zone refresh — while keeping runs bit-identical to
+the single-process engine (see each module's docstring for the
+contract's moving parts).
+"""
+
+from repro.runtime.sharding.partition import TilePartition, halo_width
+from repro.runtime.sharding.scheduler import (
+    ShardedScheduler,
+    ShardingConfig,
+    TileComputePhase,
+    get_sharding_config,
+    resolve_tiles,
+    use_sharding,
+)
+from repro.runtime.sharding.state import ShardedWorldState
+from repro.runtime.sharding.worker import TileResult, TileRuntime, TileTask
+
+__all__ = [
+    "ShardedScheduler",
+    "ShardedWorldState",
+    "ShardingConfig",
+    "TileComputePhase",
+    "TilePartition",
+    "TileResult",
+    "TileRuntime",
+    "TileTask",
+    "get_sharding_config",
+    "halo_width",
+    "resolve_tiles",
+    "use_sharding",
+]

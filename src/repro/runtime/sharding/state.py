@@ -1,0 +1,130 @@
+"""Per-tile views of the world state, with owned nodes plus ghost halo.
+
+A :class:`ShardedWorldState` is what one tile's worker computes against:
+the tile's *owned* nodes (every node whose position falls in the tile
+rectangle, dead or alive) plus its *ghosts* (alive nodes of other tiles
+within the halo — see :func:`~repro.runtime.sharding.partition.halo_width`),
+carried as a local :class:`~repro.runtime.state.WorldState` restriction
+built with :meth:`WorldState.take`. Local rows are ordered by ascending
+global id, which keeps subset neighbour lists and inbox orderings
+aligned with the fleet-wide ones (the bit-identity contract).
+
+The view is a plain dataclass of arrays, so it pickles cheaply across
+the process-pool boundary; :meth:`merge_into` is the barrier-side
+inverse, scattering the owned rows back into the canonical state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.primitives import BoundingBox
+from repro.runtime.sharding.partition import TilePartition
+from repro.runtime.state import WorldState
+
+__all__ = ["ShardedWorldState"]
+
+
+@dataclass
+class ShardedWorldState:
+    """One tile's owned+ghost restriction of a :class:`WorldState`."""
+
+    #: Row-major tile index in the partition grid.
+    tile_index: int
+    #: The tile's owning rectangle.
+    bounds: BoundingBox
+    #: Ghost-halo width the view was built with.
+    halo: float
+    #: Ascending global ids of the local rows (owned and ghosts merged).
+    ids: np.ndarray
+    #: Boolean mask over ``ids``: True = owned by this tile.
+    owned: np.ndarray
+    #: The local per-node state (rows follow ``ids``).
+    state: WorldState
+    #: Lazily built global-id -> local-row lookup.
+    _index: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=int).reshape(-1)
+        self.owned = np.asarray(self.owned, dtype=bool).reshape(len(self.ids))
+        if self.state.k != len(self.ids):
+            raise ValueError(
+                f"tile state has {self.state.k} rows for {len(self.ids)} ids"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def owned_ids(self) -> np.ndarray:
+        """Ascending global ids owned by this tile."""
+        return self.ids[self.owned]
+
+    @property
+    def ghost_ids(self) -> np.ndarray:
+        """Ascending global ids of the tile's ghosts."""
+        return self.ids[~self.owned]
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.owned.sum())
+
+    @property
+    def n_ghosts(self) -> int:
+        return len(self.ids) - self.n_owned
+
+    def local_row(self, global_id: int) -> int:
+        """Local row index of ``global_id`` (raises ``KeyError``)."""
+        if self._index is None:
+            self._index = {int(g): i for i, g in enumerate(self.ids)}
+        return self._index[int(global_id)]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def split(
+        cls,
+        world: WorldState,
+        partition: TilePartition,
+        halo: float,
+        assignment: Optional[np.ndarray] = None,
+    ) -> List["ShardedWorldState"]:
+        """Partition ``world`` into one view per tile.
+
+        Every node is owned by exactly one tile (dead nodes included, so
+        the owned sets cover the fleet and the barrier merge is total);
+        ghosts are alive-only — dead nodes neither beacon nor sense, so
+        hauling them across the halo would be pure overhead.
+        """
+        if assignment is None:
+            assignment = partition.assign(world.positions)
+        views: List[ShardedWorldState] = []
+        for tile in range(partition.n_tiles):
+            owned_mask = assignment == tile
+            ghost_mask = partition.ghost_mask(
+                world.positions,
+                tile,
+                halo,
+                assignment=assignment,
+                alive=world.alive,
+            )
+            ids = np.flatnonzero(owned_mask | ghost_mask)
+            views.append(cls(
+                tile_index=tile,
+                bounds=partition.tile_bounds(tile),
+                halo=float(halo),
+                ids=ids,
+                owned=owned_mask[ids],
+                state=world.take(ids),
+            ))
+        return views
+
+    def merge_into(self, world: WorldState) -> None:
+        """Scatter this tile's *owned* rows back into ``world``.
+
+        Ghost rows are never written back — the owner's copy is
+        authoritative, which is what keeps the merge conflict-free when
+        every tile reports.
+        """
+        owned_rows = np.flatnonzero(self.owned)
+        world.scatter(self.ids[owned_rows], self.state.take(owned_rows))

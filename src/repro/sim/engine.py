@@ -47,6 +47,7 @@ from repro.runtime.middleware import (
 )
 from repro.runtime.records import RoundRecord, SimulationResult
 from repro.runtime.scheduler import Scheduler
+from repro.runtime.sharding import ShardedScheduler, resolve_tiles
 from repro.runtime.state import WorldState
 from repro.sim.netmodel.churn import EnergyDepletionModel
 from repro.sim.netmodel.failures import MessageLossModel, NodeFailureSchedule
@@ -117,6 +118,7 @@ class MobileSimulation:
         sensor_noise_seed: int = 0,
         obs: Optional[Instrumentation] = None,
         incremental_geometry: bool = False,
+        tiles: Optional[int] = None,
     ) -> None:
         self.problem = problem
         self.params = params or CMAParams(
@@ -189,15 +191,38 @@ class MobileSimulation:
         #: The round pipeline: the six CMA phases plus bookkeeping units,
         #: with cross-cutting concerns as middleware (order matters — the
         #: per-round ``round`` event precedes recorder side effects).
-        self.scheduler = Scheduler(
-            phases=[phase() for phase in CMA_PHASES],
-            middleware=[
-                ObsMiddleware(self, record_event=record_round),
-                FailureInjectionMiddleware(self),
-                RecorderMiddleware(self),
-            ],
-            advance=self._advance,
-        )
+        #: With sharding on (explicit ``tiles=`` or the ambient
+        #: :func:`repro.runtime.sharding.use_sharding` policy) the same
+        #: pipeline runs under a :class:`ShardedScheduler`, which fuses
+        #: the tile-safe prefix into a per-tile fan-out — phase list and
+        #: middleware are otherwise identical, so obs streams, recorders
+        #: and checkpoints keep their formats.
+        phases = [phase() for phase in CMA_PHASES]
+        middleware = [
+            ObsMiddleware(self, record_event=record_round),
+            FailureInjectionMiddleware(self),
+            RecorderMiddleware(self),
+        ]
+        #: Effective sharding policy (``None`` = single-process).
+        self.sharding = resolve_tiles(tiles)
+        if self.sharding is not None:
+            self.scheduler = ShardedScheduler(
+                self,
+                phases=phases,
+                middleware=middleware,
+                advance=self._advance,
+                config=self.sharding,
+            )
+            if self.geometry is not None:
+                self.geometry.set_partition(
+                    self.scheduler.partition, self.scheduler.halo
+                )
+        else:
+            self.scheduler = Scheduler(
+                phases=phases,
+                middleware=middleware,
+                advance=self._advance,
+            )
         # Opt-in per-phase CPU/allocation profiling (--profile / ambient
         # use_profiling). Checked once at construction: when off, no
         # middleware exists and a step pays nothing.
@@ -297,6 +322,20 @@ class MobileSimulation:
             self.energy_model.load_state_dict(state.aux["energy"])
         if self.geometry is not None:
             self.geometry.reset()
+        # Cross-round scheduler accounting (e.g. the sharded scheduler's
+        # previous-round tile assignment) is transient and restarts clean.
+        reset = getattr(self.scheduler, "reset_transients", None)
+        if reset is not None:
+            reset()
+
+    def close(self) -> None:
+        """Release scheduler-owned resources (worker pool, shard logs).
+
+        A no-op for the single-process scheduler; safe to call twice.
+        """
+        closer = getattr(self.scheduler, "close", None)
+        if closer is not None:
+            closer()
 
     # ------------------------------------------------------------------
     def run(

@@ -83,3 +83,48 @@ class TestAllclose:
     def test_differs_on_extras(self):
         assert not make_state().allclose(make_state(arrays={}))
         assert not make_state().allclose(make_state(aux={"fired": []}))
+
+    @pytest.mark.parametrize("field,mutate", [
+        ("positions", lambda s: s.positions.__setitem__((1, 0), -1.0)),
+        ("alive", lambda s: s.alive.__setitem__(2, False)),
+        ("curvature", lambda s: s.curvature.__setitem__(0, 9.0)),
+        ("distance_travelled",
+         lambda s: s.distance_travelled.__setitem__(3, 1.0)),
+        ("died_at", lambda s: s.died_at.__setitem__(1, 602.0)),
+        ("t", lambda s: setattr(s, "t", 604.0)),
+        ("round_index", lambda s: setattr(s, "round_index", 9)),
+        ("curvature_scale", lambda s: setattr(s, "curvature_scale", 2.0)),
+        ("rng_states",
+         lambda s: s.rng_states["sensor"].__setitem__("state", 0)),
+        ("arrays",
+         lambda s: s.arrays["targets"].__setitem__((0, 0), 5.0)),
+        ("aux", lambda s: s.aux["fired"].append(700.0)),
+    ])
+    def test_disagrees_on_each_individual_field(self, field, mutate):
+        """Every field participates in the comparison on its own."""
+        a = make_state()
+        b = make_state()
+        assert a.allclose(b)
+        mutate(b)
+        assert not a.allclose(b), f"allclose blind to {field}"
+
+
+class TestCopyFieldIndependence:
+    """A copy shares no mutable storage with its original, field by field."""
+
+    @pytest.mark.parametrize("mutate", [
+        lambda s: s.positions.__setitem__((0, 0), 99.0),
+        lambda s: s.alive.__setitem__(0, False),
+        lambda s: s.curvature.__setitem__(0, 99.0),
+        lambda s: s.distance_travelled.__setitem__(0, 99.0),
+        lambda s: s.died_at.__setitem__(0, 99.0),
+        lambda s: s.rng_states["sensor"].__setitem__("state", 0),
+        lambda s: s.arrays["targets"].__setitem__((0, 0), 99.0),
+        lambda s: s.aux["fired"].append(700.0),
+    ])
+    def test_mutating_copy_leaves_original(self, mutate):
+        state = make_state()
+        dup = state.copy()
+        mutate(dup)
+        assert state.allclose(make_state())
+        assert not state.allclose(dup)
