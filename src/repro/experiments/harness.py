@@ -15,7 +15,7 @@ import tempfile
 import time
 from contextlib import ExitStack
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.registry import (
     ExperimentResult,
@@ -34,9 +34,11 @@ def run_experiment(
     obs_log: Optional[Union[str, Path]] = None,
     obs_flush_every: Optional[int] = None,
     obs_health: bool = False,
+    obs_append: bool = False,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 10,
     resume: bool = False,
+    checkpoint_interrupt: Optional[Callable[[], bool]] = None,
     profile: bool = False,
     tiles: Optional[int] = None,
     tile_workers: Optional[int] = None,
@@ -66,6 +68,14 @@ def run_experiment(
     With ``resume=True`` an interrupted invocation picks each run up from
     its newest checkpoint and reproduces the remaining rounds
     bit-identically — how long Fig. 8–10 sweeps survive interruption.
+    ``checkpoint_interrupt`` threads a cooperative-preemption hook into
+    that policy: polled once per completed round, a true return
+    checkpoints the state and aborts the run with
+    :class:`~repro.runtime.checkpoint.RunPreempted` (how ``repro-serve``
+    cancels a running job). ``obs_append=True`` appends to an existing
+    ``obs_log`` instead of truncating it, so a resumed run keeps one
+    contiguous event history; the resumed segment opens with its own
+    ``run_meta`` header carrying ``resumed: true``.
 
     ``tiles=N`` installs an ambient spatial-sharding policy (see
     :mod:`repro.runtime.sharding`): every mobile engine the experiment
@@ -84,6 +94,7 @@ def run_experiment(
                 directory=Path(checkpoint_dir) / experiment_id,
                 every=checkpoint_every,
                 resume=resume,
+                interrupt=checkpoint_interrupt,
             )))
         if profile:
             from repro.obs.profile import ProfileConfig, use_profiling
@@ -91,7 +102,7 @@ def run_experiment(
             stack.enter_context(use_profiling(ProfileConfig()))
         if obs_log is not None:
             obs = Instrumentation.to_jsonl(
-                obs_log, flush_every=obs_flush_every
+                obs_log, flush_every=obs_flush_every, append=obs_append
             )
             if obs_health:
                 from repro.obs.health import HealthSink
@@ -104,6 +115,7 @@ def run_experiment(
                 scenario_id=experiment_id,
                 seed=FIELD_SEED,
                 params={"experiment_id": experiment_id, "fast": fast},
+                **({"resumed": True} if obs_append else {}),
             )
         if tiles is not None:
             from repro.runtime.sharding import ShardingConfig, use_sharding
@@ -367,6 +379,9 @@ def run_recorded(
     checkpoint_every: int = 10,
     tiles: Optional[int] = None,
     tile_workers: Optional[int] = None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+    interrupt: Optional[Callable[[], bool]] = None,
 ) -> Tuple[ExperimentResult, "RunManifest"]:
     """Run one experiment as a durable, registry-visible run.
 
@@ -389,6 +404,22 @@ def run_recorded(
     runner that raises still leaves a manifest behind — ``status`` is
     ``"failed"`` and the artifacts are whatever made it to disk — so a
     crashed run is visible in the registry rather than an orphan pile.
+
+    The server-facing extensions: ``run_id`` pins the run directory
+    instead of minting a fresh :func:`new_run_id` (so a caller can name
+    the run before it starts — and find its log to tail). ``interrupt``
+    is the cooperative-preemption hook threaded down to
+    :func:`~repro.runtime.checkpoint.drive_run` (requires
+    ``checkpoints=True`` to be resumable); a preempted run leaves a
+    manifest with ``status="cancelled"`` and its checkpoints in place,
+    and :class:`~repro.runtime.checkpoint.RunPreempted` propagates to
+    the caller. ``resume=True`` re-enters an existing run directory
+    (same ``run_id``): engines pick up from their newest checkpoint, the
+    obs log is *appended to* rather than truncated (one contiguous event
+    history, the resumed segment headed by a ``run_meta`` with
+    ``resumed: true``), and the finished manifest — same params hash —
+    replaces the cancelled one, yielding a ``result.json`` bit-identical
+    to an uninterrupted run of the same scenario.
     """
     from repro.experiments.config import FIELD_SEED
     from repro.obs.manifest import (
@@ -402,8 +433,15 @@ def run_recorded(
     )
     from repro.obs.manifest import params_hash as hash_params
     from repro.obs.report import summarize_run_log
+    from repro.runtime.checkpoint import RunPreempted
 
-    run_id = new_run_id(experiment_id)
+    if resume and not checkpoints:
+        raise ValueError(
+            "resume=True requires checkpoints=True (a resumed run picks "
+            "up from the run directory's checkpoints)"
+        )
+    if run_id is None:
+        run_id = new_run_id(experiment_id)
     run_dir = Path(runs_dir) / run_id
     run_dir.mkdir(parents=True, exist_ok=True)
     obs_path = run_dir / "obs.jsonl"
@@ -426,6 +464,8 @@ def run_recorded(
         env=env_fingerprint(),
         started_at=utc_now_iso(),
     )
+    if resume:
+        manifest.extra["resumed"] = True
     start = time.perf_counter()
     result: Optional[ExperimentResult] = None
     try:
@@ -435,8 +475,11 @@ def run_recorded(
             obs_log=obs_path,
             obs_flush_every=obs_flush_every,
             obs_health=obs_health,
+            obs_append=resume,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
+            resume=resume,
+            checkpoint_interrupt=interrupt,
             profile=profile,
             tiles=tiles,
             tile_workers=tile_workers,
@@ -451,6 +494,11 @@ def run_recorded(
             }, indent=2) + "\n",
             encoding="utf-8",
         )
+    except RunPreempted:
+        # Preemption is an orderly stop, not a crash: the state is
+        # checkpointed, so the run is resumable — record it as such.
+        manifest.status = "cancelled"
+        raise
     except BaseException:
         manifest.status = "failed"
         raise

@@ -132,8 +132,11 @@ from repro.obs.trace import (
     observation_trace_id,
 )
 from repro.obs.watch import (
+    LineAssembler,
     WatchState,
     follow,
+    parse_event_line,
+    read_new_lines,
     render_openmetrics,
     render_watch,
     watch,
@@ -155,6 +158,7 @@ __all__ = [
     "Instrumentation",
     "JsonlSink",
     "LOG_SCHEMA_VERSION",
+    "LineAssembler",
     "MANIFEST_VERSION",
     "MemorySink",
     "MessageTracer",
@@ -204,6 +208,8 @@ __all__ = [
     "new_run_id",
     "observation_trace_id",
     "params_hash",
+    "parse_event_line",
+    "read_new_lines",
     "render_openmetrics",
     "render_watch",
     "summarize_events",

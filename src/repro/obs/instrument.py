@@ -108,14 +108,18 @@ class Instrumentation:
         cls,
         path: Union[str, Path],
         flush_every: Optional[int] = None,
+        append: bool = False,
     ) -> "Instrumentation":
         """Enabled instrumentation writing the run log to ``path``.
 
         ``flush_every=N`` flushes the log after every N events so a live
         tailer (``repro-exp watch``) sees the run as it happens.
+        ``append=True`` continues an existing log instead of truncating
+        it (how a resumed run keeps one contiguous event history).
         """
         return cls(
-            sinks=[JsonlSink(path, flush_every=flush_every)], enabled=True
+            sinks=[JsonlSink(path, flush_every=flush_every, append=append)],
+            enabled=True,
         )
 
     @classmethod

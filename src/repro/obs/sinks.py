@@ -106,12 +106,18 @@ class JsonlSink(Sink):
     behind the run. The default (``None``) keeps the previous behaviour:
     the file buffers until ``flush``/``close``, the cheapest option for
     batch runs nobody is watching.
+
+    ``append=True`` continues an existing log instead of truncating it —
+    how a resumed run (``repro-serve`` cancel → resume) keeps one
+    contiguous event history: the cancelled segment's events stay in
+    place and the re-executed rounds follow them.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         flush_every: Optional[int] = None,
+        append: bool = False,
     ) -> None:
         if flush_every is not None and flush_every < 1:
             raise ValueError(
@@ -122,7 +128,7 @@ class JsonlSink(Sink):
         self._writes = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: Optional[io.TextIOWrapper] = self.path.open(
-            "w", encoding="utf-8"
+            "a" if append else "w", encoding="utf-8"
         )
 
     def write(self, event: Event) -> None:

@@ -49,7 +49,10 @@ from typing import (
 from repro.obs.health import Alert, HealthMonitor
 
 __all__ = [
+    "LineAssembler",
     "follow",
+    "parse_event_line",
+    "read_new_lines",
     "WatchState",
     "render_watch",
     "watch",
@@ -57,6 +60,91 @@ __all__ = [
 ]
 
 _SPARK = "▁▂▃▄▅▆▇█"
+
+
+class LineAssembler:
+    """Reassemble complete lines from an arbitrarily-chunked text stream.
+
+    A tailer reads whatever bytes the writer has flushed so far — which
+    can end mid-line when the writer's buffer boundary falls inside a
+    JSON object. :meth:`push` returns only the *complete* (newline-
+    terminated) lines of the stream and keeps the partial tail buffered
+    until its newline arrives, so a half-written line is *pending*, not
+    malformed. Lines come back verbatim (minus the terminator), which is
+    what lets ``repro-serve`` re-serve log lines byte-for-byte over SSE.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = ""
+
+    @property
+    def pending(self) -> str:
+        """The buffered partial line (empty when aligned on a newline)."""
+        return self._buffer
+
+    def push(self, chunk: str) -> List[str]:
+        """Fold in one chunk; return the newly completed lines."""
+        self._buffer += chunk
+        if "\n" not in self._buffer:
+            return []
+        *lines, self._buffer = self._buffer.split("\n")
+        return lines
+
+    def reset(self) -> None:
+        """Drop the buffered tail (the file was rotated/truncated)."""
+        self._buffer = ""
+
+
+def read_new_lines(
+    path: Union[str, Path],
+    position: int,
+    assembler: LineAssembler,
+) -> Tuple[List[str], int]:
+    """One poll step of a tail: new complete lines plus the new offset.
+
+    Reads whatever ``path`` holds past ``position``, feeds it through
+    ``assembler`` and returns the completed lines. A file that is
+    missing yields nothing; a file *shorter* than ``position`` means the
+    writer rotated or truncated it — the tail restarts from byte 0 with
+    the assembler's partial buffer dropped (the old pre-rotation tail
+    can never complete). This is the shared substrate of :func:`follow`
+    and the ``repro-serve`` SSE event streams.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return [], position
+    if size < position:
+        position = 0
+        assembler.reset()
+    if size == position:
+        return [], position
+    with path.open("r", encoding="utf-8") as fh:
+        fh.seek(position)
+        chunk = fh.read()
+        position = fh.tell()
+    return assembler.push(chunk), position
+
+
+def parse_event_line(line: str) -> Optional[Dict[str, Any]]:
+    """One JSONL log line → event dict, or ``None`` when unusable.
+
+    A newline-terminated but unparseable line is a crashed writer's torn
+    tail (skip it — matching the "parseable up to the last newline"
+    contract of :class:`~repro.obs.sinks.JsonlSink`); a parseable row
+    without an ``event`` field is not an event.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        row = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(row, dict) and "event" in row:
+        return row
+    return None
 
 
 def follow(
@@ -69,38 +157,25 @@ def follow(
 
     Starts at the beginning (existing content is replayed first), then
     polls for appended bytes. A trailing line without its newline stays
-    buffered — mid-write JSON is pending, not malformed. A line that
-    *is* newline-terminated but unparseable is skipped (a crashed
-    writer's torn tail), matching the "parseable up to the last
-    newline" contract of :class:`~repro.obs.sinks.JsonlSink`.
+    buffered — mid-write JSON is pending, not malformed (see
+    :class:`LineAssembler`). A line that *is* newline-terminated but
+    unparseable is skipped (a crashed writer's torn tail). A file that
+    shrinks under the tailer (log rotation, truncate-and-rewrite) is
+    picked up again from the start instead of stalling forever at the
+    stale offset.
 
     ``stop`` is checked between polls; ``stop=lambda: True`` drains the
     current file content exactly once and returns (the ``--once`` mode).
     """
     path = Path(path)
-    buffer = ""
+    assembler = LineAssembler()
     position = 0
     while True:
-        try:
-            with path.open("r", encoding="utf-8") as fh:
-                fh.seek(position)
-                chunk = fh.read()
-                position = fh.tell()
-        except FileNotFoundError:
-            chunk = ""
-        if chunk:
-            buffer += chunk
-            while "\n" in buffer:
-                line, buffer = buffer.split("\n", 1)
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from a crashed producer
-                if isinstance(row, dict) and "event" in row:
-                    yield row
+        lines, position = read_new_lines(path, position, assembler)
+        for line in lines:
+            row = parse_event_line(line)
+            if row is not None:
+                yield row
         if stop is not None and stop():
             return
         sleep(poll_interval)

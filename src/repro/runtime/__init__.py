@@ -40,6 +40,7 @@ from repro.runtime.checkpoint import (
     Checkpoint,
     CheckpointConfig,
     CheckpointManager,
+    RunPreempted,
     drive_run,
     get_checkpoint_config,
     load_checkpoint,
@@ -85,6 +86,7 @@ __all__ = [
     "RecorderMiddleware",
     "RoundContext",
     "RoundRecord",
+    "RunPreempted",
     "Scheduler",
     "ShardedScheduler",
     "ShardedWorldState",

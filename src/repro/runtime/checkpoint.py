@@ -32,7 +32,17 @@ import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Type, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    Union,
+)
 
 import numpy as np
 
@@ -43,12 +53,38 @@ __all__ = [
     "Checkpoint",
     "CheckpointConfig",
     "CheckpointManager",
+    "RunPreempted",
     "drive_run",
     "get_checkpoint_config",
     "load_checkpoint",
     "save_checkpoint",
     "use_checkpointing",
 ]
+
+
+class RunPreempted(RuntimeError):
+    """A run was preempted at a round boundary by its interrupt hook.
+
+    Raised from :func:`drive_run` when the active
+    :class:`CheckpointConfig`'s ``interrupt`` callable returns true. The
+    state as of ``rounds_completed`` has already been checkpointed (when
+    a manager is active), so the run can later be resumed bit-identically
+    with ``resume=True`` — this is how ``repro-serve`` cancels a running
+    job without losing its progress.
+    """
+
+    def __init__(
+        self, rounds_completed: int, checkpoint_path: Optional[Path] = None
+    ) -> None:
+        self.rounds_completed = int(rounds_completed)
+        self.checkpoint_path = checkpoint_path
+        where = (
+            f" (state saved to {checkpoint_path})"
+            if checkpoint_path is not None else ""
+        )
+        super().__init__(
+            f"run preempted after {rounds_completed} round(s){where}"
+        )
 
 #: Format version written into every checkpoint; bumped on layout changes.
 CHECKPOINT_VERSION = 1
@@ -254,6 +290,12 @@ class CheckpointConfig:
     every: int = 10
     #: Load the latest checkpoint (if any) before running.
     resume: bool = False
+    #: Cooperative-preemption hook, polled once per completed round: when
+    #: it returns true mid-run, the state is checkpointed immediately
+    #: (even off the ``every`` schedule) and :class:`RunPreempted` is
+    #: raised. ``repro-serve`` points this at a cancel-marker file so a
+    #: cancel preempts the job at the next round/checkpoint boundary.
+    interrupt: Optional[Callable[[], bool]] = None
     _claims: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -290,6 +332,13 @@ def drive_run(
     only the remainder executes — recorders attached to the engine see
     only the re-executed rounds. A checkpoint is written every
     ``cfg.every`` completed rounds and always after the final one.
+
+    When the config carries an ``interrupt`` hook, it is polled after
+    every completed round; if it fires before the run finishes, the
+    current state is checkpointed (off-schedule if need be, so no
+    completed work is lost) and :class:`RunPreempted` propagates to the
+    caller. A run whose final round has completed is never preempted —
+    completion beats cancellation.
     """
     cfg = checkpoint if checkpoint is not None else get_checkpoint_config()
     manager: Optional[CheckpointManager] = None
@@ -302,12 +351,28 @@ def drive_run(
                 result.rounds.extend(loaded.records[:total])
     for i in range(len(result.rounds), total):
         result.rounds.append(engine.step())
-        if manager is not None and ((i + 1) % cfg.every == 0 or i + 1 == total):
-            manager.save(
+        saved: Optional[Path] = None
+        if manager is not None and (
+            (i + 1) % cfg.every == 0 or i + 1 == total
+        ):
+            saved = manager.save(
                 engine.capture_state(),
                 result.rounds,
                 engine=type(engine).__name__,
             )
+        if (
+            cfg is not None
+            and cfg.interrupt is not None
+            and i + 1 < total
+            and cfg.interrupt()
+        ):
+            if manager is not None and saved is None:
+                saved = manager.save(
+                    engine.capture_state(),
+                    result.rounds,
+                    engine=type(engine).__name__,
+                )
+            raise RunPreempted(i + 1, saved)
     return result
 
 

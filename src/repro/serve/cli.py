@@ -1,0 +1,100 @@
+"""``repro-serve`` — run the scenario job server from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from repro.serve.app import ReproServer
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve scenario runs as jobs: submit over HTTP, stream "
+            "per-round events over SSE, cancel/resume at checkpoint "
+            "boundaries, replay finished runs from their recorded logs."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port; 0 picks a free one (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="max concurrently executing jobs (default %(default)s)",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="runs root; jobs land here as registry runs (default %(default)s)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        help="default checkpoint cadence in rounds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--obs-flush-every",
+        type=int,
+        default=1,
+        help="flush the obs log every N events (default %(default)s; "
+        "1 keeps live streams current)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = ReproServer(
+        runs_root=args.runs_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        obs_flush_every=args.obs_flush_every,
+    )
+    await server.start()
+    base = f"http://{server.host}:{server.port}"
+    recovered = len(server.registry.list())
+    print(f"repro-serve listening on {base}")
+    print(f"runs root: {server.runs_root}  (recovered {recovered} finished run(s))")
+    print("endpoints:")
+    print(f"  POST {base}/jobs                  submit {{'experiment_id': ...}}")
+    print(f"  GET  {base}/jobs                  list jobs")
+    print(f"  GET  {base}/jobs/<id>             job status")
+    print(f"  GET  {base}/jobs/<id>/events      live SSE stream")
+    print(f"  GET  {base}/jobs/<id>/events?replay=1[&paced=1&speed=F]  replay")
+    print(f"  GET  {base}/jobs/<id>/result      result table + manifest outcome")
+    print(f"  POST {base}/jobs/<id>/cancel      preempt at next round boundary")
+    print(f"  POST {base}/jobs/<id>/resume      re-queue from newest checkpoint")
+    sys.stdout.flush()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""A minimal HTTP/1.1 + Server-Sent Events layer over asyncio streams.
+
+``repro-serve`` deliberately does not depend on an HTTP framework — the
+repo's no-new-dependency rule holds for the server too. What the job API
+needs is small: parse one request per connection (``Connection: close``
+keeps the state machine trivial), answer with JSON, and stream SSE.
+
+The SSE framing follows the WHATWG spec subset every client understands:
+``event:``/``id:``/``data:`` fields, blank-line terminated, comment
+lines (``:``) as keepalives. One obs event per SSE message, the *raw*
+JSONL line as the data payload — byte-for-byte what is in the run log,
+which is what makes the conformance tests able to compare the stream
+against ``obs.jsonl`` without any canonicalisation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "send_json",
+    "sse_comment",
+    "sse_message",
+    "start_sse",
+]
+
+#: Don't let one request header block / body buffer the server to death.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request problem with a definite status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(f"{status}: {message}")
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the body as a JSON object ({} when empty)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HttpError(400, "body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; None on clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise HttpError(400, f"malformed request line {lines[0]!r}") from exc
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    parts = urlsplit(target)
+    path = unquote(parts.path)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise HttpError(400, "body too large")
+        body = await reader.readexactly(n)
+
+    return HttpRequest(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+def _head(status: int, content_type: str, extra: str = "") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Cache-Control: no-cache\r\n"
+        "Connection: close\r\n"
+        f"{extra}"
+    ).encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter, status: int, payload: Any
+) -> None:
+    """Write a complete JSON response (and flush)."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    writer.write(
+        _head(status, "application/json", f"Content-Length: {len(body)}\r\n\r\n")
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+async def start_sse(writer: asyncio.StreamWriter) -> None:
+    """Send the response head that switches the connection to SSE."""
+    writer.write(_head(200, "text/event-stream", "\r\n"))
+    await writer.drain()
+
+
+def sse_message(
+    data: str, event: Optional[str] = None, id: Optional[Any] = None
+) -> bytes:
+    """Frame one SSE message.
+
+    ``data`` is emitted verbatim, one ``data:`` field per line — for the
+    run-log stream it is exactly one JSONL line, so the client recovers
+    the log bytes by concatenating ``data`` payloads with newlines.
+    """
+    out = []
+    if event is not None:
+        out.append(f"event: {event}")
+    if id is not None:
+        out.append(f"id: {id}")
+    for line in data.split("\n"):
+        out.append(f"data: {line}")
+    out.append("")
+    out.append("")
+    return "\n".join(out).encode("utf-8")
+
+
+def sse_comment(text: str = "keepalive") -> bytes:
+    """An SSE comment line — ignored by clients, defeats idle timeouts."""
+    return f": {text}\n\n".encode("utf-8")

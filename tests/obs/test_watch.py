@@ -1,11 +1,14 @@
 """Tests for live monitoring: the tailer, the dashboard, OpenMetrics."""
 
 import json
+import threading
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.watch import (
+    LineAssembler,
     WatchState,
     follow,
+    read_new_lines,
     render_openmetrics,
     render_watch,
     watch,
@@ -69,6 +72,145 @@ class TestFollow:
                         + json.dumps(_round(0, 3.0)) + "\n")
         got = list(follow(path, stop=lambda: True))
         assert [r["round"] for r in got] == [0]
+
+
+class TestLineAssembler:
+    def test_lines_come_back_verbatim(self):
+        asm = LineAssembler()
+        assert asm.push('{"a": 1}\n{"b":  2}\n') == ['{"a": 1}', '{"b":  2}']
+
+    def test_partial_line_stays_pending_across_pushes(self):
+        asm = LineAssembler()
+        assert asm.push('{"round"') == []
+        assert asm.pending == '{"round"'
+        assert asm.push(': 1}\n') == ['{"round": 1}']
+        assert asm.pending == ""
+
+    def test_chunk_boundaries_do_not_matter(self):
+        text = '{"a": 1}\n{"b": 2}\n{"c": 3}\n'
+        for size in (1, 2, 3, 5, 7, len(text)):
+            asm = LineAssembler()
+            got = []
+            for i in range(0, len(text), size):
+                got.extend(asm.push(text[i:i + size]))
+            assert got == ['{"a": 1}', '{"b": 2}', '{"c": 3}'], size
+
+    def test_reset_drops_pending(self):
+        asm = LineAssembler()
+        asm.push("half a li")
+        asm.reset()
+        assert asm.pending == ""
+        assert asm.push("ne\n") == ["ne"]
+
+
+class TestReadNewLines:
+    def test_incremental_reads_pick_up_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        asm = LineAssembler()
+        path.write_text("a\nb\n")
+        lines, pos = read_new_lines(path, 0, asm)
+        assert lines == ["a", "b"]
+        with path.open("a") as fh:
+            fh.write("c\n")
+        lines, pos = read_new_lines(path, pos, asm)
+        assert lines == ["c"]
+        # no growth -> no read, position unchanged
+        assert read_new_lines(path, pos, asm) == ([], pos)
+
+    def test_missing_file_is_quietly_empty(self, tmp_path):
+        asm = LineAssembler()
+        assert read_new_lines(tmp_path / "nope", 0, asm) == ([], 0)
+
+    def test_flush_mid_line_is_pending_until_newline(self, tmp_path):
+        # a writer may flush in the middle of a JSON object; the torn
+        # half must neither surface nor be lost
+        path = tmp_path / "log.jsonl"
+        asm = LineAssembler()
+        path.write_text('{"round": ')
+        lines, pos = read_new_lines(path, 0, asm)
+        assert lines == [] and pos > 0
+        with path.open("a") as fh:
+            fh.write('1}\n')
+        lines, pos = read_new_lines(path, pos, asm)
+        assert lines == ['{"round": 1}']
+
+    def test_rotation_resets_to_the_new_file(self, tmp_path):
+        # the latent gap this PR fixes: a file that shrank (rotated /
+        # truncated / replaced) used to stall the tailer forever at the
+        # old offset — now it re-reads from byte zero
+        path = tmp_path / "log.jsonl"
+        asm = LineAssembler()
+        path.write_text("old-1\nold-2\nhalf a li")
+        lines, pos = read_new_lines(path, 0, asm)
+        assert lines == ["old-1", "old-2"]
+        assert asm.pending == "half a li"
+
+        path.write_text("new-1\n")  # rotation: smaller file, fresh content
+        lines, pos = read_new_lines(path, pos, asm)
+        assert lines == ["new-1"]
+        assert pos == len("new-1\n")
+        # the stale partial line did not contaminate the new stream
+        assert asm.pending == ""
+
+    def test_follow_survives_rotation(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            json.dumps(_round(0, 3.0)) + "\n" + json.dumps(_round(1, 2.0)) + "\n"
+        )
+
+        polls = []
+
+        def stop():
+            polls.append(None)
+            return len(polls) >= 2
+
+        def sleep(_):
+            # between polls the log is rotated and a (shorter) new run
+            # starts — shrinkage is how the tailer detects rotation
+            path.write_text(json.dumps(_round(7, 1.0)) + "\n")
+
+        got = list(follow(path, stop=stop, sleep=sleep))
+        assert [r["round"] for r in got] == [0, 1, 7]
+
+    def test_concurrent_writer_reader_loses_nothing(self, tmp_path):
+        """Regression: tail a JsonlSink-written log while it grows.
+
+        The writer flushes after every event (the serve configuration);
+        the reader polls with read_new_lines. Every line must come back
+        byte-verbatim, exactly once, in order — torn reads surface here
+        as JSON parse failures or missing rounds.
+        """
+        from repro.obs.events import Event
+        from repro.obs.sinks import JsonlSink
+
+        path = tmp_path / "log.jsonl"
+        n_events = 200
+        done = threading.Event()
+
+        def write():
+            sink = JsonlSink(path, flush_every=1)
+            for i in range(n_events):
+                sink.write(Event(name="round", t=float(i),
+                                 fields={"round": i, "delta": 1.0 / (i + 1)}))
+            sink.close()
+            done.set()
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        asm = LineAssembler()
+        got, pos = [], 0
+        while True:
+            finished = done.is_set()
+            lines, pos = read_new_lines(path, pos, asm)
+            got.extend(lines)
+            if finished and not lines:
+                break
+        writer.join()
+
+        assert got == path.read_text().splitlines()
+        rows = [json.loads(line) for line in got]
+        assert [r["round"] for r in rows] == list(range(n_events))
+        assert asm.pending == ""
 
 
 class TestWatchState:

@@ -22,7 +22,7 @@ from repro.runtime import (
     save_checkpoint,
     use_checkpointing,
 )
-from repro.runtime.checkpoint import CHECKPOINT_VERSION
+from repro.runtime.checkpoint import CHECKPOINT_VERSION, RunPreempted
 from repro.runtime.records import RoundRecord
 from repro.sim.centralized import CentralizedSimulation
 from repro.sim.engine import MobileSimulation
@@ -340,3 +340,104 @@ class TestResumeUnderFaults:
             tmp_path / "mobile-000"
         ).load_latest(record_type=RoundRecord)
         assert latest.state.allclose(reference.capture_state())
+
+
+class TestPreemption:
+    """Cooperative preemption: the ``interrupt`` hook in drive_run.
+
+    ``repro-serve`` points the hook at a cancel-marker file; here it is
+    a plain closure, which pins the loop semantics without any server:
+    fire mid-run → off-schedule checkpoint + RunPreempted; resume →
+    bit-identical to the uninterrupted run; completion beats
+    cancellation.
+    """
+
+    def test_interrupt_preempts_with_offschedule_checkpoint(self, tmp_path):
+        calls = []
+
+        def interrupt():
+            calls.append(None)
+            return len(calls) >= 4  # off the every=3 schedule
+
+        with pytest.raises(RunPreempted) as err:
+            make_mobile(make_problem()).run(
+                10,
+                checkpoint=CheckpointConfig(
+                    tmp_path, every=3, interrupt=interrupt
+                ),
+            )
+        assert err.value.rounds_completed == 4
+        assert err.value.checkpoint_path is not None
+        assert err.value.checkpoint_path.exists()
+        # no completed work was lost: the save covers all 4 rounds
+        latest = CheckpointManager(
+            tmp_path / "mobile-000"
+        ).load_latest(record_type=RoundRecord)
+        assert len(latest.records) == 4
+
+    def test_boundary_interrupt_reuses_the_scheduled_save(self, tmp_path):
+        # fire exactly on an every=1 boundary: the scheduled checkpoint
+        # doubles as the preemption save — one file, not two
+        with pytest.raises(RunPreempted) as err:
+            make_mobile(make_problem()).run(
+                10,
+                checkpoint=CheckpointConfig(
+                    tmp_path, every=1, interrupt=lambda: True
+                ),
+            )
+        assert err.value.rounds_completed == 1
+        assert len(list((tmp_path / "mobile-000").glob("*.npz"))) == 1
+
+    def test_resume_after_preemption_is_bit_identical(self, tmp_path):
+        baseline = make_mobile(make_problem()).run(10)
+        fired = []
+
+        def interrupt():
+            fired.append(None)
+            return len(fired) >= 5
+
+        with pytest.raises(RunPreempted):
+            make_mobile(make_problem()).run(
+                10,
+                checkpoint=CheckpointConfig(
+                    tmp_path, every=3, interrupt=interrupt
+                ),
+            )
+        resumed = make_mobile(make_problem()).run(
+            10, checkpoint=CheckpointConfig(tmp_path, every=3, resume=True)
+        )
+        assert_records_equal(resumed.rounds, baseline.rounds)
+        assert np.array_equal(resumed.deltas, baseline.deltas)
+
+    def test_completion_beats_cancellation(self, tmp_path):
+        # the hook is never consulted once the final round completed:
+        # an always-true interrupt cannot preempt a finishing run
+        result = make_mobile(make_problem(duration=1.0)).run(
+            1,
+            checkpoint=CheckpointConfig(
+                tmp_path, every=1, interrupt=lambda: True
+            ),
+        )
+        assert len(result.rounds) == 1
+
+    def test_interrupt_not_consulted_after_final_round(self, tmp_path):
+        calls = []
+
+        def interrupt():
+            calls.append(None)
+            return False
+
+        make_mobile(make_problem(duration=5.0)).run(
+            5,
+            checkpoint=CheckpointConfig(tmp_path, every=5, interrupt=interrupt),
+        )
+        assert len(calls) == 4  # rounds 1..4, never after round 5
+
+    def test_exception_carries_the_details(self):
+        from pathlib import Path
+
+        err = RunPreempted(3, Path("c.npz"))
+        assert err.rounds_completed == 3
+        assert err.checkpoint_path == Path("c.npz")
+        assert "3 round(s)" in str(err)
+        assert "c.npz" in str(err)

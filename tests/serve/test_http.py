@@ -1,0 +1,119 @@
+"""The stdlib HTTP/SSE micro-layer: request parsing and SSE framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    sse_comment,
+    sse_message,
+)
+
+
+def _parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_request_line_path_and_query(self):
+        req = _parse(b"GET /jobs/j1/events?replay=1&speed=2.5 HTTP/1.1\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/jobs/j1/events"
+        assert req.query == {"replay": "1", "speed": "2.5"}
+
+    def test_headers_are_lowercased_and_trimmed(self):
+        req = _parse(b"GET / HTTP/1.1\r\nX-Thing:  abc \r\nHost: h\r\n\r\n")
+        assert req.headers["x-thing"] == "abc"
+        assert req.headers["host"] == "h"
+
+    def test_body_read_to_content_length(self):
+        body = json.dumps({"experiment_id": "fig8"}).encode()
+        req = _parse(
+            b"POST /jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert req.json() == {"experiment_id": "fig8"}
+
+    def test_percent_encoded_path_is_decoded(self):
+        req = _parse(b"GET /jobs/fig8%2Dx HTTP/1.1\r\n\r\n")
+        assert req.path == "/jobs/fig8-x"
+
+    def test_clean_eof_yields_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"GET / HTT")
+        assert err.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_body_is_refused(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        assert err.value.status == 400
+
+
+class TestRequestJson:
+    def test_empty_body_is_empty_object(self):
+        assert HttpRequest("POST", "/jobs").json() == {}
+
+    def test_invalid_json_is_400(self):
+        with pytest.raises(HttpError) as err:
+            HttpRequest("POST", "/jobs", body=b"{nope").json()
+        assert err.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        with pytest.raises(HttpError) as err:
+            HttpRequest("POST", "/jobs", body=b"[1, 2]").json()
+        assert err.value.status == 400
+
+
+class TestSseFraming:
+    def test_single_line_message_exact_bytes(self):
+        # The framing contract the conformance suite leans on: the data
+        # payload is emitted verbatim, one blank line terminates.
+        line = '{"event": "round", "round": 0}'
+        assert sse_message(line, event="round", id=7) == (
+            b'event: round\nid: 7\ndata: {"event": "round", "round": 0}\n\n'
+        )
+
+    def test_multiline_data_becomes_stacked_data_fields(self):
+        assert sse_message("a\nb") == b"data: a\ndata: b\n\n"
+
+    def test_event_and_id_are_optional(self):
+        assert sse_message("x") == b"data: x\n\n"
+
+    def test_comment_keepalive(self):
+        assert sse_comment() == b": keepalive\n\n"
+        assert sse_comment("hi") == b": hi\n\n"
+
+    def test_data_roundtrip_recovers_log_line(self):
+        # client side: concatenating data payloads restores the log line
+        line = json.dumps({"event": "round", "round": 3, "delta": 0.5})
+        framed = sse_message(line, event="round", id=3).decode()
+        data = "\n".join(
+            f[len("data: "):]
+            for f in framed.strip().split("\n")
+            if f.startswith("data: ")
+        )
+        assert data == line

@@ -1,0 +1,287 @@
+"""The job state machine: units, properties, restart recovery."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.manifest import RunManifest
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL,
+    TRANSITIONS,
+    InvalidTransition,
+    JobRegistry,
+)
+
+
+class TestTransitionTable:
+    def test_every_state_has_a_row(self):
+        assert set(TRANSITIONS) == set(STATES)
+
+    def test_terminal_states_have_no_automatic_exits(self):
+        assert TRANSITIONS[DONE] == frozenset()
+        # cancelled/failed re-enter the queue only via resume
+        assert TRANSITIONS[FAILED] == {QUEUED}
+        assert TRANSITIONS[CANCELLED] == {QUEUED}
+
+    def test_terminal_set_matches_table(self):
+        assert TERMINAL == {DONE, FAILED, CANCELLED}
+
+
+class TestRegistryUnits:
+    def test_happy_path_lifecycle(self):
+        reg = JobRegistry()
+        record = reg.submit("j1", "fig8", {"fast": True})
+        assert record.state == QUEUED and record.attempts == 1
+        reg.transition("j1", RUNNING)
+        reg.transition("j1", DONE)
+        assert reg.get("j1").state == DONE
+
+    def test_duplicate_submit_rejected(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.submit("j1", "fig8")
+
+    def test_illegal_edges_raise_and_leave_state_untouched(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        with pytest.raises(InvalidTransition):
+            reg.transition("j1", DONE)  # queued -/-> done
+        assert reg.get("j1").state == QUEUED
+        reg.transition("j1", RUNNING)
+        reg.transition("j1", DONE)
+        with pytest.raises(InvalidTransition):
+            reg.transition("j1", RUNNING)  # done is final
+        assert reg.get("j1").state == DONE
+
+    def test_unknown_state_and_unknown_job(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        with pytest.raises(InvalidTransition):
+            reg.transition("j1", "paused")
+        with pytest.raises(KeyError):
+            reg.transition("ghost", RUNNING)
+        with pytest.raises(KeyError):
+            reg.get("ghost")
+        assert reg.maybe_get("ghost") is None
+
+    def test_failed_records_error(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        reg.transition("j1", RUNNING)
+        reg.transition("j1", FAILED, error="boom")
+        assert reg.get("j1").error == "boom"
+
+    def test_cancel_queued_is_immediate(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        record = reg.request_cancel("j1")
+        assert record.state == CANCELLED
+        assert record.cancel_requested is False
+
+    def test_cancel_running_is_two_phase(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        reg.transition("j1", RUNNING)
+        record = reg.request_cancel("j1")
+        # the worker confirms the edge later
+        assert record.state == RUNNING
+        assert record.cancel_requested is True
+        reg.transition("j1", CANCELLED)
+        assert reg.get("j1").state == CANCELLED
+
+    def test_cancel_terminal_rejected(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        reg.transition("j1", RUNNING)
+        reg.transition("j1", DONE)
+        with pytest.raises(InvalidTransition):
+            reg.request_cancel("j1")
+
+    def test_resume_requeues_cancelled_and_failed(self):
+        reg = JobRegistry()
+        reg.submit("c", "fig8")
+        reg.request_cancel("c")
+        record = reg.resume("c")
+        assert record.state == QUEUED and record.attempts == 2
+        reg.submit("f", "fig8")
+        reg.transition("f", RUNNING)
+        reg.transition("f", FAILED, error="boom")
+        record = reg.resume("f")
+        assert record.state == QUEUED
+        assert record.error is None  # a fresh attempt starts clean
+
+    def test_resume_rejected_elsewhere(self):
+        reg = JobRegistry()
+        reg.submit("j1", "fig8")
+        for state in (QUEUED,):
+            with pytest.raises(InvalidTransition):
+                reg.resume("j1")
+        reg.transition("j1", RUNNING)
+        with pytest.raises(InvalidTransition):
+            reg.resume("j1")
+        reg.transition("j1", DONE)
+        with pytest.raises(InvalidTransition):
+            reg.resume("j1")
+
+    def test_list_order_and_counts(self):
+        reg = JobRegistry()
+        for name in ("a", "b", "c"):
+            reg.submit(name, "fig8")
+        reg.transition("b", RUNNING)
+        reg.request_cancel("c")
+        assert [r.job_id for r in reg.list()] == ["a", "b", "c"]
+        assert reg.counts() == {QUEUED: 1, RUNNING: 1, CANCELLED: 1}
+
+
+def _write_manifest(runs_root, run_id, status, scenario="fig8", started_at=""):
+    run_dir = runs_root / run_id
+    run_dir.mkdir(parents=True)
+    RunManifest(
+        run_id=run_id,
+        scenario_id=scenario,
+        status=status,
+        started_at=started_at or f"2026-08-07T00:00:{hash(run_id) % 60:02d}Z",
+    ).save(run_dir / "manifest.json")
+
+
+class TestRecover:
+    def test_manifest_statuses_map_onto_job_states(self, tmp_path):
+        _write_manifest(tmp_path, "r1", "complete", started_at="2026-08-07T01:00:00Z")
+        _write_manifest(tmp_path, "r2", "failed", started_at="2026-08-07T02:00:00Z")
+        _write_manifest(tmp_path, "r3", "cancelled", started_at="2026-08-07T03:00:00Z")
+        reg = JobRegistry.recover(tmp_path)
+        states = {r.job_id: r.state for r in reg.list()}
+        assert states == {"r1": DONE, "r2": FAILED, "r3": CANCELLED}
+        assert all(r.recovered for r in reg.list())
+        assert [r.job_id for r in reg.list()] == ["r1", "r2", "r3"]
+
+    def test_failed_runs_are_resumable_after_recovery(self, tmp_path):
+        _write_manifest(tmp_path, "r1", "failed")
+        reg = JobRegistry.recover(tmp_path)
+        assert reg.resume("r1").state == QUEUED
+
+    def test_corrupt_and_unknown_manifests_are_skipped(self, tmp_path):
+        _write_manifest(tmp_path, "good", "complete")
+        _write_manifest(tmp_path, "odd", "half-done")  # unknown status
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{not json", encoding="utf-8")
+        reg = JobRegistry.recover(tmp_path)
+        assert [r.job_id for r in reg.list()] == ["good"]
+
+    def test_missing_root_recovers_empty(self, tmp_path):
+        reg = JobRegistry.recover(tmp_path / "nope")
+        assert reg.list() == []
+
+
+# -- property suite -----------------------------------------------------
+#
+# The model below *re-states* the intended semantics independently of the
+# implementation: plain dicts driven by the published TRANSITIONS table.
+# Hypothesis then interleaves submit/transition/cancel/resume arbitrarily
+# and we require (a) the registry agrees with the model after every op,
+# and (b) no op ever lands a job in a state outside its legal edges.
+
+_JOB_IDS = ("a", "b", "c")
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.sampled_from(_JOB_IDS)),
+        st.tuples(
+            st.just("transition"),
+            st.sampled_from(_JOB_IDS),
+            st.sampled_from(sorted(STATES)),
+        ),
+        st.tuples(st.just("cancel"), st.sampled_from(_JOB_IDS)),
+        st.tuples(st.just("resume"), st.sampled_from(_JOB_IDS)),
+    ),
+    max_size=40,
+)
+
+
+@given(_ops)
+def test_registry_agrees_with_model_under_arbitrary_interleavings(ops):
+    reg = JobRegistry()
+    model = {}  # job_id -> state
+
+    for op in ops:
+        kind, job_id = op[0], op[1]
+        if kind == "submit":
+            if job_id in model:
+                with pytest.raises(ValueError):
+                    reg.submit(job_id, "fig8")
+            else:
+                reg.submit(job_id, "fig8")
+                model[job_id] = QUEUED
+        elif kind == "transition":
+            new_state = op[2]
+            if job_id not in model:
+                with pytest.raises(KeyError):
+                    reg.transition(job_id, new_state)
+            elif new_state in TRANSITIONS[model[job_id]]:
+                reg.transition(job_id, new_state)
+                model[job_id] = new_state
+            else:
+                with pytest.raises(InvalidTransition):
+                    reg.transition(job_id, new_state)
+        elif kind == "cancel":
+            if job_id not in model:
+                with pytest.raises(KeyError):
+                    reg.request_cancel(job_id)
+            elif model[job_id] == QUEUED:
+                reg.request_cancel(job_id)
+                model[job_id] = CANCELLED
+            elif model[job_id] == RUNNING:
+                assert reg.request_cancel(job_id).cancel_requested is True
+            else:
+                with pytest.raises(InvalidTransition):
+                    reg.request_cancel(job_id)
+        elif kind == "resume":
+            if job_id not in model:
+                with pytest.raises(KeyError):
+                    reg.resume(job_id)
+            elif model[job_id] in (CANCELLED, FAILED):
+                reg.resume(job_id)
+                model[job_id] = QUEUED
+            else:
+                with pytest.raises(InvalidTransition):
+                    reg.resume(job_id)
+
+        # after *every* op: same jobs, same states, all states legal
+        assert {r.job_id: r.state for r in reg.list()} == model
+        assert all(r.state in STATES for r in reg.list())
+
+
+@given(
+    st.lists(
+        st.sampled_from(["complete", "failed", "cancelled", "weird"]),
+        max_size=6,
+    )
+)
+def test_recover_rebuilds_exactly_the_mappable_manifests(statuses):
+    import tempfile
+    from pathlib import Path
+
+    mapping = {"complete": DONE, "failed": FAILED, "cancelled": CANCELLED}
+    with tempfile.TemporaryDirectory() as root:
+        root = Path(root)
+        for i, status in enumerate(statuses):
+            _write_manifest(
+                root, f"r{i}", status, started_at=f"2026-08-07T00:00:{i:02d}Z"
+            )
+        reg = JobRegistry.recover(root)
+        expected = {
+            f"r{i}": mapping[s]
+            for i, s in enumerate(statuses)
+            if s in mapping
+        }
+        assert {r.job_id: r.state for r in reg.list()} == expected
+        assert all(r.recovered for r in reg.list())

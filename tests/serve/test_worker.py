@@ -1,0 +1,124 @@
+"""Job execution without HTTP: markers, execute_job, cancel→resume.
+
+These tests drive :func:`repro.serve.worker.execute_job` in-process —
+the same function the server's pool children run — so the preemption
+and resume semantics are pinned independently of the network stack.
+"""
+
+import json
+import threading
+import time
+
+from repro.serve.worker import (
+    CANCEL_MARKER,
+    cancel_pending,
+    clear_cancel_marker,
+    execute_job,
+    make_interrupt,
+    request_cancel_marker,
+)
+
+
+def _spec(runs_dir, job_id, **over):
+    spec = {
+        "job_id": job_id,
+        "experiment_id": "fig8",
+        "runs_dir": str(runs_dir),
+        "fast": True,
+        "checkpoint_every": 2,
+        "obs_flush_every": 1,
+        "round_delay_s": 0.0,
+        "resume": False,
+    }
+    spec.update(over)
+    return spec
+
+
+class TestMarkers:
+    def test_request_creates_and_clear_removes(self, tmp_path):
+        run_dir = tmp_path / "r1"
+        assert not cancel_pending(run_dir)
+        marker = request_cancel_marker(run_dir)
+        assert marker.name == CANCEL_MARKER
+        assert cancel_pending(run_dir)
+        assert clear_cancel_marker(run_dir) is True
+        assert not cancel_pending(run_dir)
+        assert clear_cancel_marker(run_dir) is False  # idempotent
+
+    def test_make_interrupt_polls_the_marker(self, tmp_path):
+        run_dir = tmp_path / "r1"
+        interrupt = make_interrupt(run_dir)
+        assert interrupt() is False
+        request_cancel_marker(run_dir)
+        assert interrupt() is True
+
+    def test_make_interrupt_paces_rounds(self, tmp_path):
+        interrupt = make_interrupt(tmp_path / "r1", round_delay_s=0.05)
+        t0 = time.perf_counter()
+        interrupt()
+        assert time.perf_counter() - t0 >= 0.05
+
+
+class TestExecuteJob:
+    def test_complete_run_lands_in_the_registry(self, tmp_path):
+        outcome = execute_job(_spec(tmp_path, "job-a"))
+        assert outcome == {"job_id": "job-a", "status": "complete", "error": None}
+        run_dir = tmp_path / "job-a"
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        assert (run_dir / "obs.jsonl").exists()
+        assert (run_dir / "result.json").exists()
+        assert (run_dir / "checkpoints").is_dir()
+
+    def test_unknown_experiment_fails_with_traceback(self, tmp_path):
+        outcome = execute_job(_spec(tmp_path, "job-x", experiment_id="nope"))
+        assert outcome["status"] == "failed"
+        assert "nope" in outcome["error"]
+
+    def test_stale_marker_does_not_kill_a_fresh_attempt(self, tmp_path):
+        # A marker left over from a cancelled attempt is cleared on
+        # entry — resume must not be instantly re-cancelled by it.
+        run_dir = tmp_path / "job-b"
+        request_cancel_marker(run_dir)
+        outcome = execute_job(_spec(tmp_path, "job-b"))
+        assert outcome["status"] == "complete"
+        assert not cancel_pending(run_dir)
+
+    def test_cancel_mid_run_then_resume_is_bit_identical(self, tmp_path):
+        # the uninterrupted reference
+        assert execute_job(_spec(tmp_path, "ref"))["status"] == "complete"
+        reference = (tmp_path / "ref" / "result.json").read_bytes()
+
+        # cancel mid-flight: rounds are paced, the marker lands while
+        # the run is somewhere in the middle
+        run_dir = tmp_path / "victim"
+        timer = threading.Timer(
+            0.35, lambda: request_cancel_marker(run_dir)
+        )
+        timer.start()
+        try:
+            outcome = execute_job(
+                _spec(tmp_path, "victim", round_delay_s=0.15)
+            )
+        finally:
+            timer.cancel()
+        assert outcome["status"] == "cancelled"
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["status"] == "cancelled"
+        assert not cancel_pending(run_dir)  # consumed on the way out
+        assert list((run_dir / "checkpoints").rglob("*.npz"))
+
+        # resume from the newest checkpoint: one contiguous log, the
+        # same result bytes as the run that was never touched
+        outcome = execute_job(
+            _spec(tmp_path, "victim", resume=True, round_delay_s=0.0)
+        )
+        assert outcome["status"] == "complete"
+        assert (run_dir / "result.json").read_bytes() == reference
+        log_lines = (run_dir / "obs.jsonl").read_text().splitlines()
+        headers = [
+            json.loads(l) for l in log_lines
+            if json.loads(l).get("event") == "run_meta"
+        ]
+        assert len(headers) == 2  # original attempt + resumed segment
+        assert headers[1].get("resumed") is True
